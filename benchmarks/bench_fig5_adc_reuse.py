@@ -1,0 +1,53 @@
+"""E7 — Fig. 5: inter-layer ADC reuse vs layer distance.
+
+Measures the two curves motivating macro sharing (§IV-C1): (a) the
+delay penalty of sharing one ADC bank between two layers shrinks as
+their pipeline distance grows; (b) merging banks removes converters
+from the chip. The paper shows reuse of far-apart layers "hardly brings
+delay penalty" while reducing ADC count.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import adc_reuse_study, format_table
+
+DISTANCES = (1, 2, 3, 4, 5, 6, 8)
+
+
+def run_fig5(model):
+    return adc_reuse_study(
+        model,
+        total_power=120.0,
+        wt_dup=[1] * model.num_weighted_layers,
+        distances=DISTANCES,
+    )
+
+
+def test_fig5_adc_reuse_curves(benchmark, models):
+    model = models["vgg13"]
+    samples = benchmark.pedantic(
+        run_fig5, args=(model,), rounds=1, iterations=1
+    )
+
+    max_saved = max(s.adcs_saved for s in samples)
+    print()
+    print(format_table(
+        ["distance", "delay penalty (a)", "ADCs saved (norm.) (b)",
+         "pairs"],
+        [
+            (s.distance, round(s.delay_penalty, 3),
+             round(s.adcs_saved / max_saved, 3), s.pairs_measured)
+            for s in samples
+        ],
+        title="Fig. 5 - inter-layer ADC reuse on VGG13 "
+              "(delay normalized to no-reuse; savings normalized to max)",
+    ))
+
+    # Shape (a): the delay penalty decays with distance and is ~gone
+    # beyond the overlap window.
+    near = samples[0].delay_penalty
+    far = samples[-1].delay_penalty
+    assert near > far
+    assert far <= 1.05
+    # Shape (b): reuse always removes converters.
+    assert all(s.adcs_saved > 0 for s in samples)

@@ -1,0 +1,61 @@
+"""A3 — ablation: NoC vs shared-bus interconnect.
+
+The architecture abstraction allows macros "interconnected via a
+network-on-chip (NoC) or bus" (§I/§II-B). This ablation quantifies why
+the synthesized designs assume a mesh: at small macro counts the bus's
+cheap interfaces win on power, but its serialized medium collapses as
+macro partitioning fans out — exactly the communication bottleneck
+(§I challenge 2) that motivates the EA's partition-count exploration.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.hardware.bus import SharedBus
+from repro.hardware.noc import MeshNoC
+from repro.hardware.params import HardwareParams
+
+MACRO_COUNTS = (4, 16, 64)
+PAYLOAD_BYTES = 4096  # one computation block's activations
+
+
+def run_interconnect():
+    params = HardwareParams()
+    rows = []
+    for count in MACRO_COUNTS:
+        noc = MeshNoC(num_macros=count, params=params)
+        bus = SharedBus(num_macros=count, params=params)
+        streams = max(1, count // 2)  # concurrent layer-to-layer flows
+        noc_latency = noc.transfer_latency(0, count - 1, PAYLOAD_BYTES)
+        bus_latency = bus.contended_transfer_latency(
+            PAYLOAD_BYTES, streams
+        )
+        rows.append((
+            count, streams,
+            noc_latency, bus_latency,
+            noc.total_power(), bus.total_power(),
+        ))
+    return rows
+
+
+def test_interconnect_noc_vs_bus(benchmark):
+    rows = benchmark.pedantic(run_interconnect, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["macros", "streams", "NoC worst xfer (s)", "bus xfer (s)",
+         "NoC power (W)", "bus power (W)"],
+        rows,
+        title="A3 - interconnect comparison "
+              f"({PAYLOAD_BYTES} B payloads)",
+    ))
+
+    # Shape: the bus is cheaper on power at every size but loses
+    # latency ground as concurrency grows; by 64 macros the mesh is
+    # decisively faster.
+    for count, _streams, noc_lat, bus_lat, noc_p, bus_p in rows:
+        assert bus_p < noc_p
+    small = rows[0]
+    large = rows[-1]
+    assert large[3] / large[2] > small[3] / small[2]
+    assert large[3] > large[2] * 4

@@ -1,0 +1,61 @@
+"""E10 — simulator-vs-analytical cross-validation.
+
+§V evaluates synthesized accelerators with "a cycle-accurate IR-based
+behavior-level simulator"; the DSE itself scores designs analytically.
+This bench quantifies the gap between the two on synthesized designs —
+the evidence that the analytical model the search optimizes is the
+model the simulator confirms.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import Pimsyn, SynthesisConfig
+from repro.nn import alexnet_cifar, lenet5
+from repro.sim import SimulationEngine
+
+CASES = (
+    (lenet5, 2.0),
+    (alexnet_cifar, 12.0),
+)
+
+
+def run_validation():
+    rows = []
+    for builder, power in CASES:
+        model = builder()
+        config = SynthesisConfig.fast(total_power=power, seed=2024)
+        solution = Pimsyn(model, config).synthesize()
+        engine = SimulationEngine(
+            spec=solution.spec,
+            allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+        )
+        metrics = engine.simulate()
+        rows.append((
+            model.name,
+            solution.evaluation.throughput,
+            metrics.throughput,
+            solution.evaluation.throughput / metrics.throughput,
+        ))
+    return rows
+
+
+def test_simulator_validates_analytical_model(benchmark):
+    rows = benchmark.pedantic(run_validation, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["model", "analytical img/s", "simulated img/s",
+         "analytic/sim ratio"],
+        [
+            (name, round(a, 1), round(s, 1), round(r, 3))
+            for name, a, s, r in rows
+        ],
+        title="E10 - behavior-level simulator vs analytical evaluator",
+    ))
+
+    # The models must agree within a small factor: the simulator only
+    # adds bank serialization on top of the shared rate models.
+    for name, _a, _s, ratio in rows:
+        assert 0.4 <= ratio <= 2.5, name

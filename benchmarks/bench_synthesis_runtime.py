@@ -1,0 +1,58 @@
+"""E9 — §V: synthesis runtime profile.
+
+The paper reports ~4 hours per full synthesis in Python. This bench
+times the reduced-space synthesis used throughout the repo and reports
+the per-stage telemetry (outer points, SA candidates, EA runs), so the
+runtime/search-effort tradeoff is visible. This is also the bench where
+pytest-benchmark's statistics are most meaningful, so it runs the real
+measurement loop (several rounds) on LeNet-5.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import Pimsyn, SynthesisConfig
+from repro.nn import lenet5
+
+from conftest import pimsyn_power_for, synthesize_cached
+
+
+def run_synthesis():
+    config = SynthesisConfig.fast(total_power=2.0, seed=99)
+    synthesizer = Pimsyn(lenet5(), config)
+    solution = synthesizer.synthesize()
+    return synthesizer, solution
+
+
+def test_synthesis_runtime_lenet(benchmark):
+    synthesizer, solution = benchmark(run_synthesis)
+    print()
+    report = synthesizer.report
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("outer design points", report.outer_points),
+            ("WtDup candidates tried", report.candidates_tried),
+            ("EA runs", report.ea_runs),
+            ("wall seconds", round(report.wall_seconds, 3)),
+            ("best img/s", round(solution.evaluation.throughput, 1)),
+        ],
+        title="synthesis telemetry (reduced space; paper's full grid "
+              "runs ~4 h)",
+    ))
+    assert solution.evaluation.throughput > 0
+
+
+def test_synthesis_runtime_vgg16(benchmark, models):
+    """One-shot timing of the reduced-space VGG16 synthesis."""
+    model = models["vgg16"]
+    power = pimsyn_power_for(model, margin=2.0)
+    solution = benchmark.pedantic(
+        lambda: synthesize_cached(model, power),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(f"VGG16 @ {power:.0f} W -> "
+          f"{solution.evaluation.throughput:.0f} img/s, "
+          f"{solution.evaluation.tops_per_watt:.3f} TOPS/W")
+    assert solution.evaluation.throughput > 0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Compare PIMSYN against the manually-designed PIM accelerators.
+
+Reproduces the spirit of Table IV and Fig. 6 interactively: peak power
+efficiency per architecture, then an effective head-to-head against
+ISAAC on a model of your choice at the same power.
+
+Run:  python examples/compare_baselines.py [model-name]
+"""
+
+import sys
+
+from repro import Pimsyn, SynthesisConfig
+from repro.analysis import format_table
+from repro.baselines import (
+    atomlayer_design,
+    build_manual_solution,
+    isaac_design,
+    pipelayer_design,
+    prime_design,
+    puma_design,
+)
+from repro.core.design_space import DesignSpace
+from repro.hardware.params import HardwareParams
+from repro.hardware.peak import best_matched_peak
+from repro.nn import zoo
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "alexnet"
+    model = zoo.by_name(model_name)
+    params = HardwareParams()
+
+    # ---- peak power efficiency (architecture-level, Table IV) ----
+    pimsyn_peak = best_matched_peak(params)
+    rows = [("pimsyn (synthesized)", pimsyn_peak.tops_per_watt, "-")]
+    for design_fn in (isaac_design, pipelayer_design, prime_design,
+                      puma_design, atomlayer_design):
+        design = design_fn()
+        peak = design.peak_point(params).tops_per_watt
+        rows.append((
+            design.name, peak,
+            f"{pimsyn_peak.tops_per_watt / peak:.2f}x",
+        ))
+    print(format_table(
+        ["architecture", "peak TOPS/W", "PIMSYN advantage"], rows,
+        title="peak power efficiency (component library pricing)",
+    ))
+
+    # ---- effective head-to-head vs ISAAC at the same power ----
+    design = isaac_design()
+    power = max(
+        design.minimum_power(model, params) * 1.5,
+        DesignSpace(model, SynthesisConfig.fast()).
+        minimum_feasible_power(margin=2.0),
+    )
+    print(f"\neffective comparison on {model_name} @ {power:.0f} W ...")
+    isaac = build_manual_solution(design, model, power)
+    config = SynthesisConfig.fast(total_power=power, seed=2)
+    pimsyn = Pimsyn(model, config).synthesize()
+
+    i_ev, p_ev = isaac.evaluation, pimsyn.evaluation
+    print(format_table(
+        ["design", "img/s", "TOPS", "TOPS/W", "latency (ms)"],
+        [
+            ("isaac", round(i_ev.throughput, 1), round(i_ev.tops, 2),
+             round(i_ev.tops_per_watt, 4),
+             round(i_ev.latency * 1e3, 3)),
+            ("pimsyn", round(p_ev.throughput, 1), round(p_ev.tops, 2),
+             round(p_ev.tops_per_watt, 4),
+             round(p_ev.latency * 1e3, 3)),
+        ],
+        title=f"effective metrics on {model_name}",
+    ))
+    print(f"\nPIMSYN wins {p_ev.tops_per_watt / i_ev.tops_per_watt:.2f}x "
+          f"power efficiency and "
+          f"{p_ev.throughput / i_ev.throughput:.2f}x throughput")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Synthesize an accelerator for a user-defined CNN (JSON interchange).
+
+PIMSYN's input is a CNN structure in ONNX form (§III); this package
+accepts a JSON document with the same information content. The example
+defines a small custom edge-vision network by hand, round-trips it
+through the interchange format, and synthesizes hardware for it —
+the path a user with their own trained model would follow.
+
+Run:  python examples/custom_model_from_json.py
+"""
+
+import json
+
+from repro import Pimsyn, SynthesisConfig
+from repro.nn import model_from_json
+
+CUSTOM_MODEL = {
+    "name": "edge_vision_net",
+    "input_shape": [3, 64, 64],
+    "act_precision": 16,
+    "weight_precision": 16,
+    "nodes": [
+        {"op": "Conv", "name": "stem", "inputs": ["input"],
+         "attrs": {"kernel": 5, "out_channels": 24, "stride": 2,
+                   "padding": 2}},
+        {"op": "Relu", "name": "stem_relu", "inputs": ["stem"]},
+        {"op": "Conv", "name": "conv2", "inputs": ["stem_relu"],
+         "attrs": {"kernel": 3, "out_channels": 48, "stride": 1,
+                   "padding": 1}},
+        {"op": "Relu", "name": "conv2_relu", "inputs": ["conv2"]},
+        {"op": "MaxPool", "name": "pool1", "inputs": ["conv2_relu"],
+         "attrs": {"kernel": 2, "stride": 2}},
+        {"op": "Conv", "name": "conv3", "inputs": ["pool1"],
+         "attrs": {"kernel": 3, "out_channels": 96, "stride": 1,
+                   "padding": 1}},
+        {"op": "Relu", "name": "conv3_relu", "inputs": ["conv3"]},
+        # Residual branch: 1x1 projection added back to conv3's output.
+        # in_channels is stated explicitly because this branch taps
+        # pool1, not the preceding node.
+        {"op": "Conv", "name": "proj", "inputs": ["pool1"],
+         "attrs": {"kernel": 1, "in_channels": 48,
+                   "out_channels": 96}},
+        {"op": "Add", "name": "join", "inputs": ["conv3_relu", "proj"]},
+        {"op": "MaxPool", "name": "pool2", "inputs": ["join"],
+         "attrs": {"kernel": 2, "stride": 2}},
+        {"op": "Flatten", "name": "flat", "inputs": ["pool2"]},
+        {"op": "Gemm", "name": "classifier", "inputs": ["flat"],
+         "attrs": {"in_features": 96 * 8 * 8, "out_features": 100}},
+    ],
+}
+
+
+def main() -> None:
+    model = model_from_json(json.dumps(CUSTOM_MODEL))
+    print(model.summary())
+
+    config = SynthesisConfig.fast(total_power=6.0, seed=8)
+    solution = Pimsyn(model, config).synthesize()
+    print()
+    print(solution.summary())
+
+    # The weighted-layer dependency graph drives the pipeline; note the
+    # residual join producing two inter-layer edges into `join`'s
+    # consumer.
+    print("\ninter-layer edges (weighted indices):",
+          model.interlayer_edges())
+
+    chip = solution.build_accelerator()
+    print()
+    print(chip.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Explore the design space beyond the single best point.
+
+Three post-DSE views a deployment team uses:
+
+1. the **archive + Pareto front** — every design the DSE evaluated,
+   reduced to the throughput/power trade-off frontier;
+2. **refinement** — a hill-climb around the winner under the true
+   objective (the SA filter optimizes a surrogate);
+3. **technology sensitivity** — how the chosen design point moves when
+   the ADC power budget of the component library changes.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import Pimsyn, SynthesisConfig
+from repro.analysis import format_table
+from repro.analysis.sensitivity import sensitivity_sweep
+from repro.core.archive import DesignArchive, pareto_front
+from repro.core.refinement import refine_solution
+from repro.nn import lenet5
+
+
+def main() -> None:
+    model = lenet5()
+    config = SynthesisConfig.fast(total_power=2.0, seed=14)
+
+    # 1. synthesize with an archive attached
+    archive = DesignArchive(capacity=128)
+    solution = Pimsyn(model, config, archive=archive).synthesize()
+    print(solution.summary())
+
+    front = pareto_front(archive.finalize())
+    print()
+    print(format_table(
+        ["img/s", "power (W)", "TOPS/W", "XbSize", "ResDAC", "macros"],
+        [
+            (round(e.throughput, 1), round(e.power, 3),
+             round(e.tops_per_watt, 4), e.xb_size, e.res_dac,
+             e.num_macros)
+            for e in front
+        ],
+        title=f"throughput/power Pareto front "
+              f"({len(front)} of {len(archive)} archived designs)",
+    ))
+
+    # 2. refine the winner
+    refined, report = refine_solution(
+        solution, model, config, max_moves=12, seed=3
+    )
+    print(f"\nrefinement: {report.moves_accepted}/{report.moves_tried} "
+          f"moves accepted, {report.improvement:.3f}x throughput "
+          f"({report.initial_throughput:.0f} -> "
+          f"{report.final_throughput:.0f} img/s)")
+
+    # 3. ADC-power sensitivity
+    rows = sensitivity_sweep(
+        model, total_power=2.0, knob="adc_power",
+        scales=(0.5, 1.0, 2.0), seed=14,
+    )
+    print()
+    print(format_table(
+        ["ADC power scale", "XbSize/ResRram/ResDAC", "img/s", "TOPS/W"],
+        [
+            (r.scale, f"{r.xb_size}/{r.res_rram}/{r.res_dac}",
+             round(r.throughput, 1), round(r.tops_per_watt, 4))
+            for r in rows
+        ],
+        title="technology sensitivity: ADC power",
+    ))
+
+
+if __name__ == "__main__":
+    main()

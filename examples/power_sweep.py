@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Sweep the power constraint and map the design frontier.
+
+Since power is PIMSYN's only hard constraint, the first system-level
+question a deployment engineer asks is "what does a watt buy me?". The
+sweep exposes the feasibility floor, the throughput/power scaling
+regime, and where peripheral overheads flatten the efficiency curve.
+
+Run:  python examples/power_sweep.py
+"""
+
+from repro.analysis import format_table, power_sweep
+from repro.core import SynthesisConfig
+from repro.core.design_space import DesignSpace
+from repro.nn import alexnet_cifar
+
+
+def main() -> None:
+    model = alexnet_cifar()
+    config = SynthesisConfig.fast(seed=4)
+    floor = DesignSpace(model, config).minimum_feasible_power()
+    powers = [floor * f for f in (0.5, 1.1, 1.5, 2.0, 3.0, 5.0)]
+
+    print(f"feasibility floor for {model.name}: {floor:.2f} W")
+    rows = power_sweep(model, powers, config=config)
+
+    table = []
+    for row in rows:
+        if not row.feasible:
+            table.append((f"{row.total_power:.2f}", "infeasible", "-",
+                          "-", "-"))
+            continue
+        table.append((
+            f"{row.total_power:.2f}",
+            round(row.throughput, 1),
+            round(row.tops_per_watt, 4),
+            round(row.latency * 1e3, 3),
+            row.num_macros,
+        ))
+    print()
+    print(format_table(
+        ["power (W)", "img/s", "TOPS/W", "latency (ms)", "macros"],
+        table, title=f"power sweep - {model.name}",
+    ))
+
+
+if __name__ == "__main__":
+    main()

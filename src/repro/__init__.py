@@ -1,0 +1,56 @@
+"""PIMSYN reproduction: synthesizing processing-in-memory CNN accelerators.
+
+A full reimplementation of *PIMSYN: Synthesizing Processing-in-Memory
+CNN Accelerators* (DATE 2024): given a CNN structure and a total power
+constraint, synthesize the architecture and dataflow of a power-
+efficiency-maximized ReRAM-crossbar PIM accelerator.
+
+Quickstart::
+
+    from repro import Pimsyn, SynthesisConfig
+    from repro.nn import vgg16
+
+    config = SynthesisConfig.fast(total_power=150.0)
+    solution = Pimsyn(vgg16(), config).synthesize()
+    print(solution.summary())
+    chip = solution.build_accelerator()
+    print(chip.summary())
+
+Package map:
+
+- :mod:`repro.nn` — CNN substrate (layers, zoo, ONNX-like JSON I/O)
+- :mod:`repro.hardware` — component library, crossbar math, NoC, chip
+- :mod:`repro.ir` — Table II IRs and the dataflow DAG
+- :mod:`repro.optim` — SA and EA engines
+- :mod:`repro.core` — the four synthesis stages and the Alg. 1 DSE
+- :mod:`repro.sim` — the IR-based behavior-level simulator
+- :mod:`repro.baselines` — ISAAC/PipeLayer/PRIME/PUMA/AtomLayer/Gibbon
+- :mod:`repro.analysis` — reuse study, reports, sweeps
+"""
+
+from repro.core.config import SynthesisConfig
+from repro.core.solution import SynthesisSolution
+from repro.core.synthesizer import Pimsyn
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    IRError,
+    ModelError,
+    PimsynError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Pimsyn",
+    "SynthesisConfig",
+    "SynthesisSolution",
+    "PimsynError",
+    "ConfigurationError",
+    "InfeasibleError",
+    "IRError",
+    "ModelError",
+    "SimulationError",
+    "__version__",
+]

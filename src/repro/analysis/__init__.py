@@ -1,0 +1,25 @@
+"""Analysis utilities: the Fig. 5 ADC-reuse study, table formatting,
+and parameter sweeps used by examples and benches."""
+
+from repro.analysis.adc_reuse import AdcReuseSample, adc_reuse_study
+from repro.analysis.energy import (
+    LayerEnergy,
+    dominant_resource,
+    layer_energy_breakdown,
+)
+from repro.analysis.gantt import render_gantt
+from repro.analysis.report import format_table, normalize_series
+from repro.analysis.sweep import PowerSweepRow, power_sweep
+
+__all__ = [
+    "AdcReuseSample",
+    "adc_reuse_study",
+    "LayerEnergy",
+    "dominant_resource",
+    "layer_energy_breakdown",
+    "render_gantt",
+    "format_table",
+    "normalize_series",
+    "PowerSweepRow",
+    "power_sweep",
+]

@@ -1,0 +1,105 @@
+"""Inter-layer ADC reuse study (Fig. 5).
+
+The paper motivates macro sharing with two curves over layer distance:
+
+(a) normalized delay caused by inter-layer ADC reuse — two layers close
+    together in the pipeline overlap their converter-busy windows, so a
+    shared bank penalizes both; the penalty vanishes as distance grows;
+(b) normalized number of reduced ADCs after reuse — merging two banks
+    into one of the larger size removes ``min(bank_j, bank_i)``
+    converters from the chip.
+
+This module measures both on a real allocation: it runs stage 4 with and
+without a single sharing pair at each distance and reports the deltas,
+averaged over all eligible pairs of that distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.component_alloc import allocate_components
+from repro.core.dataflow import make_spec
+from repro.errors import InfeasibleError
+from repro.hardware.params import HardwareParams
+from repro.hardware.power import PowerBudget
+from repro.nn.model import CNNModel
+
+
+@dataclass(frozen=True)
+class AdcReuseSample:
+    """One distance's averaged reuse effects."""
+
+    distance: int
+    delay_penalty: float  # mean shared-pair ADC delay / unshared delay
+    adcs_saved: float  # mean converters removed by merging the pair
+    pairs_measured: int
+
+
+def adc_reuse_study(
+    model: CNNModel,
+    total_power: float,
+    wt_dup: Sequence[int],
+    distances: Sequence[int] = (1, 2, 3, 4, 5, 6),
+    xb_size: int = 128,
+    res_rram: int = 2,
+    res_dac: int = 1,
+    ratio_rram: float = 0.3,
+    params: Optional[HardwareParams] = None,
+    overlap_window: int = 4,
+) -> List[AdcReuseSample]:
+    """Measure Fig. 5's two curves for ``model``.
+
+    Uses a one-macro-per-layer partition so the sharing effect is not
+    confounded by partition differences.
+    """
+    hw = params if params is not None else HardwareParams()
+    budget = PowerBudget.from_constraint(
+        total_power, ratio_rram, xb_size, res_rram, hw
+    )
+    spec = make_spec(
+        model, wt_dup, xb_size=xb_size, res_rram=res_rram,
+        res_dac=res_dac, params=hw,
+    )
+    groups = [[i] for i in range(spec.num_layers)]
+
+    base = allocate_components(
+        spec.geometries, groups, budget, hw, res_dac, model,
+        sharing_pairs=(), overlap_window=overlap_window,
+    )
+
+    samples: List[AdcReuseSample] = []
+    for distance in distances:
+        penalties: List[float] = []
+        saved: List[float] = []
+        for j in range(spec.num_layers - distance):
+            i = j + distance
+            try:
+                shared = allocate_components(
+                    spec.geometries, groups, budget, hw, res_dac, model,
+                    sharing_pairs=[(j, i)],
+                    overlap_window=overlap_window,
+                )
+            except InfeasibleError:
+                continue
+            base_delay = max(
+                base.layers[j].adc_delay, base.layers[i].adc_delay
+            )
+            shared_delay = max(
+                shared.layers[j].adc_delay, shared.layers[i].adc_delay
+            )
+            penalties.append(shared_delay / base_delay)
+            saved.append(
+                min(base.layers[j].adc, base.layers[i].adc)
+            )
+        if penalties:
+            samples.append(
+                AdcReuseSample(
+                    distance=distance,
+                    delay_penalty=sum(penalties) / len(penalties),
+                    adcs_saved=sum(saved) / len(saved),
+                    pairs_measured=len(penalties),
+                )
+            )
+    return samples

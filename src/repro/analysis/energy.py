@@ -1,0 +1,108 @@
+"""Per-layer and per-resource energy attribution.
+
+The evaluator reports chip-level energy per image; deployment questions
+("which layer should I re-architect?") need the breakdown. Energy here
+is power x occupancy: each layer's components draw their share of power
+for the time the pipeline keeps them busy within one image period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.solution import SynthesisSolution
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LayerEnergy:
+    """One layer's energy account for one inference (joules)."""
+
+    layer: int
+    name: str
+    crossbar: float
+    adc: float
+    alu: float
+    memory_and_noc: float
+
+    @property
+    def total(self) -> float:
+        return self.crossbar + self.adc + self.alu + self.memory_and_noc
+
+
+def layer_energy_breakdown(
+    solution: SynthesisSolution,
+) -> List[LayerEnergy]:
+    """Attribute one image's energy to layers and resource classes.
+
+    Crossbar energy = per-crossbar power x MVM busy time; ADC/ALU
+    energy = bank power x conversion/op busy time; the per-macro fixed
+    power (eDRAM, NoC, registers) accrues for the full image period and
+    is attributed to layers by macro ownership (shared macros split
+    evenly).
+    """
+    spec = solution.spec
+    params = spec.params
+    period = solution.evaluation.period
+    if period <= 0:
+        raise ConfigurationError("solution has non-positive period")
+
+    timings = solution.evaluation.layer_timings
+    per_macro_fixed = (
+        params.edram_power + params.noc_power
+        + params.register_power_per_macro
+    )
+
+    # How many layers own each macro (sharing splits the fixed cost).
+    owners_of_macro: Dict[int, int] = {}
+    for group in solution.partition.macro_groups:
+        for mid in group:
+            owners_of_macro[mid] = owners_of_macro.get(mid, 0) + 1
+
+    out: List[LayerEnergy] = []
+    for geo, timing, layer_alloc in zip(
+        spec.geometries, timings, solution.allocation.layers
+    ):
+        xb_power = geo.crossbars * (
+            params.crossbar_power_of(spec.xb_size)
+            + spec.xb_size * (
+                params.dac_power_of(spec.res_dac)
+                + params.sample_hold_power
+            )
+        )
+        crossbar_energy = xb_power * timing.mvm
+        adc_energy = (
+            layer_alloc.adc * params.adc_power_of(
+                layer_alloc.adc_resolution
+            ) * timing.adc
+        )
+        alu_energy = layer_alloc.alu * params.alu_power * timing.alu
+        fixed_energy = sum(
+            per_macro_fixed / owners_of_macro[mid]
+            for mid in solution.partition.macro_groups[geo.index]
+        ) * period
+        out.append(
+            LayerEnergy(
+                layer=geo.index,
+                name=geo.name,
+                crossbar=crossbar_energy,
+                adc=adc_energy,
+                alu=alu_energy,
+                memory_and_noc=fixed_energy,
+            )
+        )
+    return out
+
+
+def dominant_resource(breakdown: List[LayerEnergy]) -> str:
+    """Which resource class dominates total energy (chip-wide)."""
+    if not breakdown:
+        raise ConfigurationError("empty breakdown")
+    totals = {
+        "crossbar": sum(e.crossbar for e in breakdown),
+        "adc": sum(e.adc for e in breakdown),
+        "alu": sum(e.alu for e in breakdown),
+        "memory_and_noc": sum(e.memory_and_noc for e in breakdown),
+    }
+    return max(totals, key=lambda k: totals[k])

@@ -1,0 +1,61 @@
+"""Plain-text table/series formatting for benches and examples.
+
+The paper's artifacts are tables and bar charts; in a terminal-first
+library the equivalent is aligned ASCII tables and normalized series,
+which every bench prints so paper-vs-measured comparisons read at a
+glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def normalize_series(
+    values: Sequence[float], base: float
+) -> List[float]:
+    """Normalize values to ``base`` (the paper normalizes to ISAAC)."""
+    if base == 0:
+        raise ValueError("cannot normalize to zero")
+    return [v / base for v in values]

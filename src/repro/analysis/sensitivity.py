@@ -1,0 +1,111 @@
+"""Technology-sensitivity analysis of synthesized designs.
+
+PIMSYN claims device agnosticism (§VI): the flow only needs device
+parameters, so retargeting is a parameter swap. The interesting
+system-level question is how *sensitive* the synthesis outcome is to
+each parameter — if ADC power halves (a new CMOS node), does the DSE
+pick a different design point, and how much performance is at stake?
+This module sweeps one :class:`HardwareParams` knob at a time and
+re-synthesizes, reporting the chosen configuration and metrics at each
+point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import Pimsyn
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.hardware.params import HardwareParams
+from repro.nn.model import CNNModel
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """One technology point's synthesis outcome."""
+
+    scale: float
+    feasible: bool
+    xb_size: int = 0
+    res_rram: int = 0
+    res_dac: int = 0
+    throughput: float = 0.0
+    tops_per_watt: float = 0.0
+
+
+def _scale_adc_power(params: HardwareParams, scale: float) -> HardwareParams:
+    return dataclasses.replace(
+        params,
+        adc_power={r: p * scale for r, p in params.adc_power.items()},
+    )
+
+
+def _scale_crossbar_latency(
+    params: HardwareParams, scale: float
+) -> HardwareParams:
+    return dataclasses.replace(
+        params, crossbar_latency=params.crossbar_latency * scale
+    )
+
+
+def _scale_noc_bandwidth(
+    params: HardwareParams, scale: float
+) -> HardwareParams:
+    return dataclasses.replace(
+        params, noc_frequency=params.noc_frequency * scale
+    )
+
+
+KNOBS: dict = {
+    "adc_power": _scale_adc_power,
+    "crossbar_latency": _scale_crossbar_latency,
+    "noc_bandwidth": _scale_noc_bandwidth,
+}
+
+
+def sensitivity_sweep(
+    model: CNNModel,
+    total_power: float,
+    knob: str,
+    scales: Sequence[float] = (0.5, 1.0, 2.0),
+    seed: int = 2024,
+    config_factory: Callable[..., SynthesisConfig] = SynthesisConfig.fast,
+) -> List[SensitivityRow]:
+    """Re-synthesize ``model`` with one technology knob scaled.
+
+    ``knob`` is one of :data:`KNOBS`; ``scales`` multiply the baseline
+    Table III value. Returns one row per scale with the design point
+    the DSE selected — shifts in (XbSize, ResRram, ResDAC) across rows
+    are the sensitivity signal.
+    """
+    if knob not in KNOBS:
+        raise ConfigurationError(
+            f"unknown knob {knob!r}; choices: {sorted(KNOBS)}"
+        )
+    transform = KNOBS[knob]
+    rows: List[SensitivityRow] = []
+    for scale in scales:
+        params = transform(HardwareParams(), scale)
+        config = config_factory(
+            total_power=total_power, seed=seed, params=params
+        )
+        try:
+            solution = Pimsyn(model, config).synthesize()
+        except InfeasibleError:
+            rows.append(SensitivityRow(scale=scale, feasible=False))
+            continue
+        rows.append(
+            SensitivityRow(
+                scale=scale,
+                feasible=True,
+                xb_size=solution.xb_size,
+                res_rram=solution.res_rram,
+                res_dac=solution.res_dac,
+                throughput=solution.evaluation.throughput,
+                tops_per_watt=solution.evaluation.tops_per_watt,
+            )
+        )
+    return rows

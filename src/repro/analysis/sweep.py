@@ -1,0 +1,68 @@
+"""Parameter sweeps over the synthesis flow.
+
+The DSE answers "best design at power P"; sweeps answer the system-level
+questions users actually ask — how do throughput and efficiency scale
+with the power constraint, and where does adding power stop helping?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.config import SynthesisConfig
+from repro.core.synthesizer import Pimsyn
+from repro.errors import InfeasibleError
+from repro.nn.model import CNNModel
+
+
+@dataclass(frozen=True)
+class PowerSweepRow:
+    """One power point's synthesis outcome."""
+
+    total_power: float
+    feasible: bool
+    throughput: float = 0.0
+    tops_per_watt: float = 0.0
+    latency: float = 0.0
+    num_macros: int = 0
+
+
+def power_sweep(
+    model: CNNModel,
+    powers: Sequence[float],
+    config: Optional[SynthesisConfig] = None,
+) -> List[PowerSweepRow]:
+    """Synthesize ``model`` at each power constraint.
+
+    Infeasible points are recorded (not skipped) so the sweep exposes
+    the feasibility frontier.
+    """
+    rows: List[PowerSweepRow] = []
+    base = config if config is not None else SynthesisConfig.fast()
+    for power in powers:
+        cfg = SynthesisConfig.fast(
+            total_power=power, seed=base.seed,
+            ratio_rram_choices=base.ratio_rram_choices,
+            res_rram_choices=base.res_rram_choices,
+            xb_size_choices=base.xb_size_choices,
+            res_dac_choices=base.res_dac_choices,
+            num_wtdup_candidates=base.num_wtdup_candidates,
+        )
+        try:
+            solution = Pimsyn(model, cfg).synthesize()
+        except InfeasibleError:
+            rows.append(PowerSweepRow(total_power=power, feasible=False))
+            continue
+        ev = solution.evaluation
+        rows.append(
+            PowerSweepRow(
+                total_power=power,
+                feasible=True,
+                throughput=ev.throughput,
+                tops_per_watt=ev.tops_per_watt,
+                latency=ev.latency,
+                num_macros=solution.partition.num_macros,
+            )
+        )
+    return rows

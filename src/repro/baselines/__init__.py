@@ -1,0 +1,50 @@
+"""Baseline accelerators and heuristics the paper compares against.
+
+Two kinds of reference data live here:
+
+1. **Re-modeled designs** — ISAAC, PipeLayer, PRIME, PUMA and AtomLayer
+   rebuilt from their published architecture parameters and evaluated
+   with *this* package's component library and evaluator, so PIMSYN and
+   the baselines are scored by one consistent model (the comparison's
+   shape is meaningful even though absolute numbers differ from the
+   authors' testbeds). A Gibbon-style surrogate covers Table V.
+2. **Published numbers** — the exact figures the paper reports
+   (Table IV peak TOPS/W, Table V Gibbon rows), kept in
+   :mod:`repro.baselines.specs` so every bench can print
+   paper-vs-measured side by side.
+
+:mod:`repro.baselines.heuristics` holds the WOHO-proportional and
+no-duplication weight-duplication policies of Fig. 7.
+"""
+
+from repro.baselines.common import ManualDesign, build_manual_solution
+from repro.baselines.heuristics import (
+    no_duplication_wtdup,
+    woho_proportional_wtdup,
+)
+from repro.baselines.isaac import isaac_design
+from repro.baselines.pipelayer import pipelayer_design
+from repro.baselines.prime import prime_design
+from repro.baselines.puma import puma_design
+from repro.baselines.atomlayer import atomlayer_design
+from repro.baselines.gibbon import gibbon_design, gibbon_published
+from repro.baselines.specs import (
+    PUBLISHED_PEAK_TOPS_PER_WATT,
+    PUBLISHED_TABLE5,
+)
+
+__all__ = [
+    "ManualDesign",
+    "build_manual_solution",
+    "no_duplication_wtdup",
+    "woho_proportional_wtdup",
+    "isaac_design",
+    "pipelayer_design",
+    "prime_design",
+    "puma_design",
+    "atomlayer_design",
+    "gibbon_design",
+    "gibbon_published",
+    "PUBLISHED_PEAK_TOPS_PER_WATT",
+    "PUBLISHED_TABLE5",
+]

@@ -1,0 +1,30 @@
+"""AtomLayer (Qiao et al., DAC 2018) re-modeled.
+
+AtomLayer computes one layer at a time with "atomic" row-by-row
+processing — a universal accelerator that deliberately avoids the
+inter-layer pipeline and its duplication cost. In our abstraction that
+is: no weight duplication, modest macros, rotating-register data reuse
+adding a per-step overhead on the readout path. Published: 0.68 TOPS/W
+peak (its peak is decent; its *effective* throughput is limited by the
+absent pipeline, which the latency metrics expose).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import ManualDesign
+
+
+def atomlayer_design() -> ManualDesign:
+    """The fixed AtomLayer recipe under this package's abstraction."""
+    return ManualDesign(
+        name="atomlayer",
+        xb_size=128,
+        res_rram=2,
+        res_dac=1,
+        adcs_per_crossbar=0.75,
+        crossbars_per_macro=64,
+        alus_per_macro=16,
+        adc_resolution=8,
+        wtdup_policy="none",  # layer-by-layer, single weight copy
+        step_overhead=1.5,  # row rotation / partial-sum eviction
+    )

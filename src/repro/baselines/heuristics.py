@@ -1,0 +1,90 @@
+"""Weight-duplication heuristics of prior work (Fig. 7's comparands).
+
+- ``woho_proportional_wtdup``: ISAAC/PipeLayer's rule — layer
+  duplication factors proportional to the layer's output size
+  ``WO * HO``, scaled into the crossbar budget (§V-C1: "layers' weight
+  duplication factors are proportional to layers' WOHO").
+- ``no_duplication_wtdup``: the Gibbon/NACIM regime — every layer holds
+  exactly one weight copy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import InfeasibleError
+from repro.hardware.crossbar import crossbar_set_size
+from repro.nn.model import CNNModel
+
+
+def no_duplication_wtdup(model: CNNModel) -> List[int]:
+    """WtDup = 1 everywhere (existing exploration works, §V-C1)."""
+    return [1] * model.num_weighted_layers
+
+
+def woho_proportional_wtdup(
+    model: CNNModel,
+    xb_size: int,
+    res_rram: int,
+    num_crossbars: int,
+) -> List[int]:
+    """WOHO-proportional duplication, scaled to fill the budget.
+
+    ``WtDup_i = max(1, round(k * WO_i * HO_i))`` with the largest ``k``
+    that satisfies Eq. 2's crossbar constraint (found by bisection on
+    the continuous scale, then greedily trimmed to feasibility).
+    """
+    layers = model.weighted_layers
+    set_sizes = [
+        crossbar_set_size(l, xb_size, res_rram, model.weight_precision)
+        for l in layers
+    ]
+    positions = []
+    for layer in layers:
+        assert layer.output_shape is not None
+        _, ho, wo = layer.output_shape
+        positions.append(ho * wo)
+
+    floor_cost = sum(set_sizes)
+    if floor_cost > num_crossbars:
+        raise InfeasibleError(
+            f"{model.name}: WtDup=1 needs {floor_cost} crossbars, "
+            f"budget is {num_crossbars}"
+        )
+
+    def cost(scale: float) -> int:
+        return sum(
+            max(1, min(pos, round(scale * pos))) * size
+            for pos, size in zip(positions, set_sizes)
+        )
+
+    low, high = 0.0, 1.0
+    # Expand high until infeasible (or every layer saturates at WtDup=WOHO).
+    while cost(high) <= num_crossbars and high < 2.0:
+        high *= 2.0
+    for _ in range(60):
+        mid = (low + high) / 2.0
+        if cost(mid) <= num_crossbars:
+            low = mid
+        else:
+            high = mid
+
+    duplication = [
+        max(1, min(pos, round(low * pos)))
+        for pos in positions
+    ]
+    # Numerical guard: trim the largest layers until feasible.
+    while (
+        sum(d * s for d, s in zip(duplication, set_sizes)) > num_crossbars
+    ):
+        index = max(
+            (i for i in range(len(duplication)) if duplication[i] > 1),
+            key=lambda i: duplication[i] * set_sizes[i],
+            default=None,
+        )
+        if index is None:
+            raise InfeasibleError(
+                "cannot trim WOHO-proportional duplication to budget"
+            )
+        duplication[index] -= 1
+    return duplication

@@ -1,0 +1,29 @@
+"""ISAAC (Shafiee et al., ISCA 2016) re-modeled.
+
+Published organization: 128x128 crossbars of 2-bit cells, 1-bit DACs,
+one 8-bit 1.2 GS/s ADC per crossbar, IMAs of 8 crossbars, 12 IMAs per
+tile (our macro = one tile, 96 crossbars), shift-and-add/pooling units
+per IMA, eDRAM tile buffer, and WOHO-proportional weight duplication
+(§V-C1 attributes that heuristic to ISAAC/PipeLayer). ISAAC dedicates a
+large share of power to peripherals — the paper quotes >80% — which the
+fixed one-ADC-per-crossbar rule reproduces naturally.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import ManualDesign
+
+
+def isaac_design() -> ManualDesign:
+    """The fixed ISAAC recipe under this package's abstraction."""
+    return ManualDesign(
+        name="isaac",
+        xb_size=128,
+        res_rram=2,
+        res_dac=1,
+        adcs_per_crossbar=1.0,
+        crossbars_per_macro=96,  # 12 IMAs x 8 crossbars
+        alus_per_macro=24,  # 2 S+A/pool units per IMA
+        adc_resolution=8,  # ISAAC's fixed 8-bit SAR ADC
+        wtdup_policy="woho",
+    )

@@ -1,0 +1,29 @@
+"""NACIM (Jiang et al., IEEE TC) surrogate.
+
+Table I's second comparison row: NACIM co-explores device, circuit and
+architecture — it *does* explore ``MacAlloc`` (unlike Gibbon) but, like
+all prior exploration works, has no weight duplication and no
+power-distribution variables (``RatioRram``/``CompAlloc`` are "manually
+determined", §III). The surrogate therefore keeps Gibbon's
+no-duplication policy but uses finer macros (its architecture search
+granularity) and a mid-grid device point.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import ManualDesign
+
+
+def nacim_design() -> ManualDesign:
+    """A NACIM-style fixed design under this package's abstraction."""
+    return ManualDesign(
+        name="nacim",
+        xb_size=256,
+        res_rram=2,
+        res_dac=2,
+        adcs_per_crossbar=0.75,
+        crossbars_per_macro=8,  # fine-grained explored tiles
+        alus_per_macro=4,
+        adc_resolution=None,
+        wtdup_policy="none",
+    )

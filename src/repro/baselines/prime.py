@@ -1,0 +1,29 @@
+"""PRIME (Chi et al., ISCA 2016) re-modeled.
+
+PRIME embeds computation in ReRAM main memory: 256x256 arrays of 4-bit
+cells driven with multi-bit (modeled 4-bit) input voltages, reusing the
+memory sense amplifiers as converters. The aggressive analog precision
+forces maximum-resolution readout, and the memory-first organization
+means coarse macros, thin ALU support and no duplication tuning beyond
+the basic proportional rule. The paper reports 0.5 TOPS/W (projected to
+16-bit; PRIME itself is 8-bit).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import ManualDesign
+
+
+def prime_design() -> ManualDesign:
+    """The fixed PRIME recipe under this package's abstraction."""
+    return ManualDesign(
+        name="prime",
+        xb_size=256,
+        res_rram=4,
+        res_dac=4,
+        adcs_per_crossbar=0.5,  # sense-amp sharing across mats
+        crossbars_per_macro=64,  # one memory bank
+        alus_per_macro=8,
+        adc_resolution=None,  # lossless minimum (clamps to 14-bit)
+        wtdup_policy="woho",
+    )

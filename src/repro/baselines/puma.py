@@ -1,0 +1,28 @@
+"""PUMA (Ankit et al., ASPLOS 2019) re-modeled.
+
+PUMA is a programmable ISA-driven architecture: ISAAC-like analog tiles
+(128x128, 2-bit cells, 1-bit input streaming) but with output-register
+scheduling that lets one ADC serve two crossbars, smaller cores (8
+crossbars per core) and wider vector-function units. The better ADC
+amortization is why its published peak efficiency (0.84 TOPS/W) tops
+ISAAC's 0.63.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import ManualDesign
+
+
+def puma_design() -> ManualDesign:
+    """The fixed PUMA recipe under this package's abstraction."""
+    return ManualDesign(
+        name="puma",
+        xb_size=128,
+        res_rram=2,
+        res_dac=1,
+        adcs_per_crossbar=0.5,  # ADC shared by two MVM units
+        crossbars_per_macro=64,  # one PUMA core cluster
+        alus_per_macro=32,  # wide VFU
+        adc_resolution=8,
+        wtdup_policy="woho",
+    )

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The paper pitches PIMSYN as "one-click transformation from CNN
+applications to PIM architectures"; the CLI is that click:
+
+- ``python -m repro models`` — list the built-in model zoo;
+- ``python -m repro synthesize --model vgg16 --power 200`` — run the
+  DSE and print/save the solution;
+- ``python -m repro peak`` — the Table IV peak-efficiency comparison;
+- ``python -m repro sweep --model alexnet_cifar --powers 2 4 8`` —
+  power-constraint sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.design_space import DesignSpace
+from repro.errors import PimsynError
+from repro.hardware.params import HardwareParams
+from repro.nn import zoo
+from repro.nn.onnx_io import load_model
+
+
+def _load(args) -> object:
+    """Resolve the model from --model (zoo) or --json (file)."""
+    if getattr(args, "json", None):
+        return load_model(args.json)
+    return zoo.by_name(args.model)
+
+
+def _config(args, power: float) -> SynthesisConfig:
+    if getattr(args, "full", False):
+        return SynthesisConfig(total_power=power, seed=args.seed)
+    return SynthesisConfig.fast(total_power=power, seed=args.seed)
+
+
+def cmd_models(_args) -> int:
+    rows = []
+    from repro.nn.workload import model_macs, model_weight_count
+
+    for name in zoo.available_models():
+        model = zoo.by_name(name)
+        rows.append((
+            name, str(model.input_shape), model.num_weighted_layers,
+            f"{model_macs(model) / 1e9:.3f}",
+            f"{model_weight_count(model) / 1e6:.2f}",
+        ))
+    print(format_table(
+        ["model", "input", "weighted layers", "GMACs", "Mweights"],
+        rows, title="built-in model zoo",
+    ))
+    return 0
+
+
+def cmd_synthesize(args) -> int:
+    model = _load(args)
+    if args.power is not None:
+        power = args.power
+    else:
+        probe = SynthesisConfig.fast()
+        power = DesignSpace(model, probe).minimum_feasible_power(
+            margin=args.margin
+        )
+        print(f"no --power given; using feasibility floor x "
+              f"{args.margin} = {power:.1f} W")
+    config = _config(args, power)
+    progress = print if args.verbose else None
+    solution = Pimsyn(model, config, progress=progress).synthesize()
+    print(solution.summary())
+    if args.chip:
+        print()
+        print(solution.build_accelerator().summary())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(solution.to_json())
+        print(f"\nsolution written to {args.out}")
+    if args.schedule:
+        from repro.sim import SimulationEngine
+        from repro.sim.schedule import export_schedule
+
+        engine = SimulationEngine(
+            spec=solution.spec, allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+        )
+        trace = engine.run(solution.build_dag())
+        schedule = export_schedule(
+            trace, solution.partition.macro_groups
+        )
+        with open(args.schedule, "w", encoding="utf-8") as handle:
+            handle.write(schedule.to_json())
+        print(f"dataflow schedule written to {args.schedule} "
+              f"({schedule.total_steps} control steps)")
+    return 0
+
+
+def cmd_peak(_args) -> int:
+    from repro.baselines import (
+        atomlayer_design,
+        isaac_design,
+        pipelayer_design,
+        prime_design,
+        puma_design,
+    )
+    from repro.baselines.specs import PUBLISHED_PEAK_TOPS_PER_WATT
+    from repro.hardware.peak import best_matched_peak
+
+    params = HardwareParams()
+    best = best_matched_peak(params)
+    rows = [(
+        "pimsyn", round(best.tops_per_watt, 3),
+        PUBLISHED_PEAK_TOPS_PER_WATT["pimsyn"],
+        f"xb={best.xb_size} rram={best.res_rram} dac={best.res_dac}",
+    )]
+    for fn in (pipelayer_design, isaac_design, prime_design,
+               puma_design, atomlayer_design):
+        design = fn()
+        point = design.peak_point(params)
+        rows.append((
+            design.name, round(point.tops_per_watt, 3),
+            PUBLISHED_PEAK_TOPS_PER_WATT[design.name],
+            f"xb={design.xb_size} rram={design.res_rram} "
+            f"dac={design.res_dac}",
+        ))
+    print(format_table(
+        ["design", "measured TOPS/W", "paper TOPS/W", "config"], rows,
+        title="peak power efficiency (Table IV)",
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis import power_sweep
+
+    model = _load(args)
+    config = SynthesisConfig.fast(seed=args.seed)
+    rows = power_sweep(model, args.powers, config=config)
+    table = [
+        (
+            f"{r.total_power:.2f}",
+            "yes" if r.feasible else "no",
+            round(r.throughput, 1) if r.feasible else "-",
+            round(r.tops_per_watt, 4) if r.feasible else "-",
+            r.num_macros if r.feasible else "-",
+        )
+        for r in rows
+    ]
+    print(format_table(
+        ["power (W)", "feasible", "img/s", "TOPS/W", "macros"],
+        table, title=f"power sweep - {model.name}",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PIMSYN: synthesize PIM CNN accelerators",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the built-in model zoo")
+    sub.add_parser("peak", help="Table IV peak-efficiency comparison")
+
+    synth = sub.add_parser("synthesize", help="run the synthesis DSE")
+    group = synth.add_mutually_exclusive_group(required=True)
+    group.add_argument("--model", help="zoo model name")
+    group.add_argument("--json", help="path to a model JSON document")
+    synth.add_argument("--power", type=float, default=None,
+                       help="total power constraint in watts")
+    synth.add_argument("--margin", type=float, default=2.0,
+                       help="feasibility-floor multiplier when --power "
+                            "is omitted")
+    synth.add_argument("--full", action="store_true",
+                       help="use the paper's full Table I grid "
+                            "(slow; default is the fast preset)")
+    synth.add_argument("--seed", type=int, default=2024)
+    synth.add_argument("--out", help="write the solution JSON here")
+    synth.add_argument("--schedule",
+                       help="write the per-macro dataflow schedule "
+                            "JSON here")
+    synth.add_argument("--chip", action="store_true",
+                       help="print the per-macro hardware inventory")
+    synth.add_argument("--verbose", action="store_true")
+
+    sweep = sub.add_parser("sweep", help="power-constraint sweep")
+    group = sweep.add_mutually_exclusive_group(required=True)
+    group.add_argument("--model", help="zoo model name")
+    group.add_argument("--json", help="path to a model JSON document")
+    sweep.add_argument("--powers", type=float, nargs="+", required=True)
+    sweep.add_argument("--seed", type=int, default=2024)
+    return parser
+
+
+_COMMANDS = {
+    "models": cmd_models,
+    "synthesize": cmd_synthesize,
+    "peak": cmd_peak,
+    "sweep": cmd_sweep,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except PimsynError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

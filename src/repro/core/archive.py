@@ -1,0 +1,118 @@
+"""DSE archive and Pareto-front analysis.
+
+Alg. 1 keeps only the best design, but the evaluations it pays for
+contain more information: the throughput/power/area trade-off surface.
+:class:`DesignArchive` plugs into :class:`repro.core.synthesizer.Pimsyn`
+as a recording hook, and :func:`pareto_front` extracts the
+non-dominated designs — the view an architect wants when the power
+constraint is negotiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One evaluated design's scalar coordinates."""
+
+    ratio_rram: float
+    res_rram: int
+    xb_size: int
+    res_dac: int
+    wt_dup: Tuple[int, ...]
+    throughput: float
+    power: float
+    tops_per_watt: float
+    latency: float
+    num_macros: int
+
+
+@dataclass
+class DesignArchive:
+    """Bounded record of evaluated designs (best-first retention)."""
+
+    capacity: int = 256
+    entries: List[ArchiveEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError("archive capacity must be >= 1")
+
+    def record(self, entry: ArchiveEntry) -> None:
+        """Insert an entry; trims to capacity by throughput."""
+        self.entries.append(entry)
+        if len(self.entries) > 2 * self.capacity:
+            self.entries.sort(key=lambda e: -e.throughput)
+            del self.entries[self.capacity:]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def best(self) -> ArchiveEntry:
+        if not self.entries:
+            raise ConfigurationError("archive is empty")
+        return max(self.entries, key=lambda e: e.throughput)
+
+    def finalize(self) -> List[ArchiveEntry]:
+        """Trim to capacity and return entries, best-first."""
+        self.entries.sort(key=lambda e: -e.throughput)
+        del self.entries[self.capacity:]
+        return list(self.entries)
+
+
+def dominates(
+    a: Sequence[float], b: Sequence[float]
+) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b``.
+
+    All objectives are maximized; flip signs for minimized metrics
+    before calling.
+    """
+    if len(a) != len(b):
+        raise ConfigurationError("objective vectors differ in length")
+    return all(x >= y for x, y in zip(a, b)) and any(
+        x > y for x, y in zip(a, b)
+    )
+
+
+def pareto_front(
+    entries: Sequence[ArchiveEntry],
+    objectives: Tuple[Callable[[ArchiveEntry], float], ...] = (
+        lambda e: e.throughput,
+        lambda e: -e.power,
+    ),
+) -> List[ArchiveEntry]:
+    """Non-dominated subset under the given (maximized) objectives.
+
+    Default objectives: maximize throughput, minimize power — the
+    trade-off Eq. 2/Eq. 5 couple through the constraint.
+    """
+    if not entries:
+        return []
+    vectors = [tuple(obj(e) for obj in objectives) for e in entries]
+    front: List[ArchiveEntry] = []
+    for index, entry in enumerate(entries):
+        if any(
+            dominates(vectors[other], vectors[index])
+            for other in range(len(entries))
+            if other != index
+        ):
+            continue
+        front.append(entry)
+    # Deduplicate identical objective points, keep deterministic order.
+    seen = set()
+    unique = []
+    for entry, vector in zip(front, (
+        tuple(obj(e) for obj in objectives) for e in front
+    )):
+        if vector in seen:
+            continue
+        seen.add(vector)
+        unique.append(entry)
+    unique.sort(key=lambda e: -e.throughput)
+    return unique

@@ -1,0 +1,123 @@
+"""Synthesis configuration: user inputs plus DSE effort knobs.
+
+The paper's user inputs are the CNN model, a total power constraint and
+the hardware setup parameters (§III). Everything else here controls how
+much of Table I's space Alg. 1 walks — the full grid reproduces the
+paper's four-hour synthesis; the ``fast()`` preset keeps unit tests and
+benches snappy while exercising every stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.params import (
+    HardwareParams,
+    RESDAC_CHOICES,
+    RESRRAM_CHOICES,
+    XBSIZE_CHOICES,
+)
+
+
+@dataclass
+class SynthesisConfig:
+    """All knobs of one PIMSYN run.
+
+    Parameters
+    ----------
+    total_power:
+        The user's power constraint in watts (§III input).
+    ratio_rram_choices / res_rram_choices / xb_size_choices /
+    res_dac_choices:
+        The Table I grids Alg. 1 traverses (lines 3-5, 8).
+    num_wtdup_candidates:
+        Stage 1 keeps this many SA-filtered WtDup candidates (paper: 30).
+    sa_* :
+        Annealing schedule of the stage-1 filter.
+    sa_alpha:
+        Eq. 4's empirical ``alpha`` balancing workload vs access-volume
+        spread.
+    ea_* :
+        Alg. 2 population knobs.
+    specialized_macros:
+        Per-layer macro customization (§V-C2). ``False`` forces identical
+        macros chip-wide.
+    enable_macro_sharing:
+        Inter-layer macro/ADC reuse (§IV-C1 rule b, §V-C3).
+    seed:
+        Master seed for all stochastic stages.
+    """
+
+    total_power: float = 50.0
+    params: HardwareParams = field(default_factory=HardwareParams)
+
+    ratio_rram_choices: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4)
+    res_rram_choices: Tuple[int, ...] = RESRRAM_CHOICES
+    xb_size_choices: Tuple[int, ...] = XBSIZE_CHOICES
+    res_dac_choices: Tuple[int, ...] = RESDAC_CHOICES
+
+    num_wtdup_candidates: int = 30
+    sa_initial_temperature: float = 1.0
+    sa_min_temperature: float = 1e-2
+    sa_cooling_rate: float = 0.9
+    sa_steps_per_temp: int = 40
+    sa_alpha: float = 0.5
+
+    ea_population_size: int = 16
+    ea_offspring_per_gen: int = 16
+    ea_max_generations: int = 12
+    ea_patience: int = 5
+
+    specialized_macros: bool = True
+    enable_macro_sharing: bool = True
+    max_blocks_per_layer: int = 8
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.total_power <= 0:
+            raise ConfigurationError("total_power must be positive")
+        for ratio in self.ratio_rram_choices:
+            if not 0.0 < ratio < 1.0:
+                raise ConfigurationError(
+                    f"RatioRram {ratio} outside (0, 1)"
+                )
+        for name, choices in (
+            ("res_rram_choices", self.res_rram_choices),
+            ("xb_size_choices", self.xb_size_choices),
+            ("res_dac_choices", self.res_dac_choices),
+        ):
+            if not choices:
+                raise ConfigurationError(f"{name} must be non-empty")
+            if any(c <= 0 for c in choices):
+                raise ConfigurationError(f"{name} entries must be positive")
+        if self.num_wtdup_candidates < 1:
+            raise ConfigurationError("need at least one WtDup candidate")
+
+    @classmethod
+    def fast(cls, total_power: float = 50.0, seed: int = 2024,
+             **overrides) -> "SynthesisConfig":
+        """A reduced-effort preset that still walks every stage.
+
+        One outer grid point per variable except the two that matter most
+        (XbSize and ResDAC keep two values), small SA/EA budgets, and 6
+        WtDup candidates. Used by tests and the quicker benches.
+        """
+        defaults = dict(
+            total_power=total_power,
+            ratio_rram_choices=(0.3,),
+            res_rram_choices=(2,),
+            xb_size_choices=(128, 256),
+            res_dac_choices=(1, 2),
+            num_wtdup_candidates=6,
+            sa_steps_per_temp=15,
+            sa_cooling_rate=0.8,
+            ea_population_size=8,
+            ea_offspring_per_gen=8,
+            ea_max_generations=6,
+            ea_patience=3,
+            seed=seed,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)

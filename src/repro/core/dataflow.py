@@ -1,0 +1,52 @@
+"""Stage 2 — dataflow compilation driver (§IV-B).
+
+A thin façade over :mod:`repro.ir.builder`: given the model, the stage-1
+weight-duplication strategy and the loop variables, produce the
+:class:`DataflowSpec` (geometries + windowing) and, when requested, the
+full IR-based DAG. The spec alone is enough for the analytical evaluator;
+the DAG feeds the behavior-level simulator and the DAG-based experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.params import HardwareParams
+from repro.ir.builder import DataflowBuilder, DataflowSpec
+from repro.ir.dag import IRDag
+from repro.nn.model import CNNModel
+
+
+def make_spec(
+    model: CNNModel,
+    wt_dup: Sequence[int],
+    xb_size: int,
+    res_rram: int,
+    res_dac: int,
+    params: Optional[HardwareParams] = None,
+    max_blocks_per_layer: int = 8,
+) -> DataflowSpec:
+    """Construct the stage-2 spec (validates WtDup against the model)."""
+    return DataflowSpec(
+        model=model,
+        wt_dup=list(wt_dup),
+        xb_size=xb_size,
+        res_rram=res_rram,
+        res_dac=res_dac,
+        params=params if params is not None else HardwareParams(),
+        max_blocks_per_layer=max_blocks_per_layer,
+    )
+
+
+def compile_dataflow(
+    spec: DataflowSpec,
+    macro_alloc: Optional[Dict[int, List[int]]] = None,
+) -> IRDag:
+    """Compile the IR-based DAG for a spec (Alg. 1 line 9).
+
+    Without ``macro_alloc`` the DAG holds computation and intra-macro
+    IRs; with it, the stage-3 communication IRs (``merge``/``transfer``)
+    are supplemented (§IV-C: "this stage further supplements
+    communication-related IRs to the dataflow DAG").
+    """
+    return DataflowBuilder(spec).build(macro_alloc=macro_alloc)

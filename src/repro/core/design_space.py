@@ -1,0 +1,189 @@
+"""The Table I design space: variables, iteration, and scale estimation.
+
+Alg. 1's outer loops traverse the *PIM-related* variables (``RatioRram``,
+``ResRram``, ``XbSize``); for each point, Eq. 3 fixes the crossbar budget
+and the inner stages explore ``WtDup`` (SA filter), ``ResDAC`` (loop) and
+``MacAlloc``/``CompAlloc`` (EA + closed form). :class:`DesignSpace`
+produces the outer-point stream and estimates the full space's size —
+"the scale of our defined design space can reach up to 1e27 for VGG13"
+(§III), which the E8 bench reproduces.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.core.config import SynthesisConfig
+from repro.errors import InfeasibleError
+from repro.hardware.crossbar import crossbar_set_size
+from repro.hardware.power import crossbar_budget
+from repro.nn.model import CNNModel
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One outer-loop point of Alg. 1 (lines 3-5) plus its Eq. 3 budget."""
+
+    ratio_rram: float
+    res_rram: int
+    xb_size: int
+    num_crossbars: int
+
+    def describe(self) -> str:
+        return (
+            f"RatioRram={self.ratio_rram} ResRram={self.res_rram} "
+            f"XbSize={self.xb_size} #crossbar={self.num_crossbars}"
+        )
+
+
+class DesignSpace:
+    """Enumerates feasible outer design points for a model + config."""
+
+    def __init__(self, model: CNNModel, config: SynthesisConfig) -> None:
+        self.model = model
+        self.config = config
+
+    def outer_points(self) -> Iterator[DesignPoint]:
+        """Yield Alg. 1 lines 3-5 grid points that can hold the model.
+
+        A point is infeasible when the Eq. 3 crossbar budget cannot store
+        even one copy of every layer's weights; such points are skipped
+        (they would make Eq. 2 unsatisfiable).
+        """
+        config = self.config
+        for ratio in config.ratio_rram_choices:
+            for res_rram in config.res_rram_choices:
+                for xb_size in config.xb_size_choices:
+                    try:
+                        budget = crossbar_budget(
+                            config.total_power, ratio, xb_size, res_rram,
+                            config.params,
+                        )
+                    except InfeasibleError:
+                        continue
+                    minimum = self.min_crossbars(xb_size, res_rram)
+                    if budget < minimum:
+                        continue
+                    yield DesignPoint(
+                        ratio_rram=ratio,
+                        res_rram=res_rram,
+                        xb_size=xb_size,
+                        num_crossbars=budget,
+                    )
+
+    def min_crossbars(self, xb_size: int, res_rram: int) -> int:
+        """Crossbars needed at WtDup = 1 for every layer (Eq. 2 floor)."""
+        return sum(
+            crossbar_set_size(
+                layer, xb_size, res_rram, self.model.weight_precision
+            )
+            for layer in self.model.weighted_layers
+        )
+
+    # ------------------------------------------------------------------
+    # Scale estimation (E8)
+    # ------------------------------------------------------------------
+    def wtdup_space_log10(self, point: DesignPoint) -> float:
+        """log10 of the number of feasible WtDup vectors at ``point``.
+
+        The count of positive-integer solutions of
+        ``sum_i WtDup_i * set_i <= N`` equals the number of lattice
+        points under a simplex; its volume approximation is
+        ``N^L / (L! * prod_i set_i)``, accurate for N >> sum(set_i).
+        """
+        sets = [
+            crossbar_set_size(
+                layer, point.xb_size, point.res_rram,
+                self.model.weight_precision,
+            )
+            for layer in self.model.weighted_layers
+        ]
+        n_layers = len(sets)
+        n_crossbars = point.num_crossbars
+        log10 = (
+            n_layers * math.log10(n_crossbars)
+            - math.log10(math.factorial(n_layers))
+            - sum(math.log10(s) for s in sets)
+        )
+        return max(0.0, log10)
+
+    def macalloc_space_log10(self, point: DesignPoint) -> float:
+        """log10 of macro-partitioning choices (rule-c bound + sharing).
+
+        Each layer independently picks 1..cap_i macros and optionally a
+        sharing partner among earlier layers: ``prod_i cap_i * (i + 1)``.
+        (An upper bound; the pairing constraint trims it slightly.)
+        """
+        log10 = 0.0
+        for index, layer in enumerate(self.model.weighted_layers):
+            rows = layer.weight_rows  # type: ignore[attr-defined]
+            cap = max(1, math.ceil(rows / point.xb_size))
+            log10 += math.log10(cap * (index + 1))
+        return log10
+
+    def total_scale_log10(self) -> float:
+        """log10 of the full Table I space for this model + config.
+
+        Sums the WtDup x MacAlloc x ResDAC cardinality over all outer
+        points. For VGG13 with the paper's full grid this lands around
+        1e27 (checked by the E8 bench).
+        """
+        total = 0.0
+        for point in self.outer_points():
+            log10 = (
+                self.wtdup_space_log10(point)
+                + self.macalloc_space_log10(point)
+                + math.log10(len(self.config.res_dac_choices))
+            )
+            total += 10 ** min(log10, 300.0)
+        return math.log10(total) if total > 0 else 0.0
+
+    def feasible_points(self) -> List[DesignPoint]:
+        """Materialized list of :meth:`outer_points` (for reports)."""
+        return list(self.outer_points())
+
+    def minimum_feasible_power(self, margin: float = 1.0) -> float:
+        """Smallest total power at which some outer point can hold the model.
+
+        Two floors apply at every (RatioRram, ResRram, XbSize) choice:
+        the ReRAM side must afford one weight copy of every layer
+        (Eq. 3 vs the WtDup=1 crossbar count), and the peripheral side
+        must cover the structural overhead (per-macro eDRAM/NoC/registers
+        at one macro per layer, per-crossbar DACs and sample-holds) with
+        headroom for at least token ADC/ALU banks. ``margin`` scales the
+        result — synthesis wants headroom to actually duplicate weights,
+        so experiments typically pass 1.5-3.
+        """
+        params = self.config.params
+        n_layers = self.model.num_weighted_layers
+        best = math.inf
+        for ratio in self.config.ratio_rram_choices:
+            for res_rram in self.config.res_rram_choices:
+                for xb_size in self.config.xb_size_choices:
+                    min_xb = self.min_crossbars(xb_size, res_rram)
+                    storage_floor = (
+                        min_xb * params.crossbar_power_of(xb_size) / ratio
+                    )
+                    per_macro = (
+                        params.edram_power + params.noc_power
+                        + params.register_power_per_macro
+                    )
+                    res_dac = min(self.config.res_dac_choices)
+                    per_crossbar = xb_size * (
+                        params.dac_power_of(res_dac)
+                        + params.sample_hold_power
+                    )
+                    fixed = (
+                        n_layers * per_macro + min_xb * per_crossbar
+                    )
+                    # Leave at least 20% of the peripheral share for
+                    # ADC/ALU banks, or allocation degenerates.
+                    overhead_floor = fixed / (0.8 * (1.0 - ratio))
+                    best = min(best, max(storage_floor, overhead_floor))
+        if not math.isfinite(best):
+            raise InfeasibleError(
+                f"{self.model.name}: no grid choice can hold the model"
+            )
+        return best * margin

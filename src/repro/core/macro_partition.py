@@ -1,0 +1,270 @@
+"""Stage 3 — EA-based macro partitioning (§IV-C, Alg. 2).
+
+A gene encodes ``MacAlloc`` exactly as the paper does: an integer vector
+with ``MacAlloc_i = owner * 1000 + #macros_i`` where ``owner == i`` for a
+layer owning its macro group, or ``owner == j < i`` when layer ``i``
+shares layer ``j``'s macros (rule b). The partition rules (§IV-C1):
+
+a) a layer occupies one or more macros;
+b) two layers may share the same macro set (pairs only, smaller index
+   owns the set);
+c) layer ``i`` splits across at most ``WtDup_i * ceil(WK^2*CI/XbSize)``
+   macros, and every macro holds at least one crossbar.
+
+Two mutation operators drive the search — ``mutate_num`` perturbs a
+group's macro count, ``mutate_share`` toggles pair sharing — and fitness
+is the full downstream evaluation (components allocation + analytical
+model), mirroring Fig. 3's EA loop through the components-allocation
+stage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.component_alloc import (
+    ComponentAllocation,
+    allocate_components,
+)
+from repro.core.config import SynthesisConfig
+from repro.core.evaluator import EvaluationResult, PerformanceEvaluator
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.hardware.power import PowerBudget
+from repro.ir.builder import DataflowSpec
+from repro.optim.evolution import EvolutionEngine
+
+Gene = Tuple[int, ...]
+
+_ENCODING_BASE = 1000
+
+
+def encode_gene(owners: Sequence[int], macro_counts: Sequence[int]) -> Gene:
+    """Pack (owner, #macros) pairs into the paper's integer encoding."""
+    if len(owners) != len(macro_counts):
+        raise ConfigurationError("owners and macro_counts length mismatch")
+    gene = []
+    for index, (owner, count) in enumerate(zip(owners, macro_counts)):
+        if owner > index:
+            raise ConfigurationError(
+                f"layer {index}: owner {owner} must be <= layer index"
+            )
+        if count < 1 or count >= _ENCODING_BASE:
+            raise ConfigurationError(
+                f"layer {index}: #macros {count} outside [1, "
+                f"{_ENCODING_BASE})"
+            )
+        gene.append(owner * _ENCODING_BASE + count)
+    return tuple(gene)
+
+
+def decode_gene(gene: Gene) -> Tuple[List[int], List[int]]:
+    """Unpack a gene into (owners, macro_counts)."""
+    owners, counts = [], []
+    for index, value in enumerate(gene):
+        owner, count = divmod(value, _ENCODING_BASE)
+        if count < 1:
+            raise ConfigurationError(
+                f"layer {index}: decoded #macros {count} < 1"
+            )
+        if owner > index:
+            raise ConfigurationError(
+                f"layer {index}: decoded owner {owner} > index"
+            )
+        owners.append(owner)
+        counts.append(count)
+    return owners, counts
+
+
+@dataclass(frozen=True)
+class MacroPartition:
+    """A decoded, materialized macro partition."""
+
+    gene: Gene
+    macro_groups: Tuple[Tuple[int, ...], ...]  # macro ids per layer
+    sharing_pairs: Tuple[Tuple[int, int], ...]  # (owner j, sharer i)
+    num_macros: int
+
+    @classmethod
+    def from_gene(cls, gene: Gene) -> "MacroPartition":
+        """Assign concrete macro ids: owner groups in layer order."""
+        owners, counts = decode_gene(gene)
+        group_of_owner: Dict[int, Tuple[int, ...]] = {}
+        next_id = 0
+        for index, owner in enumerate(owners):
+            if owner == index:
+                size = counts[index]
+                group_of_owner[index] = tuple(
+                    range(next_id, next_id + size)
+                )
+                next_id += size
+        groups: List[Tuple[int, ...]] = []
+        pairs: List[Tuple[int, int]] = []
+        for index, owner in enumerate(owners):
+            if owner == index:
+                groups.append(group_of_owner[index])
+            else:
+                if owner not in group_of_owner:
+                    raise ConfigurationError(
+                        f"layer {index} shares with {owner}, which is not "
+                        "an owner"
+                    )
+                groups.append(group_of_owner[owner])
+                pairs.append((owner, index))
+        return cls(
+            gene=gene,
+            macro_groups=tuple(groups),
+            sharing_pairs=tuple(pairs),
+            num_macros=next_id,
+        )
+
+
+class MacroPartitionExplorer:
+    """Alg. 2: evolve MacAlloc, scoring through stage 4 + the evaluator."""
+
+    def __init__(
+        self,
+        spec: DataflowSpec,
+        budget: PowerBudget,
+        res_dac: int,
+        config: SynthesisConfig,
+        rng: random.Random,
+    ) -> None:
+        self.spec = spec
+        self.budget = budget
+        self.res_dac = res_dac
+        self.config = config
+        self.rng = rng
+        self.evaluator = PerformanceEvaluator(spec, budget)
+        # Rule c caps: WtDup * row-tile count, and >= 1 crossbar per macro.
+        self.caps: List[int] = []
+        for geo in spec.geometries:
+            cap = min(geo.wt_dup * geo.row_tiles, geo.crossbars)
+            self.caps.append(max(1, min(cap, _ENCODING_BASE - 1)))
+
+    # ------------------------------------------------------------------
+    # Evaluation plumbing
+    # ------------------------------------------------------------------
+    def score(
+        self, gene: Gene
+    ) -> Tuple[float, Optional[ComponentAllocation],
+               Optional[EvaluationResult]]:
+        """Fitness of a gene; infeasible genes score zero."""
+        partition = MacroPartition.from_gene(gene)
+        pairs = (
+            partition.sharing_pairs
+            if self.config.enable_macro_sharing else ()
+        )
+        try:
+            allocation = allocate_components(
+                self.spec.geometries,
+                partition.macro_groups,
+                self.budget,
+                self.spec.params,
+                self.res_dac,
+                self.spec.model,
+                sharing_pairs=pairs,
+                identical_macros=not self.config.specialized_macros,
+            )
+        except InfeasibleError:
+            return 0.0, None, None
+        result = self.evaluator.evaluate(
+            partition.macro_groups, allocation
+        )
+        return result.fitness, allocation, result
+
+    # ------------------------------------------------------------------
+    # Population initialization
+    # ------------------------------------------------------------------
+    def initial_population(self, size: int) -> List[Gene]:
+        """Seed genes: one-macro-per-layer, cap-sized, and random mixes."""
+        n_layers = self.spec.num_layers
+        population: List[Gene] = [
+            encode_gene(range(n_layers), [1] * n_layers)
+        ]
+        population.append(
+            encode_gene(range(n_layers), list(self.caps))
+        )
+        while len(population) < size:
+            counts = [
+                self.rng.randint(1, self.caps[i]) for i in range(n_layers)
+            ]
+            population.append(encode_gene(range(n_layers), counts))
+        return population
+
+    # ------------------------------------------------------------------
+    # Alg. 2's mutation operators
+    # ------------------------------------------------------------------
+    def mutate_num(self, gene: Gene, rng: random.Random) -> Gene:
+        """Perturb the #macros of one randomly chosen macro group."""
+        owners, counts = decode_gene(gene)
+        index = rng.randrange(len(gene))
+        target = owners[index]  # operate on the group owner
+        cap = self.caps[target]
+        if cap == 1:
+            return gene
+        delta = rng.choice((-2, -1, 1, 2))
+        counts[target] = max(1, min(cap, counts[target] + delta))
+        return encode_gene(owners, counts)
+
+    def mutate_share(self, gene: Gene, rng: random.Random) -> Gene:
+        """Toggle pair-sharing status of one randomly chosen layer."""
+        if not self.config.enable_macro_sharing:
+            return gene
+        owners, counts = decode_gene(gene)
+        n_layers = len(owners)
+        index = rng.randrange(n_layers)
+
+        if owners[index] != index:
+            # Currently sharing: dissolve the pair.
+            owners[index] = index
+            return encode_gene(owners, counts)
+
+        # Currently an owner: try to share with an earlier eligible owner.
+        shared_owners = {o for i, o in enumerate(owners) if o != i}
+        if index in shared_owners:
+            return gene  # someone shares with us already (pairs only)
+        candidates = [
+            j for j in range(index)
+            if owners[j] == j and j not in shared_owners
+        ]
+        if not candidates:
+            return gene
+        partner = rng.choice(candidates)
+        owners[index] = partner
+        return encode_gene(owners, counts)
+
+    # ------------------------------------------------------------------
+    # Entry point (Alg. 1 line 10)
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+    ) -> Tuple[MacroPartition, ComponentAllocation, EvaluationResult]:
+        """Run the EA; return the best feasible partition found.
+
+        Raises :class:`InfeasibleError` if no gene in the search was
+        feasible (e.g. the fixed overhead of even one macro per layer
+        exceeds the peripheral budget).
+        """
+        engine: EvolutionEngine[Gene] = EvolutionEngine(
+            fitness=lambda gene: self.score(gene)[0],
+            mutations=[self.mutate_num, self.mutate_share],
+            gene_key=lambda gene: gene,
+            rng=self.rng,
+            population_size=self.config.ea_population_size,
+            offspring_per_gen=self.config.ea_offspring_per_gen,
+            max_generations=self.config.ea_max_generations,
+            patience=self.config.ea_patience,
+        )
+        best_gene, best_fitness = engine.run(
+            self.initial_population(self.config.ea_population_size)
+        )
+        if best_fitness <= 0.0:
+            raise InfeasibleError(
+                "EA found no feasible macro partition under the power "
+                "budget"
+            )
+        fitness, allocation, result = self.score(best_gene)
+        assert allocation is not None and result is not None
+        return MacroPartition.from_gene(best_gene), allocation, result

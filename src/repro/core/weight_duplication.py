@@ -1,0 +1,181 @@
+"""Stage 1 — weight duplication via the SA-based filter (§IV-A).
+
+The constrained problem (Eq. 2)::
+
+    maximize   Performance(WtDup)
+    s.t.       sum_i WtDup_i * set_i <= #crossbar
+
+is pruned with simulated annealing over the surrogate energy (Eq. 4)::
+
+    E = stdev_i(WO_i * HO_i / WtDup_i)
+        + alpha * stdev_i(AccessVolume_i)
+    AccessVolume_i = WtDup_i * (WK_i^2 * CI_i + CO_i)
+
+The first term balances per-layer computation (equal block counts means a
+balanced inter-layer pipeline); the second penalizes skewed data-access
+demand. The filter returns the ``top_k`` lowest-energy *distinct*
+duplication vectors, which Alg. 1 then traverses exactly (line 7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.config import SynthesisConfig
+from repro.errors import InfeasibleError
+from repro.hardware.crossbar import crossbar_set_size
+from repro.nn.model import CNNModel
+from repro.optim.annealing import AnnealingSchedule, SimulatedAnnealer
+from repro.utils.mathutils import stdev
+
+WtDup = Tuple[int, ...]
+
+
+@dataclass
+class WeightDuplicationFilter:
+    """SA-based WtDup candidate filter for one outer design point."""
+
+    model: CNNModel
+    xb_size: int
+    res_rram: int
+    num_crossbars: int
+    config: SynthesisConfig
+
+    def __post_init__(self) -> None:
+        layers = self.model.weighted_layers
+        self.set_sizes: List[int] = [
+            crossbar_set_size(
+                layer, self.xb_size, self.res_rram,
+                self.model.weight_precision,
+            )
+            for layer in layers
+        ]
+        self.out_positions: List[int] = []
+        self.volume_units: List[int] = []
+        for layer in layers:
+            assert layer.output_shape is not None
+            _, ho, wo = layer.output_shape
+            self.out_positions.append(ho * wo)
+            rows = layer.weight_rows  # type: ignore[attr-defined]
+            cols = getattr(layer, "out_channels", None)
+            if cols is None:
+                cols = layer.out_features  # type: ignore[attr-defined]
+            self.volume_units.append(rows + cols)
+        floor = sum(self.set_sizes)
+        if floor > self.num_crossbars:
+            raise InfeasibleError(
+                f"{self.model.name}: needs {floor} crossbars at WtDup=1 "
+                f"but the budget is {self.num_crossbars}"
+            )
+        # WtDup_i never exceeds the layer's output count: more copies than
+        # output positions cannot be used within one image.
+        self.dup_caps: List[int] = list(self.out_positions)
+
+    # ------------------------------------------------------------------
+    # Eq. 2 feasibility
+    # ------------------------------------------------------------------
+    def crossbars_used(self, wt_dup: Sequence[int]) -> int:
+        return sum(
+            dup * size for dup, size in zip(wt_dup, self.set_sizes)
+        )
+
+    def is_feasible(self, wt_dup: Sequence[int]) -> bool:
+        if any(d < 1 for d in wt_dup):
+            return False
+        if any(d > cap for d, cap in zip(wt_dup, self.dup_caps)):
+            return False
+        return self.crossbars_used(wt_dup) <= self.num_crossbars
+
+    # ------------------------------------------------------------------
+    # Eq. 4 energy
+    # ------------------------------------------------------------------
+    def energy(self, wt_dup: Sequence[int]) -> float:
+        steps = [
+            positions / dup
+            for positions, dup in zip(self.out_positions, wt_dup)
+        ]
+        volumes = [
+            dup * unit for dup, unit in zip(wt_dup, self.volume_units)
+        ]
+        return stdev(steps) + self.config.sa_alpha * stdev(volumes)
+
+    # ------------------------------------------------------------------
+    # Initial state: greedy balanced fill
+    # ------------------------------------------------------------------
+    def initial_state(self) -> WtDup:
+        """All-ones, then repeatedly duplicate the layer with the most
+        remaining steps while the budget allows — a cheap approximation
+        of the balanced pipeline the SA walk refines."""
+        dup = [1] * len(self.set_sizes)
+        remaining = self.num_crossbars - self.crossbars_used(dup)
+        improved = True
+        while improved:
+            improved = False
+            order = sorted(
+                range(len(dup)),
+                key=lambda i: self.out_positions[i] / dup[i],
+                reverse=True,
+            )
+            for index in order:
+                cost = self.set_sizes[index]
+                if cost <= remaining and dup[index] < self.dup_caps[index]:
+                    dup[index] += 1
+                    remaining -= cost
+                    improved = True
+                    break
+        return tuple(dup)
+
+    # ------------------------------------------------------------------
+    # SA neighborhood
+    # ------------------------------------------------------------------
+    def neighbor(self, state: WtDup, rng: random.Random) -> WtDup:
+        """One feasible random move: grow, shrink, or shift duplication.
+
+        Retries a few times to find a feasible move; falls back to the
+        unchanged state when the budget is completely tight.
+        """
+        n_layers = len(state)
+        for _ in range(16):
+            move = rng.randrange(3)
+            candidate = list(state)
+            if move == 0:  # grow one layer
+                index = rng.randrange(n_layers)
+                candidate[index] += 1
+            elif move == 1:  # shrink one layer
+                index = rng.randrange(n_layers)
+                candidate[index] -= 1
+            else:  # shift: shrink one, grow another
+                src = rng.randrange(n_layers)
+                dst = rng.randrange(n_layers)
+                if src == dst:
+                    continue
+                candidate[src] -= 1
+                candidate[dst] += 1
+            if self.is_feasible(candidate):
+                return tuple(candidate)
+        return state
+
+    # ------------------------------------------------------------------
+    # Entry point (Alg. 1 line 6)
+    # ------------------------------------------------------------------
+    def top_candidates(self, rng: random.Random) -> List[WtDup]:
+        """Run the SA filter; return the best distinct WtDup vectors."""
+        schedule = AnnealingSchedule(
+            initial_temperature=self.config.sa_initial_temperature,
+            min_temperature=self.config.sa_min_temperature,
+            cooling_rate=self.config.sa_cooling_rate,
+            steps_per_temp=self.config.sa_steps_per_temp,
+        )
+        annealer = SimulatedAnnealer(
+            energy=self.energy,
+            neighbor=self.neighbor,
+            state_key=lambda state: state,
+            rng=rng,
+            schedule=schedule,
+        )
+        ranked = annealer.run(
+            self.initial_state(), top_k=self.config.num_wtdup_candidates
+        )
+        return [state for state, _energy in ranked]

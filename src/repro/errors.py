@@ -1,0 +1,37 @@
+"""Exception hierarchy for the PIMSYN reproduction.
+
+All library-raised errors derive from :class:`PimsynError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from infeasible
+synthesis problems.
+"""
+
+from __future__ import annotations
+
+
+class PimsynError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(PimsynError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class ModelError(PimsynError):
+    """A CNN model description is malformed (bad shapes, unknown ops...)."""
+
+
+class InfeasibleError(PimsynError):
+    """The synthesis problem has no feasible solution.
+
+    Raised, for example, when the power budget is too small to hold one
+    copy of every layer's weights (Eq. 2 has no feasible point).
+    """
+
+
+class SimulationError(PimsynError):
+    """The behavior-level simulator hit an inconsistent state."""
+
+
+class IRError(PimsynError):
+    """An IR node or DAG violates a structural invariant."""

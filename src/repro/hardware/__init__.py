@@ -1,0 +1,66 @@
+"""Hardware modeling substrate.
+
+Everything PIMSYN knows about the physical platform lives here:
+
+- :mod:`repro.hardware.params` — the component power/latency/area
+  constants of Table III (ISAAC/MNSIM-derived), packaged as a
+  :class:`HardwareParams` object users can override;
+- :mod:`repro.hardware.components` — per-component models (crossbar,
+  ADC, DAC, eDRAM, NoC router, ALU, S&H, registers);
+- :mod:`repro.hardware.crossbar` — Eq. 1 crossbar-set math and weight
+  mapping;
+- :mod:`repro.hardware.power` — Eq. 3 power budgeting;
+- :mod:`repro.hardware.noc` — a 2-D mesh NoC latency/bandwidth model;
+- :mod:`repro.hardware.macro` / :mod:`repro.hardware.chip` — assembly of
+  macros and the full accelerator, with power and area reporting.
+"""
+
+from repro.hardware.components import (
+    AdcSpec,
+    AluSpec,
+    ComponentKind,
+    CrossbarSpec,
+    DacSpec,
+    EDramSpec,
+    NocRouterSpec,
+    RegisterFileSpec,
+    SampleHoldSpec,
+)
+from repro.hardware.crossbar import (
+    CrossbarSet,
+    crossbar_set_size,
+    crossbars_for_layer,
+    map_layer_weights,
+    required_adc_resolution,
+)
+from repro.hardware.macro import MacroConfig, PEConfig
+from repro.hardware.noc import MeshNoC
+from repro.hardware.params import HardwareParams
+from repro.hardware.power import PowerBudget, crossbar_budget
+from repro.hardware.chip import Accelerator, AreaReport, PowerReport
+
+__all__ = [
+    "AdcSpec",
+    "AluSpec",
+    "ComponentKind",
+    "CrossbarSpec",
+    "DacSpec",
+    "EDramSpec",
+    "NocRouterSpec",
+    "RegisterFileSpec",
+    "SampleHoldSpec",
+    "CrossbarSet",
+    "crossbar_set_size",
+    "crossbars_for_layer",
+    "map_layer_weights",
+    "required_adc_resolution",
+    "MacroConfig",
+    "PEConfig",
+    "MeshNoC",
+    "HardwareParams",
+    "PowerBudget",
+    "crossbar_budget",
+    "Accelerator",
+    "AreaReport",
+    "PowerReport",
+]

@@ -1,0 +1,217 @@
+"""Functional (numerical) model of crossbar-accelerated convolution.
+
+The synthesis flow never needs numbers flowing through crossbars — but
+the paper's correctness claim does: "Hardware synthesis will not cause
+any accuracy loss for given CNN algorithms. To ensure that, we set the
+resolution of ADCs to satisfy the minimum resolution requirement
+according to [2]" (§III). This module implements the actual arithmetic
+scheme — weight bit-slicing across ``ResRram``-bit cells, bit-serial
+input streaming through ``ResDAC``-bit DACs, per-column analog
+accumulation, ADC quantization, and shift-and-add reconstruction — so
+tests can verify bit-exactness of the full path for any configuration
+the design space can choose.
+
+The model is integer-exact ("analog" values are ideal column sums); the
+one lossy element is the ADC, modeled as saturation at ``2^res - 1``
+counts. With the resolution rule of
+:func:`repro.hardware.crossbar.required_adc_resolution` and ISAAC's
+offset-encoding assumption, no saturation occurs and the reconstruction
+is exact — which is precisely what the tests assert, and what breaks if
+the resolution is forced one bit lower.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.mathutils import ceil_div
+
+
+def slice_weights(
+    weights: np.ndarray, res_rram: int, weight_precision: int
+) -> List[np.ndarray]:
+    """Split unsigned integer weights into ``ResRram``-bit slices.
+
+    Returns slices least-significant first; each entry holds values in
+    ``[0, 2^res_rram)`` and the weighted sum over slices reconstructs
+    the original: ``sum_k slice_k * 2^(k*res_rram) == weights``.
+    """
+    if res_rram <= 0:
+        raise ConfigurationError("res_rram must be positive")
+    if np.any(weights < 0):
+        raise ConfigurationError(
+            "weights must be unsigned integers (offset-encoded)"
+        )
+    if np.any(weights >= (1 << weight_precision)):
+        raise ConfigurationError(
+            f"weights exceed {weight_precision}-bit range"
+        )
+    n_slices = ceil_div(weight_precision, res_rram)
+    mask = (1 << res_rram) - 1
+    remaining = weights.astype(np.int64)
+    slices = []
+    for _ in range(n_slices):
+        slices.append(remaining & mask)
+        remaining = remaining >> res_rram
+    return slices
+
+
+def slice_activations(
+    activations: np.ndarray, res_dac: int, act_precision: int
+) -> List[np.ndarray]:
+    """Split unsigned activations into ``ResDAC``-bit serial groups.
+
+    Returns groups least-significant first: the DAC streams
+    ``ceil(act_precision / res_dac)`` groups per input (§II-A's
+    bit-level iterations).
+    """
+    if res_dac <= 0:
+        raise ConfigurationError("res_dac must be positive")
+    if np.any(activations < 0):
+        raise ConfigurationError("activations must be unsigned")
+    if np.any(activations >= (1 << act_precision)):
+        raise ConfigurationError(
+            f"activations exceed {act_precision}-bit range"
+        )
+    n_groups = ceil_div(act_precision, res_dac)
+    mask = (1 << res_dac) - 1
+    remaining = activations.astype(np.int64)
+    groups = []
+    for _ in range(n_groups):
+        groups.append(remaining & mask)
+        remaining = remaining >> res_dac
+    return groups
+
+
+def adc_quantize(column_sums: np.ndarray, resolution: int) -> np.ndarray:
+    """Convert ideal analog column sums to ADC output codes.
+
+    The converter saturates at ``2^resolution - 1``; values within
+    range pass through exactly (integer counts). Saturation is the
+    accuracy-loss mechanism the minimum-resolution rule exists to
+    prevent.
+    """
+    if resolution <= 0:
+        raise ConfigurationError("ADC resolution must be positive")
+    ceiling = (1 << resolution) - 1
+    return np.minimum(column_sums, ceiling)
+
+
+def crossbar_mvm(
+    weights: np.ndarray,
+    activations: np.ndarray,
+    res_rram: int,
+    res_dac: int,
+    weight_precision: int = 16,
+    act_precision: int = 16,
+    adc_resolution: Optional[int] = None,
+    xb_size: Optional[int] = None,
+) -> np.ndarray:
+    """Full crossbar MVM with bit-slicing, streaming, ADC and S&A.
+
+    Parameters
+    ----------
+    weights:
+        ``(rows, cols)`` unsigned integers below ``2^weight_precision``.
+    activations:
+        ``(rows,)`` unsigned integers below ``2^act_precision``.
+    adc_resolution:
+        Converter resolution; ``None`` uses the lossless minimum for
+        the (rows, res_rram, res_dac) configuration — but *unclamped*,
+        because this functional model must stay exact for correctness
+        tests regardless of the component library's 14-bit cap.
+    xb_size:
+        When given, rows are processed in ``xb_size`` chunks (row
+        tiling, Fig. 1) and partial sums merged digitally — exercising
+        the same split the ``merge`` IR represents.
+
+    Returns
+    -------
+    ``(cols,)`` int64 exact products ``weights.T @ activations`` when
+    the resolution suffices; saturated results otherwise.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    activations = np.asarray(activations, dtype=np.int64)
+    if weights.ndim != 2:
+        raise ConfigurationError("weights must be 2-D (rows x cols)")
+    if activations.shape != (weights.shape[0],):
+        raise ConfigurationError(
+            f"activations shape {activations.shape} does not match "
+            f"{weights.shape[0]} rows"
+        )
+
+    rows = weights.shape[0]
+    if xb_size is not None and rows > xb_size:
+        total = np.zeros(weights.shape[1], dtype=np.int64)
+        for start in range(0, rows, xb_size):
+            total += crossbar_mvm(
+                weights[start:start + xb_size],
+                activations[start:start + xb_size],
+                res_rram, res_dac, weight_precision, act_precision,
+                adc_resolution, xb_size=None,
+            )
+        return total
+
+    if adc_resolution is None:
+        # Exact analytic requirement (no library clamping): the largest
+        # column sum is rows * (2^v - 1) * (2^d - 1).
+        max_sum = (
+            rows * ((1 << res_rram) - 1) * ((1 << res_dac) - 1)
+        )
+        adc_resolution = max(1, int(np.ceil(np.log2(max_sum + 1))))
+
+    weight_slices = slice_weights(weights, res_rram, weight_precision)
+    act_groups = slice_activations(activations, res_dac, act_precision)
+
+    result = np.zeros(weights.shape[1], dtype=np.int64)
+    for g_index, group in enumerate(act_groups):
+        for s_index, w_slice in enumerate(weight_slices):
+            analog = group @ w_slice  # ideal column currents
+            digital = adc_quantize(analog, adc_resolution)
+            shift = g_index * res_dac + s_index * res_rram
+            result += digital << shift  # shift-and-add ALU op
+    return result
+
+
+def reference_mvm(weights: np.ndarray, activations: np.ndarray) -> np.ndarray:
+    """The golden integer MVM the crossbar path must reproduce."""
+    weights = np.asarray(weights, dtype=np.int64)
+    activations = np.asarray(activations, dtype=np.int64)
+    return weights.T @ activations
+
+
+def convolution_via_crossbar(
+    kernel: np.ndarray,
+    feature_map: np.ndarray,
+    res_rram: int = 2,
+    res_dac: int = 1,
+    weight_precision: int = 8,
+    act_precision: int = 8,
+    xb_size: int = 128,
+) -> np.ndarray:
+    """End-to-end Fig. 1: a convolution computed column-by-column.
+
+    ``kernel`` is ``(CO, CI, WK, WK)`` and ``feature_map`` is
+    ``(CI, H, W)``, both unsigned integers. Valid (no padding, stride
+    1) convolution; each output position is one crossbar-set MVM with
+    the im2col window on the word lines — the computation-block scheme
+    of §II-A with ``WtDup = 1``.
+    """
+    co, ci, wk, _ = kernel.shape
+    _, height, width = feature_map.shape
+    out_h, out_w = height - wk + 1, width - wk + 1
+    # Filters as crossbar columns: (WK*WK*CI rows, CO cols), Fig. 1.
+    matrix = kernel.reshape(co, ci * wk * wk).T.copy()
+
+    output = np.zeros((co, out_h, out_w), dtype=np.int64)
+    for y in range(out_h):
+        for x in range(out_w):
+            window = feature_map[:, y:y + wk, x:x + wk].reshape(-1)
+            output[:, y, x] = crossbar_mvm(
+                matrix, window, res_rram, res_dac,
+                weight_precision, act_precision, xb_size=xb_size,
+            )
+    return output

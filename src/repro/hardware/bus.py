@@ -1,0 +1,101 @@
+"""Shared-bus interconnect model.
+
+The paper's architecture abstraction allows macros "interconnected via
+a network-on-chip (NoC) or bus" (§I, §II-B). The mesh NoC in
+:mod:`repro.hardware.noc` is the default; this module provides the bus
+alternative — one arbitrated medium shared by all macros, with a flat
+transfer latency (no hop distance) but *serialized* global bandwidth.
+The evaluator can be pointed at either model through the common
+``transfer_latency`` / ``merge-style`` interface, and the interconnect
+comparison example shows where each wins: buses are competitive for a
+handful of macros and collapse as partitioning fans out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.hardware.params import HardwareParams
+
+
+@dataclass(frozen=True)
+class SharedBus:
+    """A single arbitrated bus connecting ``num_macros`` macros."""
+
+    num_macros: int
+    params: HardwareParams
+    arbitration_latency: float = 2e-9  # grant delay per transaction
+
+    def __post_init__(self) -> None:
+        if self.num_macros <= 0:
+            raise ConfigurationError("bus needs at least one macro")
+        if self.arbitration_latency < 0:
+            raise ConfigurationError("arbitration latency must be >= 0")
+
+    @property
+    def bandwidth(self) -> float:
+        """Bytes/second of the single shared medium.
+
+        The bus is as wide as one NoC port (same flit width and clock),
+        which makes NoC-vs-bus comparisons isolate *topology*, not raw
+        link speed.
+        """
+        return self.params.noc_port_bandwidth
+
+    def transfer_latency(self, src: int, dst: int, num_bytes: int) -> float:
+        """One transaction's latency (no contention)."""
+        if num_bytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        for macro in (src, dst):
+            if not 0 <= macro < self.num_macros:
+                raise ConfigurationError(
+                    f"macro {macro} out of range [0, {self.num_macros})"
+                )
+        if src == dst or num_bytes == 0:
+            return 0.0
+        return self.arbitration_latency + num_bytes / self.bandwidth
+
+    def contended_transfer_latency(
+        self, num_bytes: int, concurrent_transactions: int
+    ) -> float:
+        """Latency when ``concurrent_transactions`` share the medium.
+
+        A bus serializes: each transaction waits, on average, for half
+        the others plus its own serialization. This is the quantity
+        that blows up for heavily partitioned layers (the effect the
+        paper's NoC choice avoids).
+        """
+        if concurrent_transactions < 1:
+            raise ConfigurationError(
+                "concurrent_transactions must be >= 1"
+            )
+        single = self.transfer_latency(0, min(1, self.num_macros - 1),
+                                       num_bytes)
+        return single * (concurrent_transactions + 1) / 2.0
+
+    def merge_latency(self, macro_ids: List[int], num_bytes: int) -> float:
+        """All-to-one reduction over the bus.
+
+        Every participant must serialize its partial sums through the
+        one medium: ``(n - 1)`` back-to-back transactions (no tree
+        parallelism is possible on a bus).
+        """
+        participants = len(set(macro_ids))
+        if participants <= 1 or num_bytes == 0:
+            return 0.0
+        per_macro_bytes = math.ceil(num_bytes / participants)
+        single = (
+            self.arbitration_latency + per_macro_bytes / self.bandwidth
+        )
+        return (participants - 1) * single
+
+    def total_power(self) -> float:
+        """One bus interface per macro; priced like a (cheaper) router.
+
+        A bus interface has no routing/crossbar logic: modeled at 25%
+        of a NoC router's power.
+        """
+        return self.num_macros * self.params.noc_power * 0.25

@@ -1,0 +1,237 @@
+"""Full-accelerator assembly, power and area reporting.
+
+The :class:`Accelerator` is the hardware half of a synthesis solution:
+the list of macros (identical or specialized), the NoC that connects
+them, and the mapping from weighted layers to macro groups. It validates
+the paper's structural rules and produces the power/area breakdowns the
+experiment harnesses report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.hardware.macro import MacroConfig
+from repro.hardware.noc import MeshNoC
+from repro.hardware.params import HardwareParams
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Per-resource power breakdown in watts."""
+
+    crossbars: float
+    dacs: float
+    sample_holds: float
+    adcs: float
+    alus: float
+    edram: float
+    noc: float
+    registers: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.crossbars + self.dacs + self.sample_holds + self.adcs
+            + self.alus + self.edram + self.noc + self.registers
+        )
+
+    @property
+    def peripheral_fraction(self) -> float:
+        """Fraction of power consumed outside the crossbars.
+
+        The paper's motivation cites >60% peripheral power in manual
+        designs (§I); this metric lets experiments check where a
+        synthesized design landed.
+        """
+        if self.total == 0:
+            return 0.0
+        return 1.0 - self.crossbars / self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "crossbars": self.crossbars,
+            "dacs": self.dacs,
+            "sample_holds": self.sample_holds,
+            "adcs": self.adcs,
+            "alus": self.alus,
+            "edram": self.edram,
+            "noc": self.noc,
+            "registers": self.registers,
+            "total": self.total,
+        }
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Per-resource area breakdown in mm^2."""
+
+    crossbars: float
+    dacs: float
+    sample_holds: float
+    adcs: float
+    alus: float
+    edram: float
+    noc: float
+    registers: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.crossbars + self.dacs + self.sample_holds + self.adcs
+            + self.alus + self.edram + self.noc + self.registers
+        )
+
+
+@dataclass
+class Accelerator:
+    """A complete synthesized PIM accelerator.
+
+    Parameters
+    ----------
+    macros:
+        All macros on the chip; ``macro_id`` must equal list position.
+    params:
+        The technology constants the chip was synthesized against.
+    layer_macros:
+        For each weighted layer index, the macro ids executing it.
+    """
+
+    macros: Sequence[MacroConfig]
+    params: HardwareParams
+    layer_macros: Dict[int, List[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.macros:
+            raise ConfigurationError("accelerator needs at least one macro")
+        for position, macro in enumerate(self.macros):
+            if macro.macro_id != position:
+                raise ConfigurationError(
+                    f"macro at position {position} has id {macro.macro_id}"
+                )
+        for layer, ids in self.layer_macros.items():
+            if not ids:
+                raise ConfigurationError(f"layer {layer} owns no macros")
+            for mid in ids:
+                if not 0 <= mid < len(self.macros):
+                    raise ConfigurationError(
+                        f"layer {layer} references macro {mid} out of range"
+                    )
+                if layer not in self.macros[mid].layer_indices:
+                    raise ConfigurationError(
+                        f"macro {mid} does not list layer {layer}"
+                    )
+
+    @property
+    def num_macros(self) -> int:
+        return len(self.macros)
+
+    @property
+    def num_crossbars(self) -> int:
+        return sum(m.num_crossbars for m in self.macros)
+
+    @property
+    def noc(self) -> MeshNoC:
+        return MeshNoC(num_macros=self.num_macros, params=self.params)
+
+    @property
+    def is_specialized(self) -> bool:
+        """True when macros differ (specialized design, §V-C2)."""
+        first = self.macros[0]
+        return any(
+            (m.num_pes, m.num_adcs, m.num_alus, m.adc_resolution)
+            != (first.num_pes, first.num_adcs, first.num_alus,
+                first.adc_resolution)
+            for m in self.macros
+        )
+
+    @property
+    def has_macro_sharing(self) -> bool:
+        """True when any macro serves two layers (§IV-C1 rule b)."""
+        return any(m.shared for m in self.macros)
+
+    def power_report(self) -> PowerReport:
+        """Aggregate per-resource power across all macros."""
+        params = self.params
+        crossbars = dacs = sample_holds = adcs = alus = 0.0
+        for macro in self.macros:
+            crossbars += macro.num_pes * params.crossbar_power_of(
+                macro.pe.xb_size
+            )
+            dacs += (
+                macro.num_pes * macro.pe.num_dacs
+                * params.dac_power_of(macro.pe.res_dac)
+            )
+            sample_holds += (
+                macro.num_pes * macro.pe.num_sample_holds
+                * params.sample_hold_power
+            )
+            adcs += macro.num_adcs * params.adc_power_of(
+                macro.adc_resolution
+            )
+            alus += macro.num_alus * params.alu_power
+        count = self.num_macros
+        return PowerReport(
+            crossbars=crossbars,
+            dacs=dacs,
+            sample_holds=sample_holds,
+            adcs=adcs,
+            alus=alus,
+            edram=count * params.edram_power,
+            noc=count * params.noc_power,
+            registers=count * params.register_power_per_macro,
+        )
+
+    def area_report(self) -> AreaReport:
+        """Aggregate per-resource area across all macros."""
+        params = self.params
+        crossbars = dacs = sample_holds = adcs = alus = 0.0
+        for macro in self.macros:
+            crossbars += macro.num_pes * params.crossbar_area.get(
+                macro.pe.xb_size, 0.0
+            )
+            dacs += macro.num_pes * macro.pe.num_dacs * params.dac_area
+            sample_holds += (
+                macro.num_pes * macro.pe.num_sample_holds
+                * params.sample_hold_area
+            )
+            adcs += macro.num_adcs * params.adc_area
+            alus += macro.num_alus * params.alu_area
+        count = self.num_macros
+        return AreaReport(
+            crossbars=crossbars,
+            dacs=dacs,
+            sample_holds=sample_holds,
+            adcs=adcs,
+            alus=alus,
+            edram=count * params.edram_area,
+            noc=count * params.noc_area,
+            registers=count * params.register_area_per_macro,
+        )
+
+    def macros_of_layer(self, layer_index: int) -> List[MacroConfig]:
+        """The macro objects executing a weighted layer."""
+        ids = self.layer_macros.get(layer_index, [])
+        return [self.macros[i] for i in ids]
+
+    def summary(self) -> str:
+        """Human-readable chip inventory."""
+        power = self.power_report()
+        lines = [
+            f"accelerator: {self.num_macros} macros, "
+            f"{self.num_crossbars} crossbars, "
+            f"{'specialized' if self.is_specialized else 'identical'} macros"
+            f"{', with macro sharing' if self.has_macro_sharing else ''}",
+            f"power: {power.total * 1e3:.1f} mW "
+            f"({power.peripheral_fraction * 100:.0f}% peripheral)",
+        ]
+        for macro in self.macros:
+            lines.append(
+                f"  macro {macro.macro_id}: {macro.num_pes} PEs "
+                f"({macro.pe.xb_size}x{macro.pe.xb_size}), "
+                f"{macro.num_adcs} ADCs@{macro.adc_resolution}b, "
+                f"{macro.num_alus} ALUs, layers={list(macro.layer_indices)}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,185 @@
+"""Typed component specifications.
+
+Each spec couples a component's *rate* (how much work one instance does
+per second) with its *power*, which is all Eq. 5/6 needs: the components
+allocation stage trades instances of these specs against the peripheral
+power budget. The specs are built from :class:`HardwareParams` so a single
+technology override propagates everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hardware.params import HardwareParams
+
+
+class ComponentKind(enum.Enum):
+    """The allocatable component classes of Fig. 2."""
+
+    CROSSBAR = "crossbar"
+    ADC = "adc"
+    DAC = "dac"
+    ALU = "alu"
+    EDRAM = "edram"
+    NOC_ROUTER = "noc_router"
+    SAMPLE_HOLD = "sample_hold"
+    REGISTER = "register"
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Base spec: a named component with power and a work rate.
+
+    ``rate`` is in component-specific units per second (conversions/s for
+    an ADC, elements/s for an ALU, bytes/s for memories). Eq. 5's
+    ``Freq_c`` is exactly this rate.
+    """
+
+    kind: ComponentKind
+    power: float  # watts per instance
+    rate: float  # work units per second per instance
+    area: float = 0.0  # mm^2 per instance
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise ConfigurationError(f"{self.kind}: negative power")
+        if self.rate <= 0:
+            raise ConfigurationError(f"{self.kind}: rate must be positive")
+
+    def time_for(self, workload: float, instances: float) -> float:
+        """Eq. 5 latency term: ``workload / (rate * instances)``."""
+        if instances <= 0:
+            raise ConfigurationError(
+                f"{self.kind}: instances must be positive, got {instances}"
+            )
+        return workload / (self.rate * instances)
+
+
+@dataclass(frozen=True)
+class CrossbarSpec(ComponentSpec):
+    """One ReRAM crossbar; rate = MVM reads per second."""
+
+    size: int = 128
+
+    @classmethod
+    def from_params(cls, params: HardwareParams, size: int) -> "CrossbarSpec":
+        return cls(
+            kind=ComponentKind.CROSSBAR,
+            power=params.crossbar_power_of(size),
+            rate=1.0 / params.crossbar_latency,
+            area=params.crossbar_area.get(size, 0.0),
+            size=size,
+        )
+
+
+@dataclass(frozen=True)
+class AdcSpec(ComponentSpec):
+    """One ADC; rate = analog-to-digital conversions per second."""
+
+    resolution: int = 8
+
+    @classmethod
+    def from_params(cls, params: HardwareParams, resolution: int) -> "AdcSpec":
+        return cls(
+            kind=ComponentKind.ADC,
+            power=params.adc_power_of(resolution),
+            rate=params.adc_sample_rate,
+            area=params.adc_area,
+            resolution=resolution,
+        )
+
+
+@dataclass(frozen=True)
+class DacSpec(ComponentSpec):
+    """One DAC; rate = digital-to-analog conversions per second."""
+
+    resolution: int = 1
+
+    @classmethod
+    def from_params(cls, params: HardwareParams, resolution: int) -> "DacSpec":
+        return cls(
+            kind=ComponentKind.DAC,
+            power=params.dac_power_of(resolution),
+            rate=1.0 / params.dac_latency,
+            area=params.dac_area,
+            resolution=resolution,
+        )
+
+
+@dataclass(frozen=True)
+class AluSpec(ComponentSpec):
+    """One vector ALU lane; rate = element operations per second."""
+
+    @classmethod
+    def from_params(cls, params: HardwareParams) -> "AluSpec":
+        return cls(
+            kind=ComponentKind.ALU,
+            power=params.alu_power,
+            rate=params.alu_frequency,
+            area=params.alu_area,
+        )
+
+
+@dataclass(frozen=True)
+class EDramSpec(ComponentSpec):
+    """One macro scratchpad; rate = bytes per second."""
+
+    size_bytes: int = 64 * 1024
+
+    @classmethod
+    def from_params(cls, params: HardwareParams) -> "EDramSpec":
+        return cls(
+            kind=ComponentKind.EDRAM,
+            power=params.edram_power,
+            rate=params.edram_bandwidth,
+            area=params.edram_area,
+            size_bytes=params.edram_size_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class NocRouterSpec(ComponentSpec):
+    """One NoC router; rate = bytes per second per port."""
+
+    ports: int = 8
+
+    @classmethod
+    def from_params(cls, params: HardwareParams) -> "NocRouterSpec":
+        return cls(
+            kind=ComponentKind.NOC_ROUTER,
+            power=params.noc_power,
+            rate=params.noc_port_bandwidth,
+            area=params.noc_area,
+            ports=params.noc_ports,
+        )
+
+
+@dataclass(frozen=True)
+class SampleHoldSpec(ComponentSpec):
+    """One sample-and-hold unit; rate = samples per second."""
+
+    @classmethod
+    def from_params(cls, params: HardwareParams) -> "SampleHoldSpec":
+        return cls(
+            kind=ComponentKind.SAMPLE_HOLD,
+            power=params.sample_hold_power,
+            rate=1.0 / 1e-9,
+            area=params.sample_hold_area,
+        )
+
+
+@dataclass(frozen=True)
+class RegisterFileSpec(ComponentSpec):
+    """Per-macro register files; rate = accesses per second (nominal)."""
+
+    @classmethod
+    def from_params(cls, params: HardwareParams) -> "RegisterFileSpec":
+        return cls(
+            kind=ComponentKind.REGISTER,
+            power=params.register_power_per_macro,
+            rate=params.edram_frequency,
+            area=params.register_area_per_macro,
+        )

@@ -1,0 +1,169 @@
+"""Crossbar-set math (Eq. 1) and weight mapping.
+
+A *crossbar set* is the group of crossbars holding one copy of one layer's
+weights (Fig. 1). Eq. 1::
+
+    set = ceil(WK*WK*CI / XbSize) * ceil(CO / XbSize)
+          * ceil(PrecWt / ResRram)
+
+The three factors are the row tiling (one filter needs ``WK^2*CI`` rows),
+the column tiling (``CO`` filters), and weight bit-slicing across cells of
+``ResRram`` bits. :func:`map_layer_weights` materializes the actual tile
+layout, which the IR builder uses to size ``load``/``merge`` operands.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError, ModelError
+from repro.nn.layers import ConvLayer, FCLayer, Layer
+from repro.utils.mathutils import ceil_div
+
+
+def _layer_rows_cols(layer: Layer) -> tuple:
+    """(rows, cols) a single weight copy occupies before bit-slicing."""
+    if isinstance(layer, ConvLayer):
+        return layer.weight_rows, layer.out_channels
+    if isinstance(layer, FCLayer):
+        return layer.in_features, layer.out_features
+    raise ModelError(
+        f"{layer.name}: only weighted layers map onto crossbars"
+    )
+
+
+def crossbar_set_size(
+    layer: Layer, xb_size: int, res_rram: int, weight_precision: int = 16
+) -> int:
+    """Eq. 1: number of crossbars in one crossbar set for ``layer``."""
+    if xb_size <= 0:
+        raise ConfigurationError(f"XbSize must be positive, got {xb_size}")
+    if res_rram <= 0:
+        raise ConfigurationError(f"ResRram must be positive, got {res_rram}")
+    rows, cols = _layer_rows_cols(layer)
+    return (
+        ceil_div(rows, xb_size)
+        * ceil_div(cols, xb_size)
+        * ceil_div(weight_precision, res_rram)
+    )
+
+
+def crossbars_for_layer(
+    layer: Layer,
+    wt_dup: int,
+    xb_size: int,
+    res_rram: int,
+    weight_precision: int = 16,
+) -> int:
+    """Crossbars consumed by a layer: ``WtDup_i * set_i`` (Eq. 2 LHS)."""
+    if wt_dup <= 0:
+        raise ConfigurationError(f"WtDup must be positive, got {wt_dup}")
+    return wt_dup * crossbar_set_size(layer, xb_size, res_rram,
+                                      weight_precision)
+
+
+def required_adc_resolution(
+    rows_used: int, res_rram: int, res_dac: int,
+    min_resolution: int = 7, max_resolution: int = 14,
+) -> int:
+    """Minimum ADC resolution for lossless readout, per ISAAC.
+
+    The paper sets ADC resolution "to satisfy the minimum resolution
+    requirement according to [2]" (§III). ISAAC's encoding scheme (flip
+    the weight bits so the worst-case column sum is offset-cancelled)
+    needs ``log2(rows) + ResRram + ResDAC - 2`` bits: its published
+    design point — 128 rows, 2-bit cells, 1-bit input — uses exactly an
+    8-bit ADC, which this rule reproduces. The naive bound
+    ``log2(rows * (2^v-1) * (2^d-1))`` would be one bit higher.
+    Clamped into Table III's 7-14 range (an ADC below 7 bits is not in
+    the component library; the cap mirrors Table III's top entry).
+    """
+    if rows_used <= 0:
+        raise ConfigurationError("rows_used must be positive")
+    if res_rram <= 0 or res_dac <= 0:
+        raise ConfigurationError("resolutions must be positive")
+    needed = math.ceil(math.log2(rows_used)) + res_rram + res_dac - 2
+    needed = max(1, needed)
+    if needed > max_resolution:
+        needed = max_resolution
+    return max(min_resolution, needed)
+
+
+@dataclass(frozen=True)
+class CrossbarTile:
+    """One crossbar's slice of a layer's weight matrix."""
+
+    row_start: int
+    row_end: int  # exclusive
+    col_start: int
+    col_end: int  # exclusive
+    bit_slice: int  # which ResRram-bit slice of the weights
+
+    @property
+    def rows(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def cols(self) -> int:
+        return self.col_end - self.col_start
+
+
+@dataclass(frozen=True)
+class CrossbarSet:
+    """The tile layout of one weight copy of one layer."""
+
+    layer_name: str
+    xb_size: int
+    res_rram: int
+    weight_precision: int
+    tiles: tuple
+
+    @property
+    def num_crossbars(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def row_tiles(self) -> int:
+        return len({(t.row_start, t.row_end) for t in self.tiles})
+
+    @property
+    def col_tiles(self) -> int:
+        return len({(t.col_start, t.col_end) for t in self.tiles})
+
+    @property
+    def bit_slices(self) -> int:
+        return len({t.bit_slice for t in self.tiles})
+
+
+def map_layer_weights(
+    layer: Layer, xb_size: int, res_rram: int, weight_precision: int = 16
+) -> CrossbarSet:
+    """Materialize the Eq. 1 tiling as explicit crossbar tiles.
+
+    Tiles are produced bit-slice-major, then row-major, then col-major;
+    the count always equals :func:`crossbar_set_size` (tested invariant).
+    """
+    rows, cols = _layer_rows_cols(layer)
+    n_bit_slices = ceil_div(weight_precision, res_rram)
+    tiles: List[CrossbarTile] = []
+    for bit_slice in range(n_bit_slices):
+        for row_start in range(0, rows, xb_size):
+            for col_start in range(0, cols, xb_size):
+                tiles.append(
+                    CrossbarTile(
+                        row_start=row_start,
+                        row_end=min(row_start + xb_size, rows),
+                        col_start=col_start,
+                        col_end=min(col_start + xb_size, cols),
+                        bit_slice=bit_slice,
+                    )
+                )
+    return CrossbarSet(
+        layer_name=layer.name,
+        xb_size=xb_size,
+        res_rram=res_rram,
+        weight_precision=weight_precision,
+        tiles=tuple(tiles),
+    )

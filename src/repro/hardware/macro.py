@@ -1,0 +1,145 @@
+"""Macro and PE configuration objects (Fig. 2b/2c).
+
+A PE wraps one crossbar with its input registers, DACs, sample-and-hold
+units and output mux; a macro groups a PE array with the shared scratchpad
+memory, ADC bank, ALU units, register files and controller. PIMSYN's
+components-allocation stage decides the per-macro ADC/ALU counts; the
+structural parts (DACs and S&H scale with the PE array) are fixed by the
+architecture template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.params import HardwareParams
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """One processing element: a crossbar plus its analog front/back end."""
+
+    xb_size: int
+    res_rram: int
+    res_dac: int
+
+    def __post_init__(self) -> None:
+        if self.xb_size <= 0:
+            raise ConfigurationError("PE crossbar size must be positive")
+        if self.res_rram <= 0 or self.res_dac <= 0:
+            raise ConfigurationError("PE resolutions must be positive")
+
+    @property
+    def num_dacs(self) -> int:
+        """One DAC per word line."""
+        return self.xb_size
+
+    @property
+    def num_sample_holds(self) -> int:
+        """One S&H per bit line."""
+        return self.xb_size
+
+    def power(self, params: HardwareParams) -> float:
+        """Static+dynamic power of one PE (crossbar + DACs + S&H)."""
+        return (
+            params.crossbar_power_of(self.xb_size)
+            + self.num_dacs * params.dac_power_of(self.res_dac)
+            + self.num_sample_holds * params.sample_hold_power
+        )
+
+    def area(self, params: HardwareParams) -> float:
+        """Area of one PE in mm^2."""
+        return (
+            params.crossbar_area.get(self.xb_size, 0.0)
+            + self.num_dacs * params.dac_area
+            + self.num_sample_holds * params.sample_hold_area
+        )
+
+
+@dataclass(frozen=True)
+class MacroConfig:
+    """One macro: a PE array plus shared peripherals.
+
+    ``layer_indices`` records which weighted layers execute here — one
+    entry normally, two when inter-layer macro sharing (§IV-C1 rule b) is
+    active. ``num_adcs``/``num_alus`` come from the components-allocation
+    stage and are the per-macro share of that layer's ``CompAlloc``.
+    """
+
+    macro_id: int
+    pe: PEConfig
+    num_pes: int
+    num_adcs: int
+    adc_resolution: int
+    num_alus: int
+    layer_indices: Tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_pes <= 0:
+            raise ConfigurationError(
+                f"macro {self.macro_id}: needs at least one PE"
+            )
+        if self.num_adcs < 0 or self.num_alus < 0:
+            raise ConfigurationError(
+                f"macro {self.macro_id}: component counts must be >= 0"
+            )
+        if not 1 <= self.adc_resolution <= 16:
+            raise ConfigurationError(
+                f"macro {self.macro_id}: bad ADC resolution "
+                f"{self.adc_resolution}"
+            )
+        if len(self.layer_indices) > 2:
+            raise ConfigurationError(
+                f"macro {self.macro_id}: at most two layers may share a "
+                "macro (rule b)"
+            )
+
+    @property
+    def num_crossbars(self) -> int:
+        return self.num_pes
+
+    @property
+    def shared(self) -> bool:
+        """True when two layers reuse this macro's peripherals."""
+        return len(self.layer_indices) == 2
+
+    def power(self, params: HardwareParams) -> float:
+        """Total macro power: PEs + ADC bank + ALUs + memory + NoC port."""
+        return (
+            self.num_pes * self.pe.power(params)
+            + self.num_adcs * params.adc_power_of(self.adc_resolution)
+            + self.num_alus * params.alu_power
+            + params.edram_power
+            + params.noc_power
+            + params.register_power_per_macro
+        )
+
+    def peripheral_power(self, params: HardwareParams) -> float:
+        """Power of everything except the crossbars themselves."""
+        return self.power(params) - (
+            self.num_pes * params.crossbar_power_of(self.pe.xb_size)
+        )
+
+    def area(self, params: HardwareParams) -> float:
+        """Macro area in mm^2."""
+        return (
+            self.num_pes * self.pe.area(params)
+            + self.num_adcs * params.adc_area
+            + self.num_alus * params.alu_area
+            + params.edram_area
+            + params.noc_area
+            + params.register_area_per_macro
+        )
+
+    def component_counts(self) -> Dict[str, int]:
+        """Flat inventory for reports."""
+        return {
+            "pes": self.num_pes,
+            "crossbars": self.num_crossbars,
+            "dacs": self.num_pes * self.pe.num_dacs,
+            "sample_holds": self.num_pes * self.pe.num_sample_holds,
+            "adcs": self.num_adcs,
+            "alus": self.num_alus,
+        }

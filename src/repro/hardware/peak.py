@@ -1,0 +1,208 @@
+"""Architecture-level peak power efficiency (the Table IV metric).
+
+Peak power efficiency is a property of an architecture *configuration*:
+the ops/W it sustains with every crossbar computing back-to-back and the
+converter path keeping up. Two provisioning regimes matter:
+
+- **Matched** (what a synthesis flow can choose): ADCs are provisioned
+  exactly to drain the crossbars' conversion demand, so neither side
+  idles. PIMSYN's Table IV entry is the best matched configuration over
+  its design space.
+- **Fixed** (what manual designs shipped): the design's
+  ADC-per-crossbar ratio is a constant; if it under-provisions, the
+  crossbars stall (ops scale by the supply/demand ratio) and if it
+  over-provisions, the surplus converters burn power at idle.
+
+Both regimes price one crossbar "bundle": the crossbar, its DACs and
+sample-holds, its converter share, and its amortized slice of macro
+overhead (eDRAM, NoC router, registers, ALUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.hardware.crossbar import required_adc_resolution
+from repro.hardware.params import (
+    HardwareParams,
+    RESDAC_CHOICES,
+    RESRRAM_CHOICES,
+    XBSIZE_CHOICES,
+)
+from repro.utils.mathutils import ceil_div
+
+
+@dataclass(frozen=True)
+class PeakPoint:
+    """One configuration's peak operating point."""
+
+    xb_size: int
+    res_rram: int
+    res_dac: int
+    adc_resolution: int
+    ops_per_second_per_crossbar: float
+    bundle_power: float  # watts per crossbar with peripherals
+    tops_per_watt: float
+
+
+def dense_mvm_reads(
+    weight_precision: int, res_rram: int, act_precision: int, res_dac: int
+) -> int:
+    """Analog reads to complete one full-precision MVM.
+
+    Weight bits are sliced across ``ceil(PrecWt/ResRram)`` crossbars and
+    activations streamed over ``ceil(PrecAct/ResDAC)`` bit iterations;
+    the product is the read count one 16b x 16b MVM costs.
+    """
+    return ceil_div(weight_precision, res_rram) * ceil_div(
+        act_precision, res_dac
+    )
+
+
+def crossbar_ops_rate(
+    xb_size: int,
+    res_rram: int,
+    res_dac: int,
+    params: HardwareParams,
+    weight_precision: int = 16,
+    act_precision: int = 16,
+) -> float:
+    """Dense ops/s one crossbar sustains (2 ops per MAC)."""
+    reads = dense_mvm_reads(
+        weight_precision, res_rram, act_precision, res_dac
+    )
+    return 2.0 * xb_size * xb_size / (reads * params.crossbar_latency)
+
+
+def adc_demand_per_crossbar(
+    xb_size: int, params: HardwareParams
+) -> float:
+    """Conversions/s one busy crossbar generates (one per column/read)."""
+    return xb_size / params.crossbar_latency
+
+
+def matched_peak_point(
+    xb_size: int,
+    res_rram: int,
+    res_dac: int,
+    params: HardwareParams,
+    weight_precision: int = 16,
+    act_precision: int = 16,
+    macro_overhead_per_crossbar: Optional[float] = None,
+) -> PeakPoint:
+    """Peak point with ADCs provisioned exactly to crossbar demand."""
+    if macro_overhead_per_crossbar is None:
+        # A lean macro of 64 crossbars with a modest ALU complement.
+        macro_overhead_per_crossbar = (
+            params.edram_power + params.noc_power
+            + params.register_power_per_macro
+            + 16 * params.alu_power
+        ) / 64.0
+
+    resolution = required_adc_resolution(xb_size, res_rram, res_dac)
+    adcs = adc_demand_per_crossbar(xb_size, params) / params.adc_sample_rate
+    bundle = (
+        params.crossbar_power_of(xb_size)
+        + xb_size * (
+            params.dac_power_of(res_dac) + params.sample_hold_power
+        )
+        + adcs * params.adc_power_of(resolution)
+        + macro_overhead_per_crossbar
+    )
+    ops = crossbar_ops_rate(
+        xb_size, res_rram, res_dac, params, weight_precision,
+        act_precision,
+    )
+    if bundle <= 0:
+        raise ConfigurationError("non-positive bundle power")
+    return PeakPoint(
+        xb_size=xb_size,
+        res_rram=res_rram,
+        res_dac=res_dac,
+        adc_resolution=resolution,
+        ops_per_second_per_crossbar=ops,
+        bundle_power=bundle,
+        tops_per_watt=ops / bundle / 1e12,
+    )
+
+
+def fixed_peak_point(
+    xb_size: int,
+    res_rram: int,
+    res_dac: int,
+    adcs_per_crossbar: float,
+    adc_resolution: int,
+    macro_overhead_per_crossbar: float,
+    params: HardwareParams,
+    weight_precision: int = 16,
+    act_precision: int = 16,
+    conversion_overhead: float = 1.0,
+) -> PeakPoint:
+    """Peak point of a manual design's fixed provisioning.
+
+    ``conversion_overhead`` multiplies the conversion demand (e.g.
+    PipeLayer's spike integration, AtomLayer's row rotation), throttling
+    achievable ops when the fixed ADC supply cannot keep up.
+    """
+    if adcs_per_crossbar <= 0:
+        raise ConfigurationError("adcs_per_crossbar must be positive")
+    demand = (
+        adc_demand_per_crossbar(xb_size, params) * conversion_overhead
+    )
+    supply = adcs_per_crossbar * params.adc_sample_rate
+    duty = min(1.0, supply / demand)
+    ops = (
+        crossbar_ops_rate(
+            xb_size, res_rram, res_dac, params, weight_precision,
+            act_precision,
+        )
+        * duty / conversion_overhead
+    )
+    bundle = (
+        params.crossbar_power_of(xb_size)
+        + xb_size * (
+            params.dac_power_of(res_dac) + params.sample_hold_power
+        )
+        + adcs_per_crossbar * params.adc_power_of(adc_resolution)
+        + macro_overhead_per_crossbar
+    )
+    return PeakPoint(
+        xb_size=xb_size,
+        res_rram=res_rram,
+        res_dac=res_dac,
+        adc_resolution=adc_resolution,
+        ops_per_second_per_crossbar=ops,
+        bundle_power=bundle,
+        tops_per_watt=ops / bundle / 1e12,
+    )
+
+
+def best_matched_peak(
+    params: HardwareParams,
+    xb_sizes: Iterable[int] = XBSIZE_CHOICES,
+    res_rrams: Iterable[int] = RESRRAM_CHOICES,
+    res_dacs: Iterable[int] = RESDAC_CHOICES,
+    weight_precision: int = 16,
+    act_precision: int = 16,
+) -> PeakPoint:
+    """The best matched peak over a design-space grid.
+
+    This is the number a synthesis flow reports as *its* peak power
+    efficiency (Table IV's PIMSYN column): the search is free to pick
+    the configuration, manual designs are not.
+    """
+    best: Optional[PeakPoint] = None
+    for xb in xb_sizes:
+        for rram in res_rrams:
+            for dac in res_dacs:
+                point = matched_peak_point(
+                    xb, rram, dac, params, weight_precision,
+                    act_precision,
+                )
+                if best is None or point.tops_per_watt > best.tops_per_watt:
+                    best = point
+    if best is None:
+        raise ConfigurationError("empty design-space grid")
+    return best

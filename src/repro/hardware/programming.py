@@ -1,0 +1,143 @@
+"""Physical weight programming: model weights -> crossbar cells.
+
+After components allocation "the accelerator's implementation details
+are finalized" (§III). The one artifact still implicit in a
+:class:`SynthesisSolution` is the *weight layout*: which tile of which
+layer's weight matrix, in which bit-slice and which duplicate copy,
+lands on which PE of which macro. This module materializes that layout
+and reports programming statistics (cells used, utilization per macro),
+which is what a device-programming backend would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.solution import SynthesisSolution
+from repro.errors import ConfigurationError
+from repro.hardware.crossbar import CrossbarTile, map_layer_weights
+from repro.utils.mathutils import ceil_div
+
+
+@dataclass(frozen=True)
+class PEAssignment:
+    """One physical PE's programmed contents."""
+
+    macro_id: int
+    pe_index: int  # within the macro
+    layer: int
+    copy: int  # which weight duplicate (0 .. WtDup-1)
+    tile: CrossbarTile
+
+    @property
+    def cells_used(self) -> int:
+        return self.tile.rows * self.tile.cols
+
+
+@dataclass
+class WeightLayout:
+    """The chip-wide weight-programming plan."""
+
+    xb_size: int
+    assignments: List[PEAssignment] = field(default_factory=list)
+
+    @property
+    def num_programmed_pes(self) -> int:
+        return len(self.assignments)
+
+    def assignments_of_macro(self, macro_id: int) -> List[PEAssignment]:
+        return [a for a in self.assignments if a.macro_id == macro_id]
+
+    def assignments_of_layer(self, layer: int) -> List[PEAssignment]:
+        return [a for a in self.assignments if a.layer == layer]
+
+    def cell_utilization(self, macro_id: int) -> float:
+        """Programmed-cell fraction of a macro's crossbar capacity."""
+        assignments = self.assignments_of_macro(macro_id)
+        if not assignments:
+            return 0.0
+        used = sum(a.cells_used for a in assignments)
+        capacity = len(assignments) * self.xb_size * self.xb_size
+        return used / capacity
+
+    def utilization_report(self) -> Dict[int, float]:
+        """Macro id -> programmed-cell utilization."""
+        macros = sorted({a.macro_id for a in self.assignments})
+        return {mid: self.cell_utilization(mid) for mid in macros}
+
+    def validate(self) -> None:
+        """Check structural invariants of the layout.
+
+        - every PE index is programmed at most once per macro;
+        - tiles fit in the crossbar geometry.
+        """
+        seen = set()
+        for a in self.assignments:
+            key = (a.macro_id, a.pe_index)
+            if key in seen:
+                raise ConfigurationError(
+                    f"PE {a.pe_index} of macro {a.macro_id} programmed "
+                    "twice"
+                )
+            seen.add(key)
+            if a.tile.rows > self.xb_size or a.tile.cols > self.xb_size:
+                raise ConfigurationError(
+                    f"tile exceeds crossbar: {a.tile}"
+                )
+
+
+def program_solution(solution: SynthesisSolution) -> WeightLayout:
+    """Derive the weight layout of a synthesized design.
+
+    Each layer's ``WtDup`` copies of its Eq. 1 tile set are dealt
+    round-robin across the layer's macros, filling PE slots in order —
+    the same even split the evaluator's bandwidth model assumes. Shared
+    macros receive both layers' weights (their PE budgets were sized by
+    :meth:`SynthesisSolution.build_accelerator` for the sum).
+    """
+    spec = solution.spec
+    layout = WeightLayout(xb_size=solution.xb_size)
+    next_pe: Dict[int, int] = {}
+
+    model_layers = spec.model.weighted_layers
+    for geo in spec.geometries:
+        tiles = map_layer_weights(
+            model_layers[geo.index], solution.xb_size,
+            solution.res_rram, spec.model.weight_precision,
+        ).tiles
+        group: Sequence[int] = solution.partition.macro_groups[geo.index]
+        cursor = 0
+        for copy in range(geo.wt_dup):
+            for tile in tiles:
+                macro_id = group[cursor % len(group)]
+                cursor += 1
+                pe_index = next_pe.get(macro_id, 0)
+                next_pe[macro_id] = pe_index + 1
+                layout.assignments.append(
+                    PEAssignment(
+                        macro_id=macro_id,
+                        pe_index=pe_index,
+                        layer=geo.index,
+                        copy=copy,
+                        tile=tile,
+                    )
+                )
+    layout.validate()
+    return layout
+
+
+def programming_summary(layout: WeightLayout) -> str:
+    """Compact text report of the programming plan."""
+    report = layout.utilization_report()
+    lines = [
+        f"weight layout: {layout.num_programmed_pes} PEs programmed "
+        f"across {len(report)} macros"
+    ]
+    for macro_id, utilization in report.items():
+        count = len(layout.assignments_of_macro(macro_id))
+        lines.append(
+            f"  macro {macro_id}: {count} PEs, "
+            f"{utilization * 100:.1f}% cells used"
+        )
+    return "\n".join(lines)

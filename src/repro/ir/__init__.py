@@ -1,0 +1,27 @@
+"""PIM-friendly intermediate representations (Table II) and the IR DAG.
+
+Dataflow compilation (§IV-B) turns a CNN plus a weight-duplication
+strategy into a DAG whose nodes are the seven IRs of Table II —
+computation (``MVM``, ``ADC``, ``ALU``), intra-macro communication
+(``load``, ``store``) and inter-macro communication (``merge``,
+``transfer``) — and whose edges are the inter-layer / inter-block /
+inter-bit / inter-operation dependencies of Fig. 4. Each IR corresponds
+to one hardware intrinsic, so hardware exploration reduces to resource
+allocation for IRs and performance estimation to DAG depth with IR
+latencies (§IV-B).
+"""
+
+from repro.ir.nodes import ALUOP_KINDS, IRNode, IROp
+from repro.ir.dag import IRDag
+from repro.ir.builder import DataflowBuilder, DataflowSpec
+from repro.ir.lint import lint_dag
+
+__all__ = [
+    "ALUOP_KINDS",
+    "IRNode",
+    "IROp",
+    "IRDag",
+    "DataflowBuilder",
+    "DataflowSpec",
+    "lint_dag",
+]

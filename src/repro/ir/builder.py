@@ -1,0 +1,384 @@
+"""Dataflow compilation: CNN + WtDup + ResDAC -> IR-based DAG (§IV-B).
+
+The three compilation steps of the paper:
+
+1. translate each layer's computation into IRs, indexed by
+   ``(layer, cnt, bit)`` — computation-block level and input-bit level
+   parallelism (§II-A);
+2. establish inter-layer, inter-block, inter-bit and inter-operation
+   dependencies (Fig. 4);
+3. emit the DAG. Communication IRs (``merge``/``transfer``) are
+   supplemented once macro partitioning is known (§IV-C) by passing a
+   ``macro_alloc`` to :meth:`DataflowBuilder.build`.
+
+Windowing
+---------
+An ImageNet conv layer has tens of thousands of computation blocks; the
+DAG is therefore built over a *window* of ``max_blocks_per_layer`` blocks
+(scaled per layer so that the window covers the same fraction of every
+layer's work), which preserves the steady-state pipeline structure the
+simulator measures. ``DataflowSpec.total_blocks`` keeps the true counts
+for extrapolation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, IRError
+from repro.hardware.crossbar import map_layer_weights
+from repro.hardware.params import HardwareParams
+from repro.ir.dag import IRDag
+from repro.ir.nodes import IRNode, IROp
+from repro.nn.model import CNNModel
+from repro.utils.mathutils import ceil_div
+
+
+@dataclass
+class LayerGeometry:
+    """Pre-computed per-layer quantities the builder and evaluator share."""
+
+    index: int
+    name: str
+    rows: int  # WK*WK*CI (or in_features)
+    cols: int  # CO (or out_features)
+    out_positions: int  # WO*HO
+    wt_dup: int
+    set_size: int  # Eq. 1
+    row_tiles: int
+    col_tiles: int
+    bit_slices: int
+
+    @property
+    def crossbars(self) -> int:
+        """Crossbars this layer occupies: WtDup * set."""
+        return self.wt_dup * self.set_size
+
+    @property
+    def total_blocks(self) -> int:
+        """ceil(WO*HO / WtDup): computation blocks per image (§II-A)."""
+        return ceil_div(self.out_positions, self.wt_dup)
+
+    @property
+    def outputs_per_block(self) -> int:
+        """Output activations one block produces: WtDup * CO."""
+        return self.wt_dup * self.cols
+
+    @property
+    def inputs_per_block(self) -> int:
+        """Input activations one block loads: WtDup * WK^2 * CI."""
+        return self.wt_dup * self.rows
+
+    @property
+    def conversions_per_block_bit(self) -> int:
+        """ADC conversions per block per bit iteration.
+
+        Every active column of every crossbar in every duplicate needs
+        one conversion: ``WtDup * row_tiles * bit_slices * CO``.
+        """
+        return self.wt_dup * self.row_tiles * self.bit_slices * self.cols
+
+
+@dataclass
+class DataflowSpec:
+    """Everything stage 2 needs to compile a dataflow.
+
+    ``wt_dup`` is the stage-1 output; ``res_dac`` the Alg. 1 loop
+    variable; ``xb_size``/``res_rram`` come from the PIM-related space.
+    """
+
+    model: CNNModel
+    wt_dup: Sequence[int]
+    xb_size: int
+    res_rram: int
+    res_dac: int
+    params: HardwareParams = field(default_factory=HardwareParams)
+    max_blocks_per_layer: int = 8
+
+    geometries: List[LayerGeometry] = field(init=False)
+
+    def __post_init__(self) -> None:
+        layers = self.model.weighted_layers
+        if len(self.wt_dup) != len(layers):
+            raise ConfigurationError(
+                f"wt_dup has {len(self.wt_dup)} entries for "
+                f"{len(layers)} weighted layers"
+            )
+        if self.max_blocks_per_layer < 1:
+            raise ConfigurationError("max_blocks_per_layer must be >= 1")
+        self.geometries = []
+        for index, layer in enumerate(layers):
+            dup = int(self.wt_dup[index])
+            if dup < 1:
+                raise ConfigurationError(
+                    f"layer {layer.name}: WtDup must be >= 1, got {dup}"
+                )
+            assert layer.output_shape is not None
+            _, ho, wo = layer.output_shape
+            tiling = map_layer_weights(
+                layer, self.xb_size, self.res_rram,
+                self.model.weight_precision,
+            )
+            cols = getattr(layer, "out_channels", None)
+            if cols is None:
+                cols = layer.out_features  # type: ignore[attr-defined]
+            self.geometries.append(
+                LayerGeometry(
+                    index=index,
+                    name=layer.name,
+                    rows=layer.weight_rows,  # type: ignore[attr-defined]
+                    cols=cols,
+                    out_positions=ho * wo,
+                    wt_dup=dup,
+                    set_size=tiling.num_crossbars,
+                    row_tiles=tiling.row_tiles,
+                    col_tiles=tiling.col_tiles,
+                    bit_slices=tiling.bit_slices,
+                )
+            )
+
+    @property
+    def bits(self) -> int:
+        """Bit-serial iterations per block: ceil(PrecAct / ResDAC)."""
+        return ceil_div(self.model.act_precision, self.res_dac)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.geometries)
+
+    def window_blocks(self, layer_index: int) -> int:
+        """Blocks of this layer inside the simulation window.
+
+        The window covers the same *fraction* of every layer's work so
+        the inter-layer pipeline structure in the window matches steady
+        state: the layer with the most blocks gets ``max_blocks_per_layer``
+        and the others get proportionally fewer (at least one).
+        """
+        geos = self.geometries
+        max_total = max(g.total_blocks for g in geos)
+        geo = geos[layer_index]
+        if max_total <= self.max_blocks_per_layer:
+            return geo.total_blocks
+        scaled = math.ceil(
+            geo.total_blocks * self.max_blocks_per_layer / max_total
+        )
+        return max(1, min(scaled, geo.total_blocks))
+
+
+class DataflowBuilder:
+    """Compiles a :class:`DataflowSpec` into an :class:`IRDag`."""
+
+    def __init__(self, spec: DataflowSpec) -> None:
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def build(
+        self, macro_alloc: Optional[Dict[int, List[int]]] = None
+    ) -> IRDag:
+        """Compile the dataflow DAG.
+
+        Parameters
+        ----------
+        macro_alloc:
+            Optional mapping layer-index -> macro ids (stage-3 output).
+            When provided, ``merge`` and ``transfer`` IRs are
+            supplemented; without it the DAG contains computation and
+            intra-macro IRs only (the stage-2 view).
+        """
+        spec = self.spec
+        dag = IRDag()
+        # nodes[layer][cnt] -> dict of the block's named IR nodes
+        blocks: List[List[Dict[str, IRNode]]] = []
+
+        for geo in spec.geometries:
+            layer_blocks: List[Dict[str, IRNode]] = []
+            n_macros = 1
+            if macro_alloc and geo.index in macro_alloc:
+                n_macros = max(1, len(macro_alloc[geo.index]))
+            for cnt in range(spec.window_blocks(geo.index)):
+                layer_blocks.append(
+                    self._emit_block(dag, geo, cnt, n_macros, macro_alloc)
+                )
+            blocks.append(layer_blocks)
+
+        self._wire_intra_layer(dag, blocks)
+        self._wire_inter_layer(dag, blocks, macro_alloc)
+        dag.validate_acyclic()
+        return dag
+
+    # ------------------------------------------------------------------
+    # Node emission
+    # ------------------------------------------------------------------
+    def _emit_block(
+        self,
+        dag: IRDag,
+        geo: LayerGeometry,
+        cnt: int,
+        n_macros: int,
+        macro_alloc: Optional[Dict[int, List[int]]],
+    ) -> Dict[str, IRNode]:
+        """Emit one computation block's IRs and intra-block edges."""
+        spec = self.spec
+        nodes: Dict[str, IRNode] = {}
+
+        load = dag.add_node(
+            IRNode(op=IROp.LOAD, layer=geo.index, cnt=cnt,
+                   vec_width=geo.inputs_per_block)
+        )
+        nodes["load"] = load
+
+        prev_alu: Optional[IRNode] = None
+        for bit in range(spec.bits):
+            mvm = dag.add_node(
+                IRNode(op=IROp.MVM, layer=geo.index, cnt=cnt, bit=bit,
+                       xb_num=geo.crossbars)
+            )
+            adc = dag.add_node(
+                IRNode(op=IROp.ADC, layer=geo.index, cnt=cnt, bit=bit,
+                       vec_width=geo.conversions_per_block_bit)
+            )
+            alu = dag.add_node(
+                IRNode(op=IROp.ALU, layer=geo.index, cnt=cnt, bit=bit,
+                       aluop="shift_add",
+                       vec_width=geo.conversions_per_block_bit)
+            )
+            nodes[f"mvm{bit}"] = mvm
+            nodes[f"adc{bit}"] = adc
+            nodes[f"alu{bit}"] = alu
+
+            if bit == 0:
+                dag.add_edge(load, mvm)
+            else:
+                # inter-bit pipeline: the crossbars serialize bit
+                # iterations of one block (Fig. 4, inter-bit edges).
+                dag.add_edge(nodes[f"mvm{bit - 1}"], mvm)
+            dag.add_edge(mvm, adc)
+            dag.add_edge(adc, alu)
+            if prev_alu is not None:
+                # shift-and-add accumulates bit by bit in order.
+                dag.add_edge(prev_alu, alu)
+            prev_alu = alu
+
+        tail: IRNode = prev_alu  # type: ignore[assignment]
+
+        if n_macros > 1 and geo.row_tiles > 1:
+            # Partial sums of a row-tiled layer live on different macros
+            # and must be merged before the final outputs exist.
+            merge = dag.add_node(
+                IRNode(op=IROp.MERGE, layer=geo.index, cnt=cnt,
+                       macro_num=n_macros,
+                       vec_width=geo.outputs_per_block)
+            )
+            dag.add_edge(tail, merge)
+            nodes["merge"] = merge
+            tail = merge
+
+        store = dag.add_node(
+            IRNode(op=IROp.STORE, layer=geo.index, cnt=cnt,
+                   vec_width=geo.outputs_per_block)
+        )
+        dag.add_edge(tail, store)
+        nodes["store"] = store
+        return nodes
+
+    # ------------------------------------------------------------------
+    # Intra-layer wiring (inter-block pipeline)
+    # ------------------------------------------------------------------
+    def _wire_intra_layer(
+        self, dag: IRDag, blocks: List[List[Dict[str, IRNode]]]
+    ) -> None:
+        """Fig. 4 inter-block edges: consecutive blocks share crossbars
+        and the scratchpad port, so block ``cnt+1``'s first MVM follows
+        block ``cnt``'s last MVM, and loads/stores are chained."""
+        last_bit = self.spec.bits - 1
+        for layer_blocks in blocks:
+            for cnt in range(1, len(layer_blocks)):
+                prev, cur = layer_blocks[cnt - 1], layer_blocks[cnt]
+                dag.add_edge(prev[f"mvm{last_bit}"], cur["mvm0"])
+                dag.add_edge(prev["load"], cur["load"])
+                dag.add_edge(prev["store"], cur["store"])
+
+    # ------------------------------------------------------------------
+    # Inter-layer wiring (fine-grained pipeline + transfers)
+    # ------------------------------------------------------------------
+    def producer_block_for(
+        self, producer: LayerGeometry, consumer: LayerGeometry,
+        consumer_cnt: int,
+    ) -> int:
+        """Which producer block must finish before consumer block starts.
+
+        The fine-grained pipeline lets a layer start "as soon as the
+        previous layer has produced sufficient outputs" (§IV-B). We map
+        output positions linearly — consumer block ``cnt`` covers output
+        positions up to ``(cnt+1) * WtDup_c``; scaled into the producer's
+        output space plus a halo of one kernel row's worth of positions,
+        this fixes the producer block index (clamped to its range).
+
+        The paper's own example (Fig. 4: layer 1 ``WtDup=3, WK=3``; store
+        of layer-1 block 5 enables load of layer-2 block 3) is reproduced
+        by this rule and pinned by a regression test.
+        """
+        consumed = (consumer_cnt + 1) * consumer.wt_dup
+        scale = producer.out_positions / consumer.out_positions
+        # Halo: a consumer window spans ~WK producer rows; one row of the
+        # producer map is sqrt(out_positions) positions (square maps).
+        halo = int(math.sqrt(producer.out_positions))
+        needed = min(
+            producer.out_positions, math.ceil(consumed * scale) + halo
+        )
+        block = ceil_div(needed, producer.wt_dup) - 1
+        return max(0, min(block, producer.total_blocks - 1))
+
+    def _wire_inter_layer(
+        self,
+        dag: IRDag,
+        blocks: List[List[Dict[str, IRNode]]],
+        macro_alloc: Optional[Dict[int, List[int]]],
+    ) -> None:
+        spec = self.spec
+        for producer_idx, consumer_idx in spec.model.interlayer_edges():
+            producer = spec.geometries[producer_idx]
+            consumer = spec.geometries[consumer_idx]
+            prod_blocks = blocks[producer_idx]
+            cons_blocks = blocks[consumer_idx]
+            for cnt, cons in enumerate(cons_blocks):
+                needed = self.producer_block_for(producer, consumer, cnt)
+                # Clamp into the window; a dependency beyond the window
+                # degrades to the last windowed block, which is
+                # conservative for the measured period.
+                needed = min(needed, len(prod_blocks) - 1)
+                prod_store = prod_blocks[needed]["store"]
+                if macro_alloc is not None:
+                    src = self._representative_macro(
+                        macro_alloc, producer_idx
+                    )
+                    dst = self._representative_macro(
+                        macro_alloc, consumer_idx
+                    )
+                    if src != dst:
+                        transfer = dag.add_node(
+                            IRNode(
+                                op=IROp.TRANSFER, layer=producer_idx,
+                                cnt=cnt, src=src, dst=dst,
+                                vec_width=consumer.inputs_per_block,
+                            )
+                        )
+                        dag.add_edge(prod_store, transfer)
+                        dag.add_edge(transfer, cons["load"])
+                        continue
+                dag.add_edge(prod_store, cons["load"])
+
+    @staticmethod
+    def _representative_macro(
+        macro_alloc: Dict[int, List[int]], layer_index: int
+    ) -> int:
+        ids = macro_alloc.get(layer_index)
+        if not ids:
+            raise IRError(
+                f"macro allocation missing layer {layer_index}"
+            )
+        return ids[0]

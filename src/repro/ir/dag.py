@@ -1,0 +1,195 @@
+"""The IR-based dataflow DAG.
+
+A thin, fast digraph specialized for IR nodes: integer node ids,
+adjacency lists, cycle-checked topological order, and critical-path
+(depth) computation under a caller-supplied latency function — the
+performance-estimation primitive of §IV-B ("the performance of
+synthesized accelerators can be estimated by the depth of the IR-based
+DAG and the IRs' latencies").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import IRError
+from repro.ir.nodes import IRNode, IROp
+
+
+class IRDag:
+    """Directed acyclic graph of :class:`IRNode` objects."""
+
+    def __init__(self) -> None:
+        self._nodes: List[IRNode] = []
+        self._succ: List[List[int]] = []
+        self._pred: List[List[int]] = []
+        self._topo_cache: Optional[List[int]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: IRNode) -> IRNode:
+        """Insert a node, assigning its ``node_id``; returns the stored copy."""
+        node_id = len(self._nodes)
+        stored = IRNode(
+            op=node.op, layer=node.layer, cnt=node.cnt, bit=node.bit,
+            xb_num=node.xb_num, vec_width=node.vec_width, aluop=node.aluop,
+            macro_num=node.macro_num, src=node.src, dst=node.dst,
+            node_id=node_id,
+        )
+        self._nodes.append(stored)
+        self._succ.append([])
+        self._pred.append([])
+        self._topo_cache = None
+        return stored
+
+    def add_edge(self, src: IRNode, dst: IRNode) -> None:
+        """Add a dependency edge ``src -> dst`` (idempotent)."""
+        sid, did = src.node_id, dst.node_id
+        if not (0 <= sid < len(self._nodes)) or not (0 <= did < len(self._nodes)):
+            raise IRError("edge endpoints must be nodes of this DAG")
+        if sid == did:
+            raise IRError(f"self-edge on node {sid} ({src.describe()})")
+        if did not in self._succ[sid]:
+            self._succ[sid].append(did)
+            self._pred[did].append(sid)
+            self._topo_cache = None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[IRNode]:
+        return iter(self._nodes)
+
+    @property
+    def nodes(self) -> List[IRNode]:
+        return list(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succ)
+
+    def node(self, node_id: int) -> IRNode:
+        if not 0 <= node_id < len(self._nodes):
+            raise IRError(f"no node with id {node_id}")
+        return self._nodes[node_id]
+
+    def successors(self, node: IRNode) -> List[IRNode]:
+        return [self._nodes[i] for i in self._succ[node.node_id]]
+
+    def predecessors(self, node: IRNode) -> List[IRNode]:
+        return [self._nodes[i] for i in self._pred[node.node_id]]
+
+    def sources(self) -> List[IRNode]:
+        """Nodes with no predecessors."""
+        return [n for n in self._nodes if not self._pred[n.node_id]]
+
+    def sinks(self) -> List[IRNode]:
+        """Nodes with no successors."""
+        return [n for n in self._nodes if not self._succ[n.node_id]]
+
+    def nodes_of_op(self, op: IROp) -> List[IRNode]:
+        return [n for n in self._nodes if n.op == op]
+
+    def nodes_of_layer(self, layer: int) -> List[IRNode]:
+        return [n for n in self._nodes if n.layer == layer]
+
+    def op_histogram(self) -> Dict[IROp, int]:
+        hist: Dict[IROp, int] = {}
+        for node in self._nodes:
+            hist[node.op] = hist.get(node.op, 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[IRNode]:
+        """Kahn topological order; raises :class:`IRError` on cycles."""
+        if self._topo_cache is None:
+            indegree = [len(p) for p in self._pred]
+            ready = [i for i, deg in enumerate(indegree) if deg == 0]
+            order: List[int] = []
+            head = 0
+            ready_list = list(ready)
+            while head < len(ready_list):
+                nid = ready_list[head]
+                head += 1
+                order.append(nid)
+                for succ in self._succ[nid]:
+                    indegree[succ] -= 1
+                    if indegree[succ] == 0:
+                        ready_list.append(succ)
+            if len(order) != len(self._nodes):
+                raise IRError(
+                    f"IR DAG has a cycle ({len(self._nodes) - len(order)} "
+                    "nodes unreachable in topological sort)"
+                )
+            self._topo_cache = order
+        return [self._nodes[i] for i in self._topo_cache]
+
+    def validate_acyclic(self) -> None:
+        """Raise if the graph contains a cycle."""
+        self.topological_order()
+
+    def depth(self) -> int:
+        """Longest path length in nodes (unit latencies)."""
+        return self.critical_path_length(lambda _node: 1.0).__int__()
+
+    def critical_path_length(
+        self, latency: Callable[[IRNode], float]
+    ) -> float:
+        """Longest path under ``latency`` — the §IV-B performance estimate.
+
+        This is the *dependency-limited* bound; resource contention is
+        added by the behavior-level simulator in :mod:`repro.sim`.
+        """
+        finish: Dict[int, float] = {}
+        longest = 0.0
+        for node in self.topological_order():
+            nid = node.node_id
+            start = 0.0
+            for pred in self._pred[nid]:
+                start = max(start, finish[pred])
+            finish[nid] = start + latency(node)
+            longest = max(longest, finish[nid])
+        return longest
+
+    def critical_path(
+        self, latency: Callable[[IRNode], float]
+    ) -> List[IRNode]:
+        """The nodes on one longest path (for diagnostics)."""
+        finish: Dict[int, float] = {}
+        via: Dict[int, Optional[int]] = {}
+        for node in self.topological_order():
+            nid = node.node_id
+            best_pred, start = None, 0.0
+            for pred in self._pred[nid]:
+                if finish[pred] > start:
+                    start, best_pred = finish[pred], pred
+            finish[nid] = start + latency(node)
+            via[nid] = best_pred
+        if not finish:
+            return []
+        tail = max(finish, key=lambda nid: finish[nid])
+        path = []
+        cursor: Optional[int] = tail
+        while cursor is not None:
+            path.append(self._nodes[cursor])
+            cursor = via[cursor]
+        path.reverse()
+        return path
+
+    def ancestors(self, node: IRNode) -> Set[int]:
+        """All transitive predecessors' ids (used by lint checks)."""
+        seen: Set[int] = set()
+        stack = list(self._pred[node.node_id])
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            stack.extend(self._pred[nid])
+        return seen

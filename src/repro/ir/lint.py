@@ -1,0 +1,99 @@
+"""Structural validation passes over an IR DAG.
+
+The builder is tested directly, but synthesized DAGs also flow through
+macro partitioning which splices communication IRs in; ``lint_dag`` is a
+defense-in-depth check that any DAG handed to the simulator satisfies the
+invariants the paper's dependency model implies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.dag import IRDag
+from repro.ir.nodes import IRNode, IROp
+
+
+def lint_dag(dag: IRDag) -> List[str]:
+    """Return a list of human-readable violations (empty = clean)."""
+    problems: List[str] = []
+    problems.extend(_check_acyclic(dag))
+    if problems:
+        # Remaining checks need a topological order.
+        return problems
+    problems.extend(_check_block_structure(dag))
+    problems.extend(_check_adc_follows_mvm(dag))
+    problems.extend(_check_store_reachability(dag))
+    problems.extend(_check_transfer_endpoints(dag))
+    return problems
+
+
+def _check_acyclic(dag: IRDag) -> List[str]:
+    try:
+        dag.validate_acyclic()
+        return []
+    except Exception as exc:  # noqa: BLE001 - report, not crash
+        return [f"cycle: {exc}"]
+
+
+def _check_block_structure(dag: IRDag) -> List[str]:
+    """Every (layer, cnt) block must have exactly one load and one store."""
+    problems = []
+    seen = {}
+    for node in dag:
+        if node.op in (IROp.LOAD, IROp.STORE):
+            key = (node.op, node.layer, node.cnt)
+            seen[key] = seen.get(key, 0) + 1
+    for (op, layer, cnt), count in sorted(seen.items(), key=str):
+        if count != 1:
+            problems.append(
+                f"{op.value} L{layer} cnt={cnt} appears {count} times"
+            )
+    return problems
+
+
+def _check_adc_follows_mvm(dag: IRDag) -> List[str]:
+    """Each ADC must directly consume the matching MVM's analog output."""
+    problems = []
+    for node in dag.nodes_of_op(IROp.ADC):
+        preds = dag.predecessors(node)
+        if not any(
+            p.op == IROp.MVM and p.layer == node.layer
+            and p.cnt == node.cnt and p.bit == node.bit
+            for p in preds
+        ):
+            problems.append(
+                f"ADC without matching MVM predecessor: {node.describe()}"
+            )
+    return problems
+
+
+def _check_store_reachability(dag: IRDag) -> List[str]:
+    """Every store must (transitively) depend on its block's load."""
+    problems = []
+    loads = {
+        (n.layer, n.cnt): n for n in dag.nodes_of_op(IROp.LOAD)
+    }
+    for store in dag.nodes_of_op(IROp.STORE):
+        load = loads.get((store.layer, store.cnt))
+        if load is None:
+            problems.append(
+                f"store without load in block: {store.describe()}"
+            )
+            continue
+        if load.node_id not in dag.ancestors(store):
+            problems.append(
+                f"store not reachable from its load: {store.describe()}"
+            )
+    return problems
+
+
+def _check_transfer_endpoints(dag: IRDag) -> List[str]:
+    """Transfers must not be self-loops at the macro level."""
+    problems = []
+    for node in dag.nodes_of_op(IROp.TRANSFER):
+        if node.src == node.dst:
+            problems.append(
+                f"transfer with src == dst: {node.describe()}"
+            )
+    return problems

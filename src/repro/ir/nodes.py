@@ -1,0 +1,134 @@
+"""IR node definitions, mirroring Table II exactly.
+
+=====================  =========================================
+Category               IRs (parameters)
+=====================  =========================================
+Computation            ``MVM(layer, cnt, bit, xb_num)``
+                       ``ADC(layer, cnt, bit, vec_width)``
+                       ``ALU(aluop, layer, cnt, bit, vec_width)``
+Intra-macro comm.      ``load(layer, cnt, vec_width)``
+                       ``store(layer, cnt, vec_width)``
+Inter-macro comm.      ``merge(layer, macro_num, vec_width)``
+                       ``transfer(layer, src, dst, vec_width)``
+=====================  =========================================
+
+``cnt`` indexes the computation block, ``bit`` the bit-serial iteration
+within a block, ``xb_num`` the crossbars a MVM engages, ``vec_width`` the
+operand length. MVM folds DAC and sample-hold in, because "due to the
+analog properties, the three operations cannot be divided into different
+control steps" (Table II, note a).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import IRError
+
+
+class IROp(enum.Enum):
+    """The seven IR opcodes of Table II."""
+
+    MVM = "mvm"
+    ADC = "adc"
+    ALU = "alu"
+    LOAD = "load"
+    STORE = "store"
+    MERGE = "merge"
+    TRANSFER = "transfer"
+
+
+# Vector operations the ALU IR supports (Fig. 2: "shift-and-add, pooling,
+# ReLU, etc." — arithmetic/logical/non-linear per Table II).
+ALUOP_KINDS: Tuple[str, ...] = (
+    "shift_add", "pooling", "relu", "add", "mul", "sigmoid",
+)
+
+_COMPUTE_OPS = frozenset({IROp.MVM, IROp.ADC, IROp.ALU})
+_COMM_OPS = frozenset({IROp.LOAD, IROp.STORE, IROp.MERGE, IROp.TRANSFER})
+
+
+@dataclass(frozen=True)
+class IRNode:
+    """One IR instance — one node of the dataflow DAG.
+
+    Only the fields meaningful for the opcode are set; the constructor
+    enforces Table II's parameter lists.
+    """
+
+    op: IROp
+    layer: int
+    cnt: int = 0
+    bit: int = 0
+    xb_num: int = 0
+    vec_width: int = 0
+    aluop: Optional[str] = None
+    macro_num: int = 0
+    src: int = -1
+    dst: int = -1
+    node_id: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.layer < 0:
+            raise IRError(f"{self.op}: layer index must be >= 0")
+        if self.cnt < 0 or self.bit < 0:
+            raise IRError(f"{self.op}: cnt/bit must be >= 0")
+        if self.op == IROp.MVM:
+            if self.xb_num <= 0:
+                raise IRError("MVM: xb_num must be positive")
+        elif self.op == IROp.ALU:
+            if self.aluop not in ALUOP_KINDS:
+                raise IRError(f"ALU: unknown aluop {self.aluop!r}")
+            if self.vec_width <= 0:
+                raise IRError("ALU: vec_width must be positive")
+        elif self.op in (IROp.ADC, IROp.LOAD, IROp.STORE):
+            if self.vec_width <= 0:
+                raise IRError(f"{self.op.value}: vec_width must be positive")
+        elif self.op == IROp.MERGE:
+            if self.macro_num < 2:
+                raise IRError("merge: needs at least two macros")
+            if self.vec_width <= 0:
+                raise IRError("merge: vec_width must be positive")
+        elif self.op == IROp.TRANSFER:
+            if self.src < 0 or self.dst < 0:
+                raise IRError("transfer: src/dst must be macro ids >= 0")
+            if self.vec_width <= 0:
+                raise IRError("transfer: vec_width must be positive")
+
+    @property
+    def is_computation(self) -> bool:
+        return self.op in _COMPUTE_OPS
+
+    @property
+    def is_communication(self) -> bool:
+        return self.op in _COMM_OPS
+
+    @property
+    def is_inter_macro(self) -> bool:
+        return self.op in (IROp.MERGE, IROp.TRANSFER)
+
+    def key(self) -> tuple:
+        """Identity tuple (excludes node_id); stable across builds."""
+        return (
+            self.op, self.layer, self.cnt, self.bit, self.xb_num,
+            self.vec_width, self.aluop, self.macro_num, self.src, self.dst,
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable form used in traces and lint output."""
+        parts = [f"{self.op.value}", f"L{self.layer}", f"cnt={self.cnt}"]
+        if self.op in (IROp.MVM, IROp.ADC, IROp.ALU):
+            parts.append(f"bit={self.bit}")
+        if self.op == IROp.MVM:
+            parts.append(f"xb={self.xb_num}")
+        if self.op == IROp.ALU:
+            parts.append(f"aluop={self.aluop}")
+        if self.vec_width:
+            parts.append(f"w={self.vec_width}")
+        if self.op == IROp.MERGE:
+            parts.append(f"macros={self.macro_num}")
+        if self.op == IROp.TRANSFER:
+            parts.append(f"{self.src}->{self.dst}")
+        return " ".join(parts)

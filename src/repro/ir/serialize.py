@@ -1,0 +1,129 @@
+"""IR DAG serialization: JSON for tooling, DOT for visualization.
+
+The IR-based DAG is the interface between the synthesis stages
+(§IV-B: "IR acts as the interface between high-level algorithms and
+low-level implementations"); exporting it lets external tools — or a
+reviewer with Graphviz — inspect exactly what the compiler produced.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.errors import IRError
+from repro.ir.dag import IRDag
+from repro.ir.nodes import IRNode, IROp
+
+_OP_COLORS = {
+    IROp.MVM: "lightblue",
+    IROp.ADC: "lightyellow",
+    IROp.ALU: "lightgreen",
+    IROp.LOAD: "lightgrey",
+    IROp.STORE: "lightgrey",
+    IROp.MERGE: "orange",
+    IROp.TRANSFER: "salmon",
+}
+
+
+def _node_payload(node: IRNode) -> Dict:
+    payload = {
+        "id": node.node_id,
+        "op": node.op.value,
+        "layer": node.layer,
+        "cnt": node.cnt,
+        "bit": node.bit,
+    }
+    if node.op == IROp.MVM:
+        payload["xb_num"] = node.xb_num
+    if node.vec_width:
+        payload["vec_width"] = node.vec_width
+    if node.aluop:
+        payload["aluop"] = node.aluop
+    if node.op == IROp.MERGE:
+        payload["macro_num"] = node.macro_num
+    if node.op == IROp.TRANSFER:
+        payload["src"] = node.src
+        payload["dst"] = node.dst
+    return payload
+
+
+def dag_to_json(dag: IRDag, indent: Optional[int] = 2) -> str:
+    """Serialize a DAG as ``{"nodes": [...], "edges": [[src, dst]...]}``."""
+    nodes = [_node_payload(node) for node in dag]
+    edges = [
+        [node.node_id, succ.node_id]
+        for node in dag
+        for succ in dag.successors(node)
+    ]
+    return json.dumps({"nodes": nodes, "edges": edges}, indent=indent)
+
+
+def dag_from_json(document: str) -> IRDag:
+    """Rebuild a DAG from :func:`dag_to_json` output."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise IRError(f"invalid DAG JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "nodes" not in payload:
+        raise IRError("DAG document must contain a 'nodes' list")
+
+    dag = IRDag()
+    id_map: Dict[int, IRNode] = {}
+    for raw in payload["nodes"]:
+        try:
+            node = IRNode(
+                op=IROp(raw["op"]),
+                layer=raw["layer"],
+                cnt=raw.get("cnt", 0),
+                bit=raw.get("bit", 0),
+                xb_num=raw.get("xb_num", 0),
+                vec_width=raw.get("vec_width", 0),
+                aluop=raw.get("aluop"),
+                macro_num=raw.get("macro_num", 0),
+                src=raw.get("src", -1),
+                dst=raw.get("dst", -1),
+            )
+        except (KeyError, ValueError) as exc:
+            raise IRError(f"malformed IR node {raw!r}: {exc}") from exc
+        id_map[raw["id"]] = dag.add_node(node)
+
+    for src, dst in payload.get("edges", []):
+        if src not in id_map or dst not in id_map:
+            raise IRError(f"edge references unknown node: {src}->{dst}")
+        dag.add_edge(id_map[src], id_map[dst])
+    dag.validate_acyclic()
+    return dag
+
+
+def dag_to_dot(dag: IRDag, max_nodes: int = 500) -> str:
+    """Render the DAG in Graphviz DOT (op-colored, layer-clustered).
+
+    Refuses DAGs beyond ``max_nodes`` — a windowed LeNet DAG renders
+    fine, a full VGG16 DAG would melt Graphviz.
+    """
+    if len(dag) > max_nodes:
+        raise IRError(
+            f"DAG has {len(dag)} nodes; DOT export capped at "
+            f"{max_nodes} (raise max_nodes explicitly if you mean it)"
+        )
+    lines = ["digraph ir {", "  rankdir=LR;", "  node [style=filled];"]
+    layers: Dict[int, list] = {}
+    for node in dag:
+        layers.setdefault(node.layer, []).append(node)
+    for layer, nodes in sorted(layers.items()):
+        lines.append(f"  subgraph cluster_L{layer} {{")
+        lines.append(f'    label="layer {layer}";')
+        for node in nodes:
+            color = _OP_COLORS[node.op]
+            label = f"{node.op.value}\\ncnt={node.cnt} bit={node.bit}"
+            lines.append(
+                f'    n{node.node_id} [label="{label}", '
+                f'fillcolor={color}];'
+            )
+        lines.append("  }")
+    for node in dag:
+        for succ in dag.successors(node):
+            lines.append(f"  n{node.node_id} -> n{succ.node_id};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""CNN model substrate.
+
+PIMSYN takes a trained, quantified CNN structure as input (the paper uses
+the ONNX format). This subpackage provides:
+
+- :mod:`repro.nn.layers` — layer dataclasses with the geometry PIMSYN
+  consumes (kernel size, channels, output feature-map size);
+- :mod:`repro.nn.shapes` — shape inference that fills those geometries in
+  from an input resolution;
+- :mod:`repro.nn.model` — the :class:`CNNModel` container and validation;
+- :mod:`repro.nn.zoo` — the paper's five benchmark networks (AlexNet,
+  VGG13, VGG16, MSRA, ResNet18) for ImageNet plus CIFAR variants for the
+  Gibbon comparison;
+- :mod:`repro.nn.onnx_io` — a lightweight ONNX-like JSON interchange;
+- :mod:`repro.nn.workload` — MAC counts and data-access volumes.
+"""
+
+from repro.nn.layers import (
+    AddLayer,
+    ConcatLayer,
+    ConvLayer,
+    FCLayer,
+    FlattenLayer,
+    Layer,
+    LayerKind,
+    PoolLayer,
+    ReluLayer,
+)
+from repro.nn.model import CNNModel
+from repro.nn.onnx_io import model_from_json, model_to_json
+from repro.nn.workload import (
+    layer_access_volume,
+    layer_macs,
+    model_macs,
+    model_weight_count,
+)
+from repro.nn.zoo import (
+    alexnet,
+    alexnet_cifar,
+    build_model,
+    lenet5,
+    msra,
+    resnet18,
+    resnet18_cifar,
+    vgg13,
+    vgg16,
+    vgg16_cifar,
+)
+
+__all__ = [
+    "AddLayer",
+    "ConcatLayer",
+    "ConvLayer",
+    "FCLayer",
+    "FlattenLayer",
+    "Layer",
+    "LayerKind",
+    "PoolLayer",
+    "ReluLayer",
+    "CNNModel",
+    "model_from_json",
+    "model_to_json",
+    "layer_access_volume",
+    "layer_macs",
+    "model_macs",
+    "model_weight_count",
+    "alexnet",
+    "alexnet_cifar",
+    "build_model",
+    "lenet5",
+    "msra",
+    "resnet18",
+    "resnet18_cifar",
+    "vgg13",
+    "vgg16",
+    "vgg16_cifar",
+]

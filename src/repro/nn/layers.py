@@ -1,0 +1,226 @@
+"""Layer dataclasses.
+
+PIMSYN's synthesis stages operate on *weight-bearing* layers (convolutions
+and fully-connected layers map onto crossbars); pooling/ReLU/add are
+vector operations executed by a macro's ALU units and matter for workload
+accounting, not weight mapping. Each layer carries the geometry the paper
+uses: ``WK`` (kernel width), ``CI``/``CO`` (input/output channels) and,
+after shape inference, ``WO``/``HO`` (output feature-map width/height).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ModelError
+
+
+class LayerKind(enum.Enum):
+    """Discriminator for the layer taxonomy PIMSYN understands."""
+
+    CONV = "conv"
+    FC = "fc"
+    POOL = "pool"
+    RELU = "relu"
+    ADD = "add"
+    CONCAT = "concat"
+    FLATTEN = "flatten"
+
+
+@dataclass
+class Layer:
+    """Base class for all layers.
+
+    Attributes
+    ----------
+    name:
+        Unique layer identifier within a model.
+    inputs:
+        Names of producer layers; the special name ``"input"`` denotes the
+        network input tensor. Order matters for ``concat``.
+    output_shape:
+        ``(channels, height, width)``, filled in by shape inference.
+    """
+
+    name: str
+    inputs: Tuple[str, ...] = field(default=("input",))
+    output_shape: Optional[Tuple[int, int, int]] = field(default=None)
+
+    @property
+    def kind(self) -> LayerKind:
+        raise NotImplementedError
+
+    @property
+    def is_weighted(self) -> bool:
+        """True for layers whose weights are programmed into crossbars."""
+        return False
+
+    def validate(self) -> None:
+        """Raise :class:`ModelError` on malformed parameters."""
+        if not self.name:
+            raise ModelError("layer must have a non-empty name")
+        if not self.inputs:
+            raise ModelError(f"layer {self.name!r} has no inputs")
+
+
+@dataclass
+class ConvLayer(Layer):
+    """2-D convolution.
+
+    ``kernel`` is the paper's ``WK`` (square kernels, as in all five
+    benchmark networks), ``in_channels``/``out_channels`` are ``CI``/``CO``.
+    """
+
+    kernel: int = 3
+    in_channels: int = 0
+    out_channels: int = 0
+    stride: int = 1
+    padding: int = 0
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONV
+
+    @property
+    def is_weighted(self) -> bool:
+        return True
+
+    @property
+    def weight_rows(self) -> int:
+        """Crossbar rows one filter occupies: ``WK * WK * CI`` (Fig. 1)."""
+        return self.kernel * self.kernel * self.in_channels
+
+    @property
+    def weight_count(self) -> int:
+        """Total scalar weights: rows x filters."""
+        return self.weight_rows * self.out_channels
+
+    def validate(self) -> None:
+        super().validate()
+        if self.kernel <= 0:
+            raise ModelError(f"{self.name}: kernel must be positive")
+        if self.in_channels <= 0 or self.out_channels <= 0:
+            raise ModelError(f"{self.name}: channel counts must be positive")
+        if self.stride <= 0:
+            raise ModelError(f"{self.name}: stride must be positive")
+        if self.padding < 0:
+            raise ModelError(f"{self.name}: padding must be non-negative")
+        if len(self.inputs) != 1:
+            raise ModelError(f"{self.name}: conv takes exactly one input")
+
+
+@dataclass
+class FCLayer(Layer):
+    """Fully-connected layer, mapped as a 1x1 'convolution' over a 1x1 map.
+
+    On a crossbar a fully-connected layer is an MVM with ``in_features``
+    rows and ``out_features`` columns and a single output position
+    (``WO = HO = 1``), which is exactly how PIM accelerators treat it.
+    """
+
+    in_features: int = 0
+    out_features: int = 0
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FC
+
+    @property
+    def is_weighted(self) -> bool:
+        return True
+
+    @property
+    def weight_rows(self) -> int:
+        return self.in_features
+
+    @property
+    def weight_count(self) -> int:
+        return self.in_features * self.out_features
+
+    def validate(self) -> None:
+        super().validate()
+        if self.in_features <= 0 or self.out_features <= 0:
+            raise ModelError(f"{self.name}: feature counts must be positive")
+        if len(self.inputs) != 1:
+            raise ModelError(f"{self.name}: fc takes exactly one input")
+
+
+@dataclass
+class PoolLayer(Layer):
+    """Max/average pooling; executed by ALU units (the ``pooling`` aluop)."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    mode: str = "max"
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.POOL
+
+    def validate(self) -> None:
+        super().validate()
+        if self.kernel <= 0 or self.stride <= 0:
+            raise ModelError(f"{self.name}: kernel/stride must be positive")
+        if self.mode not in ("max", "avg"):
+            raise ModelError(f"{self.name}: unknown pool mode {self.mode!r}")
+        if len(self.inputs) != 1:
+            raise ModelError(f"{self.name}: pool takes exactly one input")
+
+
+@dataclass
+class ReluLayer(Layer):
+    """ReLU activation; executed by ALU units."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.RELU
+
+    def validate(self) -> None:
+        super().validate()
+        if len(self.inputs) != 1:
+            raise ModelError(f"{self.name}: relu takes exactly one input")
+
+
+@dataclass
+class AddLayer(Layer):
+    """Element-wise addition (ResNet shortcut joins)."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ADD
+
+    def validate(self) -> None:
+        super().validate()
+        if len(self.inputs) != 2:
+            raise ModelError(f"{self.name}: add takes exactly two inputs")
+
+
+@dataclass
+class ConcatLayer(Layer):
+    """Channel-wise concatenation."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONCAT
+
+    def validate(self) -> None:
+        super().validate()
+        if len(self.inputs) < 2:
+            raise ModelError(f"{self.name}: concat needs >=2 inputs")
+
+
+@dataclass
+class FlattenLayer(Layer):
+    """Flatten a feature map to a vector ahead of FC layers."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FLATTEN
+
+    def validate(self) -> None:
+        super().validate()
+        if len(self.inputs) != 1:
+            raise ModelError(f"{self.name}: flatten takes exactly one input")

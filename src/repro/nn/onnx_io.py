@@ -1,0 +1,200 @@
+"""ONNX-like JSON interchange for CNN structures.
+
+The paper's entry point is "a CNN model structure described in the ONNX
+format" (§III). The ``onnx`` package is not available offline, so we
+provide a lightweight JSON document with the same information content: a
+graph of nodes with op types and attributes plus the input tensor shape.
+The schema intentionally mirrors ONNX naming (``Conv``, ``MaxPool``,
+``Gemm``, ``Relu``, ``Add``, ``Concat``, ``Flatten``) so that converting a
+real ONNX graph to this format is a mechanical transformation.
+
+Example document::
+
+    {
+      "name": "lenet5",
+      "input_shape": [1, 32, 32],
+      "act_precision": 16,
+      "weight_precision": 16,
+      "nodes": [
+        {"op": "Conv", "name": "conv1", "inputs": ["input"],
+         "attrs": {"kernel": 5, "out_channels": 6, "stride": 1,
+                   "padding": 0}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    AddLayer,
+    ConcatLayer,
+    ConvLayer,
+    FCLayer,
+    FlattenLayer,
+    Layer,
+    LayerKind,
+    PoolLayer,
+    ReluLayer,
+)
+from repro.nn.model import CNNModel
+
+_OP_TO_KIND = {
+    "Conv": LayerKind.CONV,
+    "Gemm": LayerKind.FC,
+    "MaxPool": LayerKind.POOL,
+    "AveragePool": LayerKind.POOL,
+    "Relu": LayerKind.RELU,
+    "Add": LayerKind.ADD,
+    "Concat": LayerKind.CONCAT,
+    "Flatten": LayerKind.FLATTEN,
+}
+
+_KIND_TO_OP = {
+    LayerKind.CONV: "Conv",
+    LayerKind.FC: "Gemm",
+    LayerKind.RELU: "Relu",
+    LayerKind.ADD: "Add",
+    LayerKind.CONCAT: "Concat",
+    LayerKind.FLATTEN: "Flatten",
+}
+
+
+def _node_to_layer(node: Dict[str, Any], in_channels_hint: int) -> Layer:
+    """Decode one JSON node; ``in_channels_hint`` resolves Conv CI lazily."""
+    try:
+        op = node["op"]
+        name = node["name"]
+        inputs = tuple(node.get("inputs", ["input"]))
+        attrs = node.get("attrs", {})
+    except (KeyError, TypeError) as exc:
+        raise ModelError(f"malformed node {node!r}: {exc}") from exc
+
+    if op not in _OP_TO_KIND:
+        raise ModelError(f"node {name!r}: unsupported op {op!r}")
+
+    if op == "Conv":
+        return ConvLayer(
+            name=name, inputs=inputs,
+            kernel=int(attrs["kernel"]),
+            in_channels=int(attrs.get("in_channels", in_channels_hint)),
+            out_channels=int(attrs["out_channels"]),
+            stride=int(attrs.get("stride", 1)),
+            padding=int(attrs.get("padding", 0)),
+        )
+    if op == "Gemm":
+        return FCLayer(
+            name=name, inputs=inputs,
+            in_features=int(attrs["in_features"]),
+            out_features=int(attrs["out_features"]),
+        )
+    if op in ("MaxPool", "AveragePool"):
+        return PoolLayer(
+            name=name, inputs=inputs,
+            kernel=int(attrs["kernel"]),
+            stride=int(attrs.get("stride", attrs["kernel"])),
+            padding=int(attrs.get("padding", 0)),
+            mode="max" if op == "MaxPool" else "avg",
+        )
+    if op == "Relu":
+        return ReluLayer(name=name, inputs=inputs)
+    if op == "Add":
+        return AddLayer(name=name, inputs=inputs)
+    if op == "Concat":
+        return ConcatLayer(name=name, inputs=inputs)
+    return FlattenLayer(name=name, inputs=inputs)
+
+
+def model_from_json(document: Union[str, Dict[str, Any]]) -> CNNModel:
+    """Parse a JSON document (string or dict) into a :class:`CNNModel`."""
+    if isinstance(document, str):
+        try:
+            document = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"invalid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ModelError("model document must be a JSON object")
+
+    for key in ("name", "input_shape", "nodes"):
+        if key not in document:
+            raise ModelError(f"model document missing {key!r}")
+
+    input_shape = tuple(int(d) for d in document["input_shape"])
+    if len(input_shape) != 3:
+        raise ModelError(f"input_shape must have 3 dims, got {input_shape}")
+
+    layers: List[Layer] = []
+    channels = input_shape[0]
+    for node in document["nodes"]:
+        layer = _node_to_layer(node, channels)
+        if isinstance(layer, ConvLayer):
+            channels = layer.out_channels
+        layers.append(layer)
+
+    return CNNModel(
+        name=str(document["name"]),
+        layers=layers,
+        input_shape=input_shape,  # type: ignore[arg-type]
+        act_precision=int(document.get("act_precision", 16)),
+        weight_precision=int(document.get("weight_precision", 16)),
+    )
+
+
+def _layer_to_node(layer: Layer) -> Dict[str, Any]:
+    """Encode one layer as a JSON node."""
+    node: Dict[str, Any] = {"name": layer.name, "inputs": list(layer.inputs)}
+    if isinstance(layer, ConvLayer):
+        node["op"] = "Conv"
+        node["attrs"] = {
+            "kernel": layer.kernel,
+            "in_channels": layer.in_channels,
+            "out_channels": layer.out_channels,
+            "stride": layer.stride,
+            "padding": layer.padding,
+        }
+    elif isinstance(layer, FCLayer):
+        node["op"] = "Gemm"
+        node["attrs"] = {
+            "in_features": layer.in_features,
+            "out_features": layer.out_features,
+        }
+    elif isinstance(layer, PoolLayer):
+        node["op"] = "MaxPool" if layer.mode == "max" else "AveragePool"
+        node["attrs"] = {
+            "kernel": layer.kernel,
+            "stride": layer.stride,
+            "padding": layer.padding,
+        }
+    else:
+        node["op"] = _KIND_TO_OP[layer.kind]
+        node["attrs"] = {}
+    return node
+
+
+def model_to_json(model: CNNModel, indent: int = 2) -> str:
+    """Serialize a model to the JSON interchange format."""
+    document = {
+        "name": model.name,
+        "input_shape": list(model.input_shape),
+        "act_precision": model.act_precision,
+        "weight_precision": model.weight_precision,
+        "nodes": [_layer_to_node(l) for l in model.topo_order],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def load_model(path: Union[str, Path]) -> CNNModel:
+    """Read a model document from a file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return model_from_json(handle.read())
+
+
+def save_model(model: CNNModel, path: Union[str, Path]) -> None:
+    """Write a model document to a file path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(model_to_json(model))

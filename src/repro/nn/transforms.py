@@ -1,0 +1,149 @@
+"""Graph utilities over CNN models: statistics, validation, fusion view.
+
+Tooling a synthesis user expects around the model substrate:
+
+- :func:`model_report` — per-layer table (shapes, MACs, weights,
+  crossbar demand at a device point) as structured rows;
+- :func:`validate_for_synthesis` — the pre-flight checks PIMSYN runs
+  conceptually at its input boundary, surfaced as a reusable pass;
+- :func:`fused_stages` — the conv/FC-anchored stage view: each weighted
+  layer together with the vector ops its macros absorb (this is the
+  grouping the ALU-workload accounting in stage 4 relies on);
+- :func:`receptive_field` — per-layer receptive-field sizes (useful
+  when reasoning about the fine-grained pipeline's halo dependencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ModelError
+from repro.hardware.crossbar import crossbar_set_size
+from repro.nn.layers import ConvLayer, FCLayer, Layer, LayerKind, PoolLayer
+from repro.nn.model import CNNModel
+from repro.nn.workload import layer_macs
+
+
+@dataclass(frozen=True)
+class LayerReportRow:
+    """One weighted layer's statistics."""
+
+    index: int
+    name: str
+    kind: str
+    output_shape: Tuple[int, int, int]
+    macs: int
+    weights: int
+    crossbar_set: int  # Eq. 1 at the given device point
+
+
+def model_report(
+    model: CNNModel, xb_size: int = 128, res_rram: int = 2
+) -> List[LayerReportRow]:
+    """Structured per-weighted-layer statistics."""
+    rows = []
+    for index, layer in enumerate(model.weighted_layers):
+        assert layer.output_shape is not None
+        rows.append(
+            LayerReportRow(
+                index=index,
+                name=layer.name,
+                kind=layer.kind.value,
+                output_shape=layer.output_shape,
+                macs=layer_macs(layer),
+                weights=layer.weight_count,
+                crossbar_set=crossbar_set_size(
+                    layer, xb_size, res_rram, model.weight_precision
+                ),
+            )
+        )
+    return rows
+
+
+def validate_for_synthesis(model: CNNModel) -> List[str]:
+    """Pre-flight checks; returns human-readable problems (empty = OK).
+
+    Checks beyond structural validation (which the model constructor
+    already enforces): the network must contain at least one weighted
+    layer, weighted layers must terminate the graph's sinks' ancestry,
+    and precisions must be representable by the DAC/cell grids.
+    """
+    problems: List[str] = []
+    if model.num_weighted_layers == 0:
+        problems.append("model has no conv/fc layers to map onto "
+                        "crossbars")
+    if model.act_precision > 32 or model.weight_precision > 32:
+        problems.append("precisions beyond 32 bits are not supported")
+
+    # Every sink should descend from a weighted layer, otherwise part
+    # of the network computes nothing PIM-mappable.
+    for layer in model.topo_order:
+        consumed = any(
+            layer.name in other.inputs for other in model.topo_order
+        )
+        if not consumed and not layer.is_weighted:
+            if model.producer_weighted_index(layer.name) is None:
+                problems.append(
+                    f"sink {layer.name!r} has no weighted ancestor"
+                )
+    return problems
+
+
+@dataclass(frozen=True)
+class FusedStage:
+    """A weighted layer plus the vector ops fused onto its macros."""
+
+    weighted_index: int
+    weighted_name: str
+    vector_ops: Tuple[str, ...]
+
+    @property
+    def depth(self) -> int:
+        return 1 + len(self.vector_ops)
+
+
+def fused_stages(model: CNNModel) -> List[FusedStage]:
+    """The conv/FC-anchored stage decomposition (ALU fusion view)."""
+    stages = []
+    for index, layer in enumerate(model.weighted_layers):
+        ops = tuple(
+            op.name for op in model.vector_ops_after(layer.name)
+        )
+        stages.append(
+            FusedStage(
+                weighted_index=index,
+                weighted_name=layer.name,
+                vector_ops=ops,
+            )
+        )
+    return stages
+
+
+def receptive_field(model: CNNModel) -> Dict[str, int]:
+    """Receptive-field edge length of every layer's outputs.
+
+    Standard recurrence over kernel/stride; joins take the max of
+    their branches. FC layers see the whole input (field = -1 marker
+    is avoided; the true accumulated field is reported).
+    """
+    field: Dict[str, Tuple[int, int]] = {"input": (1, 1)}  # (rf, jump)
+
+    for layer in model.topo_order:
+        parents = [field[src] for src in layer.inputs if src in field]
+        if not parents:
+            raise ModelError(f"{layer.name}: missing producer fields")
+        rf = max(p[0] for p in parents)
+        jump = max(p[1] for p in parents)
+        if isinstance(layer, (ConvLayer, PoolLayer)):
+            kernel = layer.kernel
+            stride = layer.stride
+            rf = rf + (kernel - 1) * jump
+            jump = jump * stride
+        elif isinstance(layer, FCLayer):
+            # Global: the field covers the whole upstream extent.
+            rf = max(model.input_shape[1], model.input_shape[2])
+            jump = rf
+        field[layer.name] = (rf, jump)
+    return {name: rf for name, (rf, _j) in field.items()
+            if name != "input"}

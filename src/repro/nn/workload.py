@@ -1,0 +1,95 @@
+"""Workload statistics: MAC counts and data-access volumes.
+
+These feed three places in the paper:
+
+- Eq. 4's ``AccessVolume_i = WtDup_i * (WK^2 * CI + CO)`` term of the SA
+  energy function;
+- throughput accounting (``TOPS`` needs total multiply-accumulates);
+- components allocation (Eq. 5's per-component workloads ``Wl_i_c``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ModelError
+from repro.nn.layers import ConvLayer, FCLayer, Layer, LayerKind
+from repro.nn.model import CNNModel
+
+
+def layer_macs(layer: Layer) -> int:
+    """Multiply-accumulate count of one weighted layer over one image."""
+    if isinstance(layer, ConvLayer):
+        if layer.output_shape is None:
+            raise ModelError(f"{layer.name}: shapes not inferred")
+        _, ho, wo = layer.output_shape
+        return layer.weight_rows * layer.out_channels * ho * wo
+    if isinstance(layer, FCLayer):
+        return layer.in_features * layer.out_features
+    raise ModelError(f"{layer.name}: MACs undefined for {layer.kind.value}")
+
+
+def model_macs(model: CNNModel) -> int:
+    """Total MACs per inference across all weighted layers."""
+    return sum(layer_macs(l) for l in model.weighted_layers)
+
+
+def model_weight_count(model: CNNModel) -> int:
+    """Total scalar weights across all weighted layers."""
+    return sum(l.weight_count for l in model.weighted_layers)
+
+
+def layer_access_volume(layer: Layer, wt_dup: int) -> int:
+    """Per-step data-access volume of Eq. 4.
+
+    ``AccessVolume_i = WtDup_i * (WK_i^2 * CI_i + CO_i)``: with weights
+    duplicated ``WtDup_i`` times, each computation-block step loads
+    ``WtDup_i`` input windows and stores ``WtDup_i * CO`` outputs... the
+    paper folds both into the single expression above (inputs dominate).
+    """
+    if wt_dup <= 0:
+        raise ModelError(f"{layer.name}: WtDup must be positive, got {wt_dup}")
+    if isinstance(layer, ConvLayer):
+        return wt_dup * (layer.weight_rows + layer.out_channels)
+    if isinstance(layer, FCLayer):
+        return wt_dup * (layer.in_features + layer.out_features)
+    raise ModelError(
+        f"{layer.name}: access volume undefined for {layer.kind.value}"
+    )
+
+
+def vector_op_workload(model: CNNModel, weighted_name: str) -> int:
+    """Element count of vector ops charged to a weighted layer's ALUs.
+
+    Pooling, ReLU and residual adds that consume a weighted layer's
+    activations execute on the ALU units of the macros holding that layer
+    (Fig. 2's ALU components support "shift-and-add, pooling, ReLU,
+    etc."). Returns the number of scalar elements processed per image.
+    """
+    total = 0
+    for op in model.vector_ops_after(weighted_name):
+        if op.output_shape is None:
+            raise ModelError(f"{op.name}: shapes not inferred")
+        c, h, w = op.output_shape
+        if op.kind == LayerKind.POOL:
+            kernel = op.kernel * op.kernel  # type: ignore[attr-defined]
+            total += c * h * w * kernel
+        elif op.kind in (LayerKind.RELU, LayerKind.ADD):
+            total += c * h * w
+        # flatten/concat are layout changes, not arithmetic
+    return total
+
+
+def per_layer_stats(model: CNNModel) -> Dict[str, Dict[str, int]]:
+    """Convenience dump used by reports and tests."""
+    stats: Dict[str, Dict[str, int]] = {}
+    for layer in model.weighted_layers:
+        assert layer.output_shape is not None
+        _, ho, wo = layer.output_shape
+        stats[layer.name] = {
+            "macs": layer_macs(layer),
+            "weights": layer.weight_count,
+            "output_positions": ho * wo,
+            "rows": layer.weight_rows,
+        }
+    return stats

@@ -1,0 +1,368 @@
+"""Model zoo: the paper's five benchmarks plus CIFAR variants.
+
+The DATE'24 evaluation uses AlexNet, VGG13, VGG16, MSRA and ResNet18 with
+16-bit quantification (§V), all at ImageNet resolution, plus CIFAR-10/100
+variants of AlexNet/VGG16/ResNet18 for the Gibbon comparison (Table V).
+
+"MSRA" is the 22-layer PReLU-net model A of He et al., ICCV 2015 ("Delving
+deep into rectifiers"); we build its convolutional trunk, which is what a
+PIM weight-mapping flow consumes.
+
+All builders return fully validated, shape-inferred :class:`CNNModel`
+instances. A declarative :func:`build_model` helper keeps the per-network
+code compact and is also part of the public API for user-defined models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    AddLayer,
+    ConvLayer,
+    FCLayer,
+    FlattenLayer,
+    Layer,
+    PoolLayer,
+    ReluLayer,
+)
+from repro.nn.model import CNNModel
+
+# A sequential spec entry is one of:
+#   ("conv", out_channels, kernel, stride, padding)
+#   ("pool", kernel, stride)  - max pooling
+#   ("avgpool", kernel, stride)
+#   ("relu",)
+#   ("flatten",)
+#   ("fc", out_features)
+SpecEntry = Tuple[Union[str, int], ...]
+
+
+def build_model(
+    name: str,
+    spec: Sequence[SpecEntry],
+    input_shape: Tuple[int, int, int],
+    act_precision: int = 16,
+    weight_precision: int = 16,
+) -> CNNModel:
+    """Build a sequential CNN from a compact spec.
+
+    Channel and feature counts are inferred by threading the shape through
+    the spec, so entries only state what changes.
+    """
+    layers: List[Layer] = []
+    prev = "input"
+    channels, height, width = input_shape
+    counters = {"conv": 0, "pool": 0, "relu": 0, "fc": 0, "flatten": 0}
+
+    def fresh(kind: str) -> str:
+        counters[kind] += 1
+        return f"{kind}{counters[kind]}"
+
+    for entry in spec:
+        op = entry[0]
+        if op == "conv":
+            _, out_ch, kernel, stride, padding = entry
+            lname = fresh("conv")
+            layers.append(
+                ConvLayer(
+                    name=lname,
+                    inputs=(prev,),
+                    kernel=int(kernel),
+                    in_channels=channels,
+                    out_channels=int(out_ch),
+                    stride=int(stride),
+                    padding=int(padding),
+                )
+            )
+            height = (height + 2 * int(padding) - int(kernel)) // int(stride) + 1
+            width = (width + 2 * int(padding) - int(kernel)) // int(stride) + 1
+            channels = int(out_ch)
+            prev = lname
+        elif op in ("pool", "avgpool"):
+            _, kernel, stride = entry
+            lname = fresh("pool")
+            layers.append(
+                PoolLayer(
+                    name=lname,
+                    inputs=(prev,),
+                    kernel=int(kernel),
+                    stride=int(stride),
+                    mode="max" if op == "pool" else "avg",
+                )
+            )
+            height = (height - int(kernel)) // int(stride) + 1
+            width = (width - int(kernel)) // int(stride) + 1
+            prev = lname
+        elif op == "relu":
+            lname = fresh("relu")
+            layers.append(ReluLayer(name=lname, inputs=(prev,)))
+            prev = lname
+        elif op == "flatten":
+            lname = fresh("flatten")
+            layers.append(FlattenLayer(name=lname, inputs=(prev,)))
+            channels, height, width = channels * height * width, 1, 1
+            prev = lname
+        elif op == "fc":
+            _, out_features = entry
+            lname = fresh("fc")
+            layers.append(
+                FCLayer(
+                    name=lname,
+                    inputs=(prev,),
+                    in_features=channels * height * width,
+                    out_features=int(out_features),
+                )
+            )
+            channels, height, width = int(out_features), 1, 1
+            prev = lname
+        else:
+            raise ModelError(f"unknown spec op {op!r}")
+
+    return CNNModel(
+        name=name,
+        layers=layers,
+        input_shape=input_shape,
+        act_precision=act_precision,
+        weight_precision=weight_precision,
+    )
+
+
+def _vgg_block(out_ch: int, convs: int) -> List[SpecEntry]:
+    """``convs`` 3x3 same-padding convolutions then 2x2 max pooling."""
+    block: List[SpecEntry] = []
+    for _ in range(convs):
+        block.append(("conv", out_ch, 3, 1, 1))
+        block.append(("relu",))
+    block.append(("pool", 2, 2))
+    return block
+
+
+def alexnet() -> CNNModel:
+    """AlexNet (Krizhevsky et al.) at 227x227, single-tower layout."""
+    spec: List[SpecEntry] = [
+        ("conv", 96, 11, 4, 0), ("relu",), ("pool", 3, 2),
+        ("conv", 256, 5, 1, 2), ("relu",), ("pool", 3, 2),
+        ("conv", 384, 3, 1, 1), ("relu",),
+        ("conv", 384, 3, 1, 1), ("relu",),
+        ("conv", 256, 3, 1, 1), ("relu",), ("pool", 3, 2),
+        ("flatten",),
+        ("fc", 4096), ("relu",),
+        ("fc", 4096), ("relu",),
+        ("fc", 1000),
+    ]
+    return build_model("alexnet", spec, (3, 227, 227))
+
+
+def vgg13() -> CNNModel:
+    """VGG13 (configuration B of Simonyan & Zisserman) at 224x224."""
+    spec: List[SpecEntry] = []
+    for out_ch, convs in ((64, 2), (128, 2), (256, 2), (512, 2), (512, 2)):
+        spec.extend(_vgg_block(out_ch, convs))
+    spec += [("flatten",), ("fc", 4096), ("relu",),
+             ("fc", 4096), ("relu",), ("fc", 1000)]
+    return build_model("vgg13", spec, (3, 224, 224))
+
+
+def vgg16() -> CNNModel:
+    """VGG16 (configuration D) at 224x224."""
+    spec: List[SpecEntry] = []
+    for out_ch, convs in ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)):
+        spec.extend(_vgg_block(out_ch, convs))
+    spec += [("flatten",), ("fc", 4096), ("relu",),
+             ("fc", 4096), ("relu",), ("fc", 1000)]
+    return build_model("vgg16", spec, (3, 224, 224))
+
+
+def msra() -> CNNModel:
+    """MSRA PReLU-net model A (He et al., ICCV 2015) convolutional trunk.
+
+    Model A: a 7x7/2 stem then 3x(conv 64) at 56^2, 4x(conv 128),
+    6x(conv 256), 3x(conv 512) with 2x2 pooling between stages, and the
+    VGG-style classifier head. PReLU is modeled as ReLU for workload
+    purposes (identical element count on the ALU path).
+    """
+    spec: List[SpecEntry] = [("conv", 96, 7, 2, 3), ("relu",), ("pool", 3, 2)]
+    for out_ch, convs in ((96, 3), (192, 4), (384, 6), (512, 3)):
+        for _ in range(convs):
+            spec.append(("conv", out_ch, 3, 1, 1))
+            spec.append(("relu",))
+        spec.append(("pool", 2, 2))
+    # spatial size after stem (112 -> 56) and four pools: 56/2/2/2/2 = 3
+    spec += [("flatten",), ("fc", 4096), ("relu",),
+             ("fc", 4096), ("relu",), ("fc", 1000)]
+    return build_model("msra", spec, (3, 224, 224))
+
+
+def _resnet_basic_block(
+    layers: List[Layer],
+    prefix: str,
+    prev: str,
+    in_ch: int,
+    out_ch: int,
+    stride: int,
+) -> str:
+    """Append one basic residual block; returns the output layer name."""
+    conv1 = ConvLayer(
+        name=f"{prefix}_conv1", inputs=(prev,), kernel=3,
+        in_channels=in_ch, out_channels=out_ch, stride=stride, padding=1,
+    )
+    relu1 = ReluLayer(name=f"{prefix}_relu1", inputs=(conv1.name,))
+    conv2 = ConvLayer(
+        name=f"{prefix}_conv2", inputs=(relu1.name,), kernel=3,
+        in_channels=out_ch, out_channels=out_ch, stride=1, padding=1,
+    )
+    layers.extend([conv1, relu1, conv2])
+
+    if stride != 1 or in_ch != out_ch:
+        shortcut = ConvLayer(
+            name=f"{prefix}_down", inputs=(prev,), kernel=1,
+            in_channels=in_ch, out_channels=out_ch, stride=stride, padding=0,
+        )
+        layers.append(shortcut)
+        skip_name = shortcut.name
+    else:
+        skip_name = prev
+
+    add = AddLayer(name=f"{prefix}_add", inputs=(conv2.name, skip_name))
+    relu2 = ReluLayer(name=f"{prefix}_relu2", inputs=(add.name,))
+    layers.extend([add, relu2])
+    return relu2.name
+
+
+def resnet18(input_shape: Tuple[int, int, int] = (3, 224, 224),
+             num_classes: int = 1000,
+             name: str = "resnet18") -> CNNModel:
+    """ResNet18 (He et al., CVPR 2016) with basic blocks."""
+    layers: List[Layer] = []
+    stem = ConvLayer(
+        name="conv1", inputs=("input",), kernel=7,
+        in_channels=input_shape[0], out_channels=64, stride=2, padding=3,
+    )
+    relu = ReluLayer(name="relu1", inputs=("conv1",))
+    pool = PoolLayer(name="pool1", inputs=("relu1",), kernel=3, stride=2,
+                     padding=1)
+    layers.extend([stem, relu, pool])
+    prev = "pool1"
+
+    in_ch = 64
+    for stage, (out_ch, stride) in enumerate(
+        ((64, 1), (128, 2), (256, 2), (512, 2)), start=1
+    ):
+        for block in range(2):
+            blk_stride = stride if block == 0 else 1
+            prev = _resnet_basic_block(
+                layers, f"s{stage}b{block}", prev, in_ch, out_ch, blk_stride
+            )
+            in_ch = out_ch
+
+    # global average pooling approximated by an avg pool over the final map
+    model_probe = CNNModel(name="_probe", layers=list(layers),
+                           input_shape=input_shape)
+    final_shape = model_probe.layer(prev).output_shape
+    assert final_shape is not None
+    gap = PoolLayer(name="gap", inputs=(prev,), kernel=final_shape[1],
+                    stride=final_shape[1], mode="avg")
+    flat = FlattenLayer(name="flatten1", inputs=("gap",))
+    head = FCLayer(name="fc1", inputs=("flatten1",),
+                   in_features=512, out_features=num_classes)
+    layers.extend([gap, flat, head])
+    return CNNModel(name=name, layers=layers, input_shape=input_shape)
+
+
+def lenet5() -> CNNModel:
+    """LeNet-5 at 32x32 - the small smoke-test network used by tests."""
+    spec: List[SpecEntry] = [
+        ("conv", 6, 5, 1, 0), ("relu",), ("pool", 2, 2),
+        ("conv", 16, 5, 1, 0), ("relu",), ("pool", 2, 2),
+        ("flatten",),
+        ("fc", 120), ("relu",),
+        ("fc", 84), ("relu",),
+        ("fc", 10),
+    ]
+    return build_model("lenet5", spec, (1, 32, 32))
+
+
+def alexnet_cifar() -> CNNModel:
+    """CIFAR-scale AlexNet (32x32), as used in the Gibbon comparison."""
+    spec: List[SpecEntry] = [
+        ("conv", 64, 3, 1, 1), ("relu",), ("pool", 2, 2),
+        ("conv", 192, 3, 1, 1), ("relu",), ("pool", 2, 2),
+        ("conv", 384, 3, 1, 1), ("relu",),
+        ("conv", 256, 3, 1, 1), ("relu",),
+        ("conv", 256, 3, 1, 1), ("relu",), ("pool", 2, 2),
+        ("flatten",),
+        ("fc", 1024), ("relu",),
+        ("fc", 512), ("relu",),
+        ("fc", 10),
+    ]
+    return build_model("alexnet_cifar", spec, (3, 32, 32))
+
+
+def vgg16_cifar() -> CNNModel:
+    """CIFAR-scale VGG16 (32x32 input, compact classifier head)."""
+    spec: List[SpecEntry] = []
+    for out_ch, convs in ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)):
+        spec.extend(_vgg_block(out_ch, convs))
+    spec += [("flatten",), ("fc", 512), ("relu",), ("fc", 10)]
+    return build_model("vgg16_cifar", spec, (3, 32, 32))
+
+
+def resnet18_cifar() -> CNNModel:
+    """CIFAR-scale ResNet18 (3x3 stem, no initial pooling)."""
+    layers: List[Layer] = []
+    stem = ConvLayer(name="conv1", inputs=("input",), kernel=3,
+                     in_channels=3, out_channels=64, stride=1, padding=1)
+    relu = ReluLayer(name="relu1", inputs=("conv1",))
+    layers.extend([stem, relu])
+    prev = "relu1"
+    in_ch = 64
+    for stage, (out_ch, stride) in enumerate(
+        ((64, 1), (128, 2), (256, 2), (512, 2)), start=1
+    ):
+        for block in range(2):
+            blk_stride = stride if block == 0 else 1
+            prev = _resnet_basic_block(
+                layers, f"s{stage}b{block}", prev, in_ch, out_ch, blk_stride
+            )
+            in_ch = out_ch
+    model_probe = CNNModel(name="_probe", layers=list(layers),
+                           input_shape=(3, 32, 32))
+    final_shape = model_probe.layer(prev).output_shape
+    assert final_shape is not None
+    gap = PoolLayer(name="gap", inputs=(prev,), kernel=final_shape[1],
+                    stride=final_shape[1], mode="avg")
+    flat = FlattenLayer(name="flatten1", inputs=("gap",))
+    head = FCLayer(name="fc1", inputs=("flatten1",),
+                   in_features=512, out_features=10)
+    layers.extend([gap, flat, head])
+    return CNNModel(name="resnet18_cifar", layers=layers,
+                    input_shape=(3, 32, 32))
+
+
+_REGISTRY = {
+    "alexnet": alexnet,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "msra": msra,
+    "resnet18": resnet18,
+    "lenet5": lenet5,
+    "alexnet_cifar": alexnet_cifar,
+    "vgg16_cifar": vgg16_cifar,
+    "resnet18_cifar": resnet18_cifar,
+}
+
+
+def by_name(name: str) -> CNNModel:
+    """Look a zoo model up by name (e.g. for CLI-style harnesses)."""
+    if name not in _REGISTRY:
+        raise ModelError(
+            f"unknown model {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]()
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`by_name`."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,18 @@
+"""Generic metaheuristic engines.
+
+PIMSYN embeds two searchers in its DSE flow (Fig. 3): a simulated-
+annealing filter for weight duplication (§IV-A2) and an evolutionary
+algorithm for macro partitioning (§IV-C2). Both are implemented here as
+problem-agnostic engines; the problem encodings live in
+:mod:`repro.core`.
+"""
+
+from repro.optim.annealing import AnnealingSchedule, SimulatedAnnealer
+from repro.optim.evolution import EvolutionEngine, EvolutionReport
+
+__all__ = [
+    "AnnealingSchedule",
+    "SimulatedAnnealer",
+    "EvolutionEngine",
+    "EvolutionReport",
+]

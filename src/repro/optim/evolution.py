@@ -1,0 +1,152 @@
+"""Evolutionary algorithm engine (Alg. 2's skeleton).
+
+A (mu + lambda) evolutionary loop with fitness-proportionate parent
+selection and caller-supplied mutation operators. Alg. 2's two mutation
+mechanisms (``mutate_num`` and ``mutate_share``) are passed in as a list;
+each child applies one operator chosen uniformly at random, which matches
+the algorithm's "apply mutation related to #macros / macro-sharing"
+pair of steps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Generic, Hashable, List, Optional, Tuple, TypeVar
+
+from repro.errors import ConfigurationError
+
+Gene = TypeVar("Gene")
+
+
+@dataclass
+class EvolutionReport:
+    """Search telemetry for ablation benches and tests."""
+
+    generations: int = 0
+    evaluations: int = 0
+    best_fitness_history: List[float] = field(default_factory=list)
+
+
+class EvolutionEngine(Generic[Gene]):
+    """Maximize ``fitness`` over genes under mutation operators.
+
+    Parameters
+    ----------
+    fitness:
+        Larger is better (accelerator performance in §IV-C2). Evaluations
+        are memoized by ``gene_key`` because the EA re-visits genes and
+        each evaluation runs the full components-allocation stage.
+    mutations:
+        Operators ``(gene, rng) -> gene``; must return valid genes
+        ("the generated children always obey the defined rules").
+    population_size / offspring_per_gen / max_generations:
+        Standard (mu + lambda) knobs; Alg. 2's ``MaxEAIterations``.
+    """
+
+    def __init__(
+        self,
+        fitness: Callable[[Gene], float],
+        mutations: List[Callable[[Gene, random.Random], Gene]],
+        gene_key: Callable[[Gene], Hashable],
+        rng: random.Random,
+        population_size: int = 16,
+        offspring_per_gen: int = 16,
+        max_generations: int = 20,
+        patience: Optional[int] = None,
+    ) -> None:
+        if population_size < 1:
+            raise ConfigurationError("population_size must be >= 1")
+        if offspring_per_gen < 1:
+            raise ConfigurationError("offspring_per_gen must be >= 1")
+        if max_generations < 1:
+            raise ConfigurationError("max_generations must be >= 1")
+        if not mutations:
+            raise ConfigurationError("at least one mutation operator needed")
+        self.fitness = fitness
+        self.mutations = list(mutations)
+        self.gene_key = gene_key
+        self.rng = rng
+        self.population_size = population_size
+        self.offspring_per_gen = offspring_per_gen
+        self.max_generations = max_generations
+        self.patience = patience
+        self.report = EvolutionReport()
+        self._cache: dict = {}
+
+    def _evaluate(self, gene: Gene) -> float:
+        key = self.gene_key(gene)
+        if key not in self._cache:
+            self._cache[key] = self.fitness(gene)
+            self.report.evaluations += 1
+        return self._cache[key]
+
+    def _select_parent(self, population: List[Tuple[Gene, float]]) -> Gene:
+        """Fitness-proportionate selection with a floor for non-positive
+        fitness values (falls back to rank weighting)."""
+        fitnesses = [f for _, f in population]
+        low = min(fitnesses)
+        if low <= 0:
+            weights = [
+                rank + 1
+                for rank, _ in enumerate(
+                    sorted(range(len(population)),
+                           key=lambda i: fitnesses[i])
+                )
+            ]
+            # weights indexed by sorted rank -> map back to positions
+            order = sorted(range(len(population)), key=lambda i: fitnesses[i])
+            position_weights = [0.0] * len(population)
+            for rank, pos in enumerate(order):
+                position_weights[pos] = rank + 1
+            weights = position_weights
+        else:
+            weights = fitnesses
+        total = sum(weights)
+        pick = self.rng.random() * total
+        acc = 0.0
+        for (gene, _), weight in zip(population, weights):
+            acc += weight
+            if pick <= acc:
+                return gene
+        return population[-1][0]
+
+    def run(self, initial_population: List[Gene]) -> Tuple[Gene, float]:
+        """Alg. 2: evolve from ``initial_population``; return the best gene."""
+        if not initial_population:
+            raise ConfigurationError("initial population must be non-empty")
+        population = [
+            (gene, self._evaluate(gene)) for gene in initial_population
+        ]
+        population.sort(key=lambda pair: pair[1], reverse=True)
+        population = population[: self.population_size]
+
+        best_gene, best_fit = population[0]
+        stale = 0
+        for _generation in range(self.max_generations):
+            children: List[Tuple[Gene, float]] = []
+            seen = {self.gene_key(g) for g, _ in population}
+            for _ in range(self.offspring_per_gen):
+                parent = self._select_parent(population)
+                operator = self.rng.choice(self.mutations)
+                child = operator(parent, self.rng)
+                key = self.gene_key(child)
+                if key in seen:
+                    continue
+                seen.add(key)
+                children.append((child, self._evaluate(child)))
+
+            population.extend(children)
+            population.sort(key=lambda pair: pair[1], reverse=True)
+            population = population[: self.population_size]
+            self.report.generations += 1
+
+            if population[0][1] > best_fit:
+                best_gene, best_fit = population[0]
+                stale = 0
+            else:
+                stale += 1
+            self.report.best_fitness_history.append(best_fit)
+            if self.patience is not None and stale >= self.patience:
+                break
+        return best_gene, best_fit

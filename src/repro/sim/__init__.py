@@ -1,0 +1,26 @@
+"""IR-based behavior-level simulator (§V's evaluation vehicle).
+
+The synthesized accelerators in the paper are "evaluated by a
+cycle-accurate IR-based behavior-level simulator". This package provides
+that simulator: an event-driven scheduler that executes the IR DAG under
+per-layer hardware resource constraints (crossbar sets, ADC banks, ALU
+banks, scratchpad ports, NoC ports), producing an execution trace, a
+windowed makespan, and steady-state extrapolations of throughput and
+latency that validate the analytical evaluator's estimates.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.latency import IRLatencyModel
+from repro.sim.metrics import SimMetrics
+from repro.sim.resources import ResourceKind, ResourcePool
+from repro.sim.trace import ScheduledNode, SimTrace
+
+__all__ = [
+    "SimulationEngine",
+    "IRLatencyModel",
+    "SimMetrics",
+    "ResourceKind",
+    "ResourcePool",
+    "ScheduledNode",
+    "SimTrace",
+]

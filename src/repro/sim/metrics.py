@@ -1,0 +1,81 @@
+"""Simulation metrics and steady-state extrapolation.
+
+The simulator executes a *window* of each layer's computation blocks
+(see :class:`repro.ir.builder.DataflowSpec`); :func:`extrapolate`
+recovers full-image metrics: each layer's block period is measured from
+its store-completion times, scaled by its true block count, and the
+slowest layer sets the steady-state image period — the same structure
+the analytical evaluator assumes, now with contention included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.ir.builder import DataflowSpec
+from repro.nn.workload import model_macs
+from repro.sim.trace import SimTrace
+
+
+@dataclass
+class SimMetrics:
+    """Full-image performance metrics from a windowed simulation."""
+
+    window_makespan: float  # seconds to drain the simulated window
+    image_period: float  # extrapolated steady-state seconds per image
+    throughput: float  # images per second
+    tops: float
+    latency: float  # single-image latency estimate
+    layer_block_periods: Dict[int, float] = field(default_factory=dict)
+    bottleneck_layer: int = -1
+
+    def tops_per_watt(self, power: float) -> float:
+        if power <= 0:
+            raise SimulationError("power must be positive")
+        return self.tops / power
+
+
+def extrapolate(trace: SimTrace, spec: DataflowSpec) -> SimMetrics:
+    """Turn a windowed trace into full-image metrics."""
+    periods: Dict[int, float] = {}
+    layer_times: Dict[int, float] = {}
+    for geo in spec.geometries:
+        stores = trace.store_times_of_layer(geo.index)
+        if not stores:
+            raise SimulationError(
+                f"layer {geo.index} produced no stores in the window"
+            )
+        if len(stores) > 1:
+            period = (stores[-1] - stores[0]) / (len(stores) - 1)
+        else:
+            # Single-block window: the block's own span (first IR start to
+            # store finish) is the period; absolute finish time would
+            # wrongly fold the whole pipeline fill in.
+            period = stores[0] - trace.first_start_of_layer(geo.index)
+        periods[geo.index] = period
+        layer_times[geo.index] = period * geo.total_blocks
+
+    bottleneck = max(layer_times, key=lambda i: layer_times[i])
+    image_period = layer_times[bottleneck]
+    if image_period <= 0:
+        raise SimulationError("non-positive extrapolated image period")
+
+    macs = model_macs(spec.model)
+    # Single-image latency: window makespan covers the pipeline fill for
+    # the windowed fraction; scale the drain of the bottleneck layer.
+    window_blocks = spec.window_blocks(bottleneck)
+    total_blocks = spec.geometries[bottleneck].total_blocks
+    latency = trace.makespan + periods[bottleneck] * max(
+        0, total_blocks - window_blocks
+    )
+    return SimMetrics(
+        window_makespan=trace.makespan,
+        image_period=image_period,
+        throughput=1.0 / image_period,
+        tops=2.0 * macs / image_period / 1e12,
+        latency=latency,
+        layer_block_periods=periods,
+        bottleneck_layer=bottleneck,
+    )

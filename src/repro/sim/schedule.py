@@ -1,0 +1,149 @@
+"""Dataflow-schedule export.
+
+§III: "The generated solution also specifies the dataflow scheduling,
+i.e., when and where each computation task is performed." This module
+turns a simulation trace into that artifact: a per-macro program of
+timed control steps, renderable as text and exportable as JSON — the
+closest Python analogue of the microcode a PIM controller would
+consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import SimulationError
+from repro.ir.nodes import IROp
+from repro.sim.trace import SimTrace
+
+
+@dataclass(frozen=True)
+class ControlStep:
+    """One timed operation on one macro."""
+
+    step: int  # per-macro sequence number
+    start: float
+    finish: float
+    op: str
+    layer: int
+    cnt: int
+    bit: int
+    detail: str
+
+    def as_dict(self) -> Dict:
+        return {
+            "step": self.step,
+            "start": self.start,
+            "finish": self.finish,
+            "op": self.op,
+            "layer": self.layer,
+            "cnt": self.cnt,
+            "bit": self.bit,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class MacroSchedule:
+    """The full chip schedule: macro id -> ordered control steps."""
+
+    programs: Dict[int, List[ControlStep]] = field(default_factory=dict)
+    makespan: float = 0.0
+
+    @property
+    def num_macros(self) -> int:
+        return len(self.programs)
+
+    @property
+    def total_steps(self) -> int:
+        return sum(len(p) for p in self.programs.values())
+
+    def program_of(self, macro_id: int) -> List[ControlStep]:
+        if macro_id not in self.programs:
+            raise SimulationError(f"no program for macro {macro_id}")
+        return self.programs[macro_id]
+
+    def utilization(self, macro_id: int) -> float:
+        """Busy fraction of one macro over the schedule makespan."""
+        program = self.program_of(macro_id)
+        if self.makespan <= 0:
+            return 0.0
+        busy = sum(s.finish - s.start for s in program)
+        return min(1.0, busy / self.makespan)
+
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "makespan": self.makespan,
+            "macros": {
+                str(mid): [s.as_dict() for s in steps]
+                for mid, steps in sorted(self.programs.items())
+            },
+        }
+        return json.dumps(payload, indent=indent)
+
+    def render(self, macro_id: int, limit: int = 20) -> str:
+        """Human-readable listing of one macro's first ``limit`` steps."""
+        lines = [f"macro {macro_id} program "
+                 f"({len(self.program_of(macro_id))} steps, "
+                 f"{self.utilization(macro_id) * 100:.0f}% busy):"]
+        for step in self.program_of(macro_id)[:limit]:
+            lines.append(
+                f"  [{step.step:4d}] t={step.start * 1e9:10.1f}ns "
+                f"{step.op:<9} L{step.layer} cnt={step.cnt} "
+                f"bit={step.bit} {step.detail}"
+            )
+        if len(self.program_of(macro_id)) > limit:
+            lines.append(f"  ... {len(self.program_of(macro_id)) - limit}"
+                         " more steps")
+        return "\n".join(lines)
+
+
+def export_schedule(
+    trace: SimTrace,
+    macro_groups: Sequence[Sequence[int]],
+) -> MacroSchedule:
+    """Assign every traced IR to its macro(s) and order by start time.
+
+    Computation and intra-macro IRs execute on every macro of the
+    owning layer's group (they run the same control step on their slice
+    of the data); ``transfer`` IRs appear on both endpoints.
+    """
+    schedule = MacroSchedule(makespan=trace.makespan)
+    raw: Dict[int, List] = {}
+
+    for entry in trace:
+        node = entry.node
+        if node.op is IROp.TRANSFER:
+            macros = [node.src, node.dst]
+            detail = f"{node.src}->{node.dst} w={node.vec_width}"
+        else:
+            macros = list(macro_groups[node.layer])
+            if node.op is IROp.ALU and node.aluop:
+                detail = f"{node.aluop} w={node.vec_width}"
+            elif node.op is IROp.MVM:
+                detail = f"xb={node.xb_num}"
+            else:
+                detail = f"w={node.vec_width}"
+        for mid in macros:
+            raw.setdefault(mid, []).append(
+                (entry.start, entry.finish, node, detail)
+            )
+
+    for mid, entries in raw.items():
+        entries.sort(key=lambda item: (item[0], item[1]))
+        schedule.programs[mid] = [
+            ControlStep(
+                step=index,
+                start=start,
+                finish=finish,
+                op=node.op.value,
+                layer=node.layer,
+                cnt=node.cnt,
+                bit=node.bit,
+                detail=detail,
+            )
+            for index, (start, finish, node, detail) in enumerate(entries)
+        ]
+    return schedule

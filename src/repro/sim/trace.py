@@ -1,0 +1,91 @@
+"""Execution traces: what ran where, when.
+
+The trace is both a debugging artifact and the substrate for the
+simulator's invariant tests (dependencies respected, no resource bank
+runs two IRs at once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.ir.nodes import IRNode
+from repro.sim.resources import ResourceKind, resource_of
+
+
+@dataclass(frozen=True)
+class ScheduledNode:
+    """One IR execution interval."""
+
+    node: IRNode
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class SimTrace:
+    """Append-only record of a simulation run."""
+
+    entries: List[ScheduledNode] = field(default_factory=list)
+
+    def record(self, node: IRNode, start: float, finish: float) -> None:
+        self.entries.append(ScheduledNode(node, start, finish))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ScheduledNode]:
+        return iter(self.entries)
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last IR."""
+        return max((e.finish for e in self.entries), default=0.0)
+
+    def finish_of(self, node_id: int) -> float:
+        """Finish time of a node id (linear scan; test helper)."""
+        for entry in self.entries:
+            if entry.node.node_id == node_id:
+                return entry.finish
+        raise KeyError(f"node {node_id} not in trace")
+
+    def by_resource(
+        self,
+    ) -> Dict[Tuple[ResourceKind, int], List[ScheduledNode]]:
+        """Group intervals by (resource kind, layer) bank."""
+        groups: Dict[Tuple[ResourceKind, int], List[ScheduledNode]] = {}
+        for entry in self.entries:
+            key = (resource_of(entry.node), entry.node.layer)
+            groups.setdefault(key, []).append(entry)
+        for intervals in groups.values():
+            intervals.sort(key=lambda e: e.start)
+        return groups
+
+    def store_times_of_layer(self, layer: int) -> List[float]:
+        """Sorted store-IR finish times of one layer (period extraction)."""
+        times = [
+            e.finish
+            for e in self.entries
+            if e.node.layer == layer and e.node.op.value == "store"
+        ]
+        return sorted(times)
+
+    def first_start_of_layer(self, layer: int) -> float:
+        """Earliest start time among one layer's IRs."""
+        starts = [e.start for e in self.entries if e.node.layer == layer]
+        if not starts:
+            raise KeyError(f"layer {layer} not in trace")
+        return min(starts)
+
+    def busy_time(self, kind: ResourceKind, layer: int) -> float:
+        """Total occupied seconds of one bank (utilization metrics)."""
+        return sum(
+            e.duration
+            for e in self.entries
+            if resource_of(e.node) is kind and e.node.layer == layer
+        )

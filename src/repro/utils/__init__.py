@@ -1,0 +1,24 @@
+"""Shared small utilities: integer math, statistics, seeded RNG helpers."""
+
+from repro.utils.mathutils import (
+    ceil_div,
+    clamp,
+    geomean,
+    is_power_of_two,
+    mean,
+    next_power_of_two,
+    stdev,
+)
+from repro.utils.rng import SeedSequence, make_rng
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "geomean",
+    "is_power_of_two",
+    "mean",
+    "next_power_of_two",
+    "stdev",
+    "SeedSequence",
+    "make_rng",
+]

@@ -1,0 +1,85 @@
+"""Unit tests for the analysis package."""
+
+import pytest
+
+from repro.analysis import (
+    adc_reuse_study,
+    format_table,
+    normalize_series,
+    power_sweep,
+)
+from repro.core.config import SynthesisConfig
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [("isaac", 0.63), ("pimsyn", 3.07)],
+            title="peak",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "peak"
+        assert "isaac" in text and "3.070" in text
+        # header and separator aligned
+        assert len(lines[1]) == len(lines[2])
+
+    def test_scientific_for_extremes(self):
+        text = format_table(["x"], [(1.5e-9,)])
+        assert "e-09" in text
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_normalize_series(self):
+        assert normalize_series([2.0, 4.0], 2.0) == [1.0, 2.0]
+        with pytest.raises(ValueError):
+            normalize_series([1.0], 0.0)
+
+
+class TestAdcReuseStudy:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        from repro.nn import vgg13
+
+        model = vgg13()
+        return adc_reuse_study(
+            model, total_power=120.0,
+            wt_dup=[1] * model.num_weighted_layers,
+            distances=(1, 2, 4, 6),
+        )
+
+    def test_samples_cover_distances(self, samples):
+        assert [s.distance for s in samples] == [1, 2, 4, 6]
+
+    def test_delay_penalty_decreases_with_distance(self, samples):
+        """Fig. 5a: reuse of far-apart layers costs little delay."""
+        assert samples[0].delay_penalty > samples[-1].delay_penalty
+
+    def test_far_pairs_have_no_penalty(self, samples):
+        # Beyond the overlap window the shared bank is a pure win.
+        assert samples[-1].delay_penalty <= 1.05
+
+    def test_adcs_saved_positive(self, samples):
+        assert all(s.adcs_saved > 0 for s in samples)
+
+    def test_pairs_counted(self, samples):
+        assert samples[0].pairs_measured == 12  # 13 layers, distance 1
+
+
+class TestPowerSweep:
+    def test_sweep_marks_feasibility(self, lenet):
+        rows = power_sweep(
+            lenet, powers=[0.01, 2.0],
+            config=SynthesisConfig.fast(seed=3),
+        )
+        assert not rows[0].feasible
+        assert rows[1].feasible
+        assert rows[1].throughput > 0
+
+    def test_more_power_not_slower(self, lenet):
+        rows = power_sweep(
+            lenet, powers=[1.0, 4.0],
+            config=SynthesisConfig.fast(seed=3),
+        )
+        assert rows[1].throughput >= rows[0].throughput * 0.9

@@ -1,0 +1,169 @@
+"""Tests for the DSE archive/Pareto analysis and NN graph utilities."""
+
+import pytest
+
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.archive import (
+    ArchiveEntry,
+    DesignArchive,
+    dominates,
+    pareto_front,
+)
+from repro.errors import ConfigurationError
+from repro.nn import lenet5, resnet18_cifar, vgg16
+from repro.nn.transforms import (
+    fused_stages,
+    model_report,
+    receptive_field,
+    validate_for_synthesis,
+)
+
+
+def _entry(throughput, power, **overrides):
+    defaults = dict(
+        ratio_rram=0.3, res_rram=2, xb_size=128, res_dac=1,
+        wt_dup=(1,), throughput=throughput, power=power,
+        tops_per_watt=throughput / max(power, 1e-9) * 1e-3,
+        latency=1.0 / max(throughput, 1e-9), num_macros=1,
+    )
+    defaults.update(overrides)
+    return ArchiveEntry(**defaults)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((2.0, 1.0), (1.0, 1.0))
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+        assert not dominates((2.0, 0.5), (1.0, 1.0))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoFront:
+    def test_extracts_non_dominated(self):
+        entries = [
+            _entry(100.0, 10.0),  # fast, hungry
+            _entry(50.0, 4.0),  # balanced - non-dominated
+            _entry(40.0, 8.0),  # dominated by both above
+            _entry(10.0, 1.0),  # frugal
+        ]
+        front = pareto_front(entries)
+        throughputs = [e.throughput for e in front]
+        assert throughputs == [100.0, 50.0, 10.0]
+
+    def test_single_entry(self):
+        front = pareto_front([_entry(5.0, 5.0)])
+        assert len(front) == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_duplicate_points_deduplicated(self):
+        entries = [_entry(10.0, 2.0), _entry(10.0, 2.0)]
+        assert len(pareto_front(entries)) == 1
+
+
+class TestDesignArchive:
+    def test_records_during_synthesis(self):
+        archive = DesignArchive(capacity=64)
+        config = SynthesisConfig.fast(total_power=2.0, seed=51)
+        solution = Pimsyn(lenet5(), config,
+                          archive=archive).synthesize()
+        assert len(archive) > 1
+        assert archive.best().throughput == pytest.approx(
+            solution.evaluation.throughput
+        )
+
+    def test_finalize_trims_and_sorts(self):
+        archive = DesignArchive(capacity=2)
+        for t in (1.0, 5.0, 3.0):
+            archive.record(_entry(t, 1.0))
+        top = archive.finalize()
+        assert [e.throughput for e in top] == [5.0, 3.0]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            DesignArchive(capacity=0)
+
+    def test_empty_best_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DesignArchive().best()
+
+    def test_pareto_from_real_archive(self):
+        archive = DesignArchive(capacity=128)
+        config = SynthesisConfig.fast(total_power=2.0, seed=52)
+        Pimsyn(lenet5(), config, archive=archive).synthesize()
+        front = pareto_front(archive.finalize())
+        assert front
+        # Every front member is genuinely non-dominated.
+        for member in front:
+            for other in archive.entries:
+                assert not dominates(
+                    (other.throughput, -other.power),
+                    (member.throughput, -member.power),
+                )
+
+
+class TestModelReport:
+    def test_rows_cover_weighted_layers(self):
+        rows = model_report(lenet5())
+        assert [r.name for r in rows] == [
+            "conv1", "conv2", "fc1", "fc2", "fc3",
+        ]
+        for row in rows:
+            assert row.macs > 0 and row.crossbar_set > 0
+
+    def test_crossbar_set_matches_eq1(self):
+        model = vgg16()
+        rows = model_report(model, xb_size=256, res_rram=4)
+        from repro.hardware.crossbar import crossbar_set_size
+
+        for row, layer in zip(rows, model.weighted_layers):
+            assert row.crossbar_set == crossbar_set_size(
+                layer, 256, 4, 16
+            )
+
+
+class TestValidation:
+    def test_zoo_models_clean(self):
+        for model in (lenet5(), vgg16(), resnet18_cifar()):
+            assert validate_for_synthesis(model) == []
+
+    def test_unweighted_model_flagged(self):
+        from repro.nn.layers import ReluLayer
+        from repro.nn.model import CNNModel
+
+        model = CNNModel(
+            name="relu_only",
+            layers=[ReluLayer(name="r", inputs=("input",))],
+            input_shape=(3, 8, 8),
+        )
+        problems = validate_for_synthesis(model)
+        assert any("no conv/fc" in p for p in problems)
+
+
+class TestFusedStages:
+    def test_stage_ops(self):
+        stages = fused_stages(lenet5())
+        assert stages[0].weighted_name == "conv1"
+        assert set(stages[0].vector_ops) == {"relu1", "pool1"}
+        assert stages[-1].vector_ops == ()
+
+    def test_depth(self):
+        stages = fused_stages(lenet5())
+        assert stages[0].depth == 3
+
+
+class TestReceptiveField:
+    def test_grows_monotonically_down_a_chain(self):
+        fields = receptive_field(lenet5())
+        assert fields["conv1"] == 5
+        assert fields["pool1"] > fields["conv1"]
+        assert fields["conv2"] > fields["pool1"]
+
+    def test_vgg16_first_block(self):
+        fields = receptive_field(vgg16())
+        assert fields["conv1"] == 3
+        assert fields["conv2"] == 5

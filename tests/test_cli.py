@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.nn import lenet5
+from repro.nn.onnx_io import save_model
+
+
+class TestModelsCommand:
+    def test_lists_zoo(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out and "lenet5" in out
+        assert "GMACs" in out
+
+
+class TestPeakCommand:
+    def test_prints_table4(self, capsys):
+        assert main(["peak"]) == 0
+        out = capsys.readouterr().out
+        assert "pimsyn" in out and "isaac" in out
+        assert "Table IV" in out
+
+
+class TestSynthesizeCommand:
+    def test_zoo_model_with_power(self, capsys):
+        assert main([
+            "synthesize", "--model", "lenet5", "--power", "2.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TOPS/W" in out
+
+    def test_auto_power_from_floor(self, capsys):
+        assert main(["synthesize", "--model", "lenet5"]) == 0
+        out = capsys.readouterr().out
+        assert "feasibility floor" in out
+
+    def test_json_model_input(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        save_model(lenet5(), path)
+        assert main([
+            "synthesize", "--json", str(path), "--power", "2.0",
+        ]) == 0
+
+    def test_writes_solution_and_schedule(self, tmp_path, capsys):
+        out_path = tmp_path / "solution.json"
+        sched_path = tmp_path / "schedule.json"
+        assert main([
+            "synthesize", "--model", "lenet5", "--power", "2.0",
+            "--out", str(out_path), "--schedule", str(sched_path),
+            "--chip",
+        ]) == 0
+        solution = json.loads(out_path.read_text())
+        assert solution["model"] == "lenet5"
+        schedule = json.loads(sched_path.read_text())
+        assert schedule["macros"]
+        out = capsys.readouterr().out
+        assert "macro 0" in out  # --chip inventory
+
+    def test_infeasible_power_is_an_error(self, capsys):
+        assert main([
+            "synthesize", "--model", "lenet5", "--power", "0.001",
+        ]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_model_is_an_error(self, capsys):
+        assert main([
+            "synthesize", "--model", "nope", "--power", "2.0",
+        ]) == 1
+
+
+class TestSweepCommand:
+    def test_sweep_table(self, capsys):
+        assert main([
+            "sweep", "--model", "lenet5", "--powers", "0.01", "2.0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "power sweep" in out
+        assert "no" in out and "yes" in out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_model_and_json_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--model", "a", "--json", "b"])

@@ -1,0 +1,234 @@
+"""Unit tests for stage 4: components allocation (Eq. 5/6)."""
+
+import pytest
+
+from repro.core.component_alloc import (
+    allocate_components,
+    fixed_overhead_power,
+    layer_workloads,
+)
+from repro.core.dataflow import make_spec
+from repro.errors import InfeasibleError
+from repro.hardware.power import PowerBudget
+
+
+@pytest.fixture()
+def alloc_setup(tiny_model, params):
+    budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2, params)
+    spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                     res_dac=1, params=params)
+    groups = [[0], [1], [2]]
+    return spec, groups, budget
+
+
+class TestWorkloads:
+    def test_adc_workload_formula(self, alloc_setup, tiny_model, params):
+        spec, _groups, _budget = alloc_setup
+        adc_wl, alu_wl = layer_workloads(spec.geometries, tiny_model, 16)
+        geo = spec.geometries[0]
+        expected = geo.total_blocks * 16 * geo.conversions_per_block_bit
+        assert adc_wl[0] == expected
+
+    def test_alu_includes_vector_ops(self, alloc_setup, tiny_model):
+        spec, _groups, _budget = alloc_setup
+        adc_wl, alu_wl = layer_workloads(spec.geometries, tiny_model, 16)
+        # c1 feeds relu+pool: ALU workload strictly exceeds ADC's.
+        assert alu_wl[0] > adc_wl[0]
+        # fc1 has no vector tail: equal.
+        assert alu_wl[2] == adc_wl[2]
+
+
+class TestFixedOverhead:
+    def test_composition(self, alloc_setup, params):
+        spec, groups, _budget = alloc_setup
+        overhead = fixed_overhead_power(
+            spec.geometries, groups, params, 128, 1
+        )
+        crossbars = sum(g.crossbars for g in spec.geometries)
+        per_macro = (
+            params.edram_power + params.noc_power
+            + params.register_power_per_macro
+        )
+        per_xb = 128 * (
+            params.dac_power_of(1) + params.sample_hold_power
+        )
+        assert overhead == pytest.approx(
+            3 * per_macro + crossbars * per_xb
+        )
+
+    def test_shared_macros_counted_once(self, alloc_setup, params):
+        spec, _groups, _budget = alloc_setup
+        shared = [[0], [0], [0]]
+        separate = [[0], [1], [2]]
+        assert fixed_overhead_power(
+            spec.geometries, shared, params, 128, 1
+        ) < fixed_overhead_power(
+            spec.geometries, separate, params, 128, 1
+        )
+
+
+class TestEq6Balancing:
+    def test_all_delays_equal(self, alloc_setup, tiny_model, params):
+        spec, groups, budget = alloc_setup
+        allocation = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model
+        )
+        delays = []
+        for layer in allocation.layers:
+            delays.extend([layer.adc_delay, layer.alu_delay])
+        for delay in delays:
+            assert delay == pytest.approx(
+                allocation.balanced_delay, rel=1e-6
+            )
+
+    def test_power_budget_respected(self, alloc_setup, tiny_model,
+                                    params):
+        spec, groups, budget = alloc_setup
+        allocation = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model
+        )
+        assert allocation.total_peripheral_power == pytest.approx(
+            budget.peripheral_power, rel=1e-6
+        )
+
+    def test_allocation_proportional_to_workload(
+        self, alloc_setup, tiny_model, params
+    ):
+        spec, groups, budget = alloc_setup
+        allocation = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model
+        )
+        adc_wl, _ = layer_workloads(spec.geometries, tiny_model, 16)
+        ratio01 = allocation.layers[0].adc / allocation.layers[1].adc
+        assert ratio01 == pytest.approx(adc_wl[0] / adc_wl[1], rel=1e-6)
+
+    def test_infeasible_when_overhead_exceeds_budget(
+        self, tiny_model, params
+    ):
+        budget = PowerBudget(
+            total_power=0.2, ratio_rram=0.5, xb_size=128, res_rram=2,
+            num_crossbars=300,
+        )
+        spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                         res_dac=1, params=params)
+        with pytest.raises(InfeasibleError):
+            allocate_components(
+                spec.geometries, [[0], [1], [2]], budget, params, 1,
+                tiny_model,
+            )
+
+    def test_adc_resolution_tracks_rows(self, alloc_setup, tiny_model,
+                                        params):
+        spec, groups, budget = alloc_setup
+        allocation = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model
+        )
+        # c1 has 9 rows -> floor 7; fc1 has 512 rows capped at 128 -> 8.
+        assert allocation.layers[0].adc_resolution == 7
+        assert allocation.layers[2].adc_resolution == 8
+
+
+class TestSharing:
+    def test_sharing_saves_power_when_banks_compatible(
+        self, alloc_setup, tiny_model, params
+    ):
+        spec, groups, budget = alloc_setup
+        shared = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model,
+            sharing_pairs=[(0, 1)],  # two conv banks, same resolution
+        )
+        assert shared.sharing_savings > 0
+        assert shared.layers[1].shared_with == 0
+        assert shared.layers[0].shared_with == 1
+
+    def test_non_beneficial_pair_skipped(
+        self, alloc_setup, tiny_model, params
+    ):
+        spec, groups, budget = alloc_setup
+        # c1's bank is huge at 7-bit; fc1's is tiny at 8-bit. Merging
+        # would force the whole bank to 8-bit and cost power: skipped.
+        shared = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model,
+            sharing_pairs=[(0, 2)],
+        )
+        assert shared.sharing_savings == 0.0
+        assert shared.layers[0].shared_with is None
+        assert shared.layers[2].shared_with is None
+
+    def test_far_pair_improves_delay(self, vgg13_model, params):
+        budget = PowerBudget.from_constraint(100.0, 0.3, 128, 2, params)
+        spec = make_spec(
+            vgg13_model, [1] * 13, xb_size=128, res_rram=2, res_dac=1,
+            params=params,
+        )
+        groups = [[i] for i in range(13)]
+        base = allocate_components(
+            spec.geometries, groups, budget, params, 1, vgg13_model
+        )
+        shared = allocate_components(
+            spec.geometries, groups, budget, params, 1, vgg13_model,
+            sharing_pairs=[(0, 12)],  # distance 12 >> window
+        )
+        # No overlap penalty at distance 12; both partners see a bank at
+        # least as large as before (plus redistribution).
+        assert shared.layers[0].adc >= base.layers[0].adc
+        assert shared.layers[12].adc >= base.layers[12].adc
+
+    def test_adjacent_pair_penalized(self, vgg13_model, params):
+        budget = PowerBudget.from_constraint(100.0, 0.3, 128, 2, params)
+        spec = make_spec(
+            vgg13_model, [1] * 13, xb_size=128, res_rram=2, res_dac=1,
+            params=params,
+        )
+        groups = [[i] for i in range(13)]
+        near = allocate_components(
+            spec.geometries, groups, budget, params, 1, vgg13_model,
+            sharing_pairs=[(5, 6)],
+        )
+        far = allocate_components(
+            spec.geometries, groups, budget, params, 1, vgg13_model,
+            sharing_pairs=[(5, 12)],
+        )
+        assert near.layers[6].adc_delay > far.layers[12].adc_delay * 0.5
+
+
+class TestIdenticalMacros:
+    def test_identical_uses_worst_case_resolution(
+        self, alloc_setup, tiny_model, params
+    ):
+        spec, groups, budget = alloc_setup
+        allocation = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model,
+            identical_macros=True,
+        )
+        resolutions = {l.adc_resolution for l in allocation.layers}
+        assert len(resolutions) == 1
+
+    def test_identical_never_faster_than_specialized(
+        self, alloc_setup, tiny_model, params
+    ):
+        spec, groups, budget = alloc_setup
+        special = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model
+        )
+        identical = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model,
+            identical_macros=True,
+        )
+        worst_special = max(
+            max(l.adc_delay, l.alu_delay) for l in special.layers
+        )
+        worst_identical = max(
+            max(l.adc_delay, l.alu_delay) for l in identical.layers
+        )
+        assert worst_identical >= worst_special * (1 - 1e-9)
+
+    def test_per_macro_counts_integral(self, alloc_setup, tiny_model,
+                                       params):
+        spec, groups, budget = alloc_setup
+        allocation = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model
+        )
+        for adcs, alus in allocation.per_macro_counts(groups):
+            assert adcs >= 1 and alus >= 1
+            assert isinstance(adcs, int) and isinstance(alus, int)

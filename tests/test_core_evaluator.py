@@ -1,0 +1,137 @@
+"""Unit tests for the analytical performance evaluator."""
+
+import pytest
+
+from repro.core.component_alloc import allocate_components
+from repro.core.dataflow import make_spec
+from repro.core.evaluator import LayerTiming, PerformanceEvaluator
+from repro.hardware.power import PowerBudget
+from repro.nn.workload import model_macs
+
+
+@pytest.fixture()
+def eval_setup(tiny_model, params):
+    budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2, params)
+    spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                     res_dac=1, params=params)
+    groups = [[0], [1], [2]]
+    allocation = allocate_components(
+        spec.geometries, groups, budget, params, 1, tiny_model
+    )
+    return spec, budget, groups, allocation
+
+
+class TestLayerTiming:
+    def test_total_is_max_stage(self):
+        timing = LayerTiming(mvm=1.0, adc=5.0, alu=2.0, load=0.5,
+                             store=0.1, comm=0.2)
+        assert timing.total == 5.0
+        assert timing.bottleneck == "adc"
+
+
+class TestEvaluate:
+    def test_period_is_slowest_layer(self, eval_setup):
+        spec, budget, groups, allocation = eval_setup
+        evaluator = PerformanceEvaluator(spec, budget)
+        result = evaluator.evaluate(groups, allocation)
+        assert result.period == pytest.approx(
+            max(t.total for t in result.layer_timings)
+        )
+        assert result.throughput == pytest.approx(1.0 / result.period)
+
+    def test_mvm_time_formula(self, eval_setup, params):
+        spec, budget, groups, allocation = eval_setup
+        evaluator = PerformanceEvaluator(spec, budget)
+        result = evaluator.evaluate(groups, allocation)
+        geo = spec.geometries[0]
+        expected = geo.total_blocks * 16 * params.crossbar_latency
+        assert result.layer_timings[0].mvm == pytest.approx(expected)
+
+    def test_tops_consistent_with_macs(self, eval_setup, tiny_model):
+        spec, budget, groups, allocation = eval_setup
+        evaluator = PerformanceEvaluator(spec, budget)
+        result = evaluator.evaluate(groups, allocation)
+        expected = 2 * model_macs(tiny_model) / result.period / 1e12
+        assert result.tops == pytest.approx(expected)
+
+    def test_power_below_constraint(self, eval_setup):
+        spec, budget, groups, allocation = eval_setup
+        result = PerformanceEvaluator(spec, budget).evaluate(
+            groups, allocation
+        )
+        assert result.power <= budget.total_power * 1.001
+        assert result.tops_per_watt == pytest.approx(
+            result.tops / result.power
+        )
+
+    def test_latency_at_least_period(self, eval_setup):
+        spec, budget, groups, allocation = eval_setup
+        result = PerformanceEvaluator(spec, budget).evaluate(
+            groups, allocation
+        )
+        assert result.latency >= result.period * 0.999
+        assert result.edp == pytest.approx(
+            result.energy_per_image * result.latency
+        )
+
+    def test_bottleneck_layer_identified(self, eval_setup):
+        spec, budget, groups, allocation = eval_setup
+        result = PerformanceEvaluator(spec, budget).evaluate(
+            groups, allocation
+        )
+        totals = [t.total for t in result.layer_timings]
+        assert totals[result.bottleneck_layer] == max(totals)
+
+    def test_fitness_is_throughput(self, eval_setup):
+        spec, budget, groups, allocation = eval_setup
+        result = PerformanceEvaluator(spec, budget).evaluate(
+            groups, allocation
+        )
+        assert result.fitness == result.throughput
+
+
+class TestMacroCountEffects:
+    def test_more_macros_speed_memory(self, tiny_model, params):
+        budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2, params)
+        spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                         res_dac=1, params=params)
+        evaluator = PerformanceEvaluator(spec, budget)
+        one = [[0], [1], [2]]
+        multi = [[0, 1], [2], [3]]
+        alloc_one = allocate_components(
+            spec.geometries, one, budget, params, 1, tiny_model
+        )
+        alloc_multi = allocate_components(
+            spec.geometries, multi, budget, params, 1, tiny_model
+        )
+        r_one = evaluator.evaluate(one, alloc_one)
+        r_multi = evaluator.evaluate(multi, alloc_multi)
+        assert r_multi.layer_timings[0].load < \
+            r_one.layer_timings[0].load
+
+    def test_comm_appears_for_split_row_tiled_layer(
+        self, tiny_model, params
+    ):
+        budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2, params)
+        spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                         res_dac=1, params=params)
+        evaluator = PerformanceEvaluator(spec, budget)
+        # fc1 (512 rows -> 4 row tiles) split across 2 macros: merge IRs
+        groups = [[0], [1], [2, 3]]
+        allocation = allocate_components(
+            spec.geometries, groups, budget, params, 1, tiny_model
+        )
+        result = evaluator.evaluate(groups, allocation)
+        assert result.layer_timings[2].comm > 0
+
+
+class TestPeakMetrics:
+    def test_peak_at_least_effective(self, eval_setup):
+        spec, budget, groups, allocation = eval_setup
+        evaluator = PerformanceEvaluator(spec, budget)
+        result = evaluator.evaluate(groups, allocation)
+        peak_tops, peak_eff = evaluator.peak_metrics(allocation)
+        assert peak_tops > 0
+        assert peak_eff > 0
+        # Peak (dense, no stalls) should not be below effective.
+        assert peak_tops >= result.tops * 0.5

@@ -1,0 +1,170 @@
+"""Unit tests for stage 3: EA-based macro partitioning (Alg. 2)."""
+
+import random
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.dataflow import make_spec
+from repro.core.macro_partition import (
+    MacroPartition,
+    MacroPartitionExplorer,
+    decode_gene,
+    encode_gene,
+)
+from repro.errors import ConfigurationError
+from repro.hardware.power import PowerBudget
+
+
+@pytest.fixture()
+def explorer(tiny_model, params):
+    budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2, params)
+    spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                     res_dac=1, params=params)
+    config = SynthesisConfig.fast(total_power=2.0, seed=11)
+    return MacroPartitionExplorer(
+        spec=spec, budget=budget, res_dac=1, config=config,
+        rng=random.Random(11),
+    )
+
+
+class TestGeneEncoding:
+    """The paper's i*1000+#macros packing must round-trip exactly."""
+
+    def test_encode_own_groups(self):
+        gene = encode_gene([0, 1, 2], [3, 1, 7])
+        assert gene == (3, 1001, 2007)
+
+    def test_encode_sharing(self):
+        # layer 2 shares with layer 0 -> 0*1000 + m
+        gene = encode_gene([0, 1, 0], [3, 1, 3])
+        assert gene == (3, 1001, 3)
+
+    def test_decode_roundtrip(self):
+        owners, counts = [0, 1, 0, 3], [2, 5, 2, 9]
+        assert decode_gene(encode_gene(owners, counts)) == (
+            owners, counts
+        )
+
+    def test_owner_after_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_gene([1, 1], [1, 1])
+
+    def test_count_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            encode_gene([0], [0])
+        with pytest.raises(ConfigurationError):
+            encode_gene([0], [1000])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            encode_gene([0, 1], [1])
+
+
+class TestMacroPartitionDecoding:
+    def test_sequential_macro_ids(self):
+        partition = MacroPartition.from_gene(encode_gene(
+            [0, 1, 2], [2, 3, 1]
+        ))
+        assert partition.macro_groups == ((0, 1), (2, 3, 4), (5,))
+        assert partition.num_macros == 6
+        assert partition.sharing_pairs == ()
+
+    def test_sharing_reuses_owner_group(self):
+        partition = MacroPartition.from_gene(encode_gene(
+            [0, 1, 0], [2, 1, 2]
+        ))
+        assert partition.macro_groups[2] == partition.macro_groups[0]
+        assert partition.sharing_pairs == ((0, 2),)
+        assert partition.num_macros == 3  # shared macros counted once
+
+    def test_share_with_non_owner_rejected(self):
+        # layer 1 shares with 0, layer 2 shares with 1 (a chain): invalid
+        gene = (1, 1, 1001)
+        with pytest.raises(ConfigurationError):
+            MacroPartition.from_gene(gene)
+
+
+class TestMutations:
+    def test_mutate_num_respects_caps(self, explorer):
+        gene = encode_gene([0, 1, 2], [1, 1, 1])
+        rng = random.Random(0)
+        for _ in range(100):
+            gene = explorer.mutate_num(gene, rng)
+            _owners, counts = decode_gene(gene)
+            for index, count in enumerate(counts):
+                assert 1 <= count <= explorer.caps[index]
+
+    def test_mutate_share_creates_valid_pairs(self, explorer):
+        gene = encode_gene([0, 1, 2], [1, 1, 1])
+        rng = random.Random(1)
+        seen_share = False
+        for _ in range(100):
+            gene = explorer.mutate_share(gene, rng)
+            partition = MacroPartition.from_gene(gene)  # must not raise
+            if partition.sharing_pairs:
+                seen_share = True
+                for j, i in partition.sharing_pairs:
+                    assert j < i
+        assert seen_share
+
+    def test_mutate_share_toggles_off(self, explorer):
+        gene = encode_gene([0, 1, 0], [1, 1, 1])
+        rng = random.Random(3)
+        for _ in range(50):
+            gene = explorer.mutate_share(gene, rng)
+        # After many toggles the gene is still structurally valid.
+        MacroPartition.from_gene(gene)
+
+    def test_mutations_preserve_length(self, explorer):
+        gene = encode_gene([0, 1, 2], [1, 2, 1])
+        rng = random.Random(2)
+        for op in (explorer.mutate_num, explorer.mutate_share):
+            for _ in range(20):
+                gene = op(gene, rng)
+                assert len(gene) == 3
+
+
+class TestScoring:
+    def test_feasible_gene_scores_positive(self, explorer):
+        gene = encode_gene([0, 1, 2], [1, 1, 1])
+        fitness, allocation, result = explorer.score(gene)
+        assert fitness > 0
+        assert allocation is not None
+        assert result is not None
+        assert result.throughput == fitness
+
+    def test_caps_follow_rule_c(self, explorer):
+        # cap_i = min(WtDup_i * row_tiles_i, crossbars_i)
+        for geo, cap in zip(explorer.spec.geometries, explorer.caps):
+            assert cap <= geo.crossbars
+            assert cap <= geo.wt_dup * geo.row_tiles
+
+
+class TestExplore:
+    def test_explore_returns_feasible_best(self, explorer):
+        partition, allocation, result = explorer.explore()
+        assert result.throughput > 0
+        assert partition.num_macros >= 1
+        assert len(allocation.layers) == 3
+
+    def test_explore_deterministic(self, tiny_model, params):
+        def run(seed):
+            budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2,
+                                                 params)
+            spec = make_spec(tiny_model, [4, 2, 1], xb_size=128,
+                             res_rram=2, res_dac=1, params=params)
+            config = SynthesisConfig.fast(total_power=2.0, seed=seed)
+            explorer = MacroPartitionExplorer(
+                spec=spec, budget=budget, res_dac=1, config=config,
+                rng=random.Random(seed),
+            )
+            return explorer.explore()[0].gene
+
+        assert run(5) == run(5)
+
+    def test_explore_beats_naive_gene(self, explorer):
+        _partition, _allocation, result = explorer.explore()
+        naive = encode_gene([0, 1, 2], [1, 1, 1])
+        naive_fitness, _a, _r = explorer.score(naive)
+        assert result.throughput >= naive_fitness

@@ -1,0 +1,147 @@
+"""Unit tests for Alg. 1's DSE driver and solution objects."""
+
+import json
+
+import pytest
+
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.design_space import DesignSpace
+from repro.errors import InfeasibleError
+from repro.ir.lint import lint_dag
+
+
+@pytest.fixture(scope="module")
+def lenet_solution():
+    from repro.nn import lenet5
+
+    config = SynthesisConfig.fast(total_power=2.0, seed=7)
+    return Pimsyn(lenet5(), config).synthesize()
+
+
+class TestDesignSpace:
+    def test_outer_points_within_grid(self, lenet, fast_config):
+        space = DesignSpace(lenet, fast_config)
+        for point in space.outer_points():
+            assert point.ratio_rram in fast_config.ratio_rram_choices
+            assert point.res_rram in fast_config.res_rram_choices
+            assert point.xb_size in fast_config.xb_size_choices
+            assert point.num_crossbars >= space.min_crossbars(
+                point.xb_size, point.res_rram
+            )
+
+    def test_infeasible_points_skipped(self, vgg13_model):
+        config = SynthesisConfig.fast(total_power=1.0)  # way too small
+        assert DesignSpace(vgg13_model, config).feasible_points() == []
+
+    def test_scale_estimate_large_for_vgg13(self, vgg13_model):
+        config = SynthesisConfig(total_power=200.0)
+        scale = DesignSpace(vgg13_model, config).total_scale_log10()
+        # §III: "can reach up to 1e27 for VGG13" — at a comparable power
+        # the estimate must be astronomically large (>= 1e20).
+        assert scale >= 20.0
+
+    def test_minimum_feasible_power(self, vgg13_model):
+        config = SynthesisConfig.fast()
+        space = DesignSpace(vgg13_model, config)
+        pmin = space.minimum_feasible_power()
+        tight = SynthesisConfig.fast(total_power=pmin * 1.05)
+        assert DesignSpace(vgg13_model, tight).feasible_points()
+
+    def test_margin_scales(self, lenet, fast_config):
+        space = DesignSpace(lenet, fast_config)
+        assert space.minimum_feasible_power(margin=2.0) == pytest.approx(
+            2.0 * space.minimum_feasible_power()
+        )
+
+
+class TestSynthesize:
+    def test_produces_feasible_solution(self, lenet_solution):
+        solution = lenet_solution
+        assert solution.evaluation.throughput > 0
+        assert solution.evaluation.power <= solution.total_power * 1.001
+
+    def test_wtdup_respects_eq2(self, lenet_solution):
+        from repro.hardware.crossbar import crossbars_for_layer
+
+        solution = lenet_solution
+        used = sum(
+            geo.crossbars for geo in solution.spec.geometries
+        )
+        assert used <= solution.budget.num_crossbars
+
+    def test_deterministic(self, lenet):
+        config = SynthesisConfig.fast(total_power=2.0, seed=7)
+        a = Pimsyn(lenet, config).synthesize()
+        b = Pimsyn(lenet, SynthesisConfig.fast(
+            total_power=2.0, seed=7
+        )).synthesize()
+        assert a.wt_dup == b.wt_dup
+        assert a.partition.gene == b.partition.gene
+        assert a.evaluation.throughput == pytest.approx(
+            b.evaluation.throughput
+        )
+
+    def test_report_populated(self, lenet):
+        config = SynthesisConfig.fast(total_power=2.0, seed=7)
+        synthesizer = Pimsyn(lenet, config)
+        synthesizer.synthesize()
+        assert synthesizer.report.outer_points >= 1
+        assert synthesizer.report.ea_runs >= 1
+        assert synthesizer.report.wall_seconds > 0
+
+    def test_infeasible_power_raises(self, lenet):
+        config = SynthesisConfig.fast(total_power=1e-3)
+        with pytest.raises(InfeasibleError):
+            Pimsyn(lenet, config).synthesize()
+
+    def test_progress_callback_invoked(self, lenet):
+        messages = []
+        config = SynthesisConfig.fast(total_power=2.0, seed=7)
+        Pimsyn(lenet, config, progress=messages.append).synthesize()
+        assert messages
+
+    def test_fixed_wtdup_policy(self, lenet):
+        config = SynthesisConfig.fast(total_power=2.0, seed=7)
+        synthesizer = Pimsyn(lenet, config)
+        solution = synthesizer.synthesize_with_wtdup(
+            lambda point: [1] * lenet.num_weighted_layers
+        )
+        assert all(d == 1 for d in solution.wt_dup)
+
+    def test_sa_wtdup_beats_no_duplication(self, lenet):
+        config = SynthesisConfig.fast(total_power=2.0, seed=7)
+        sa = Pimsyn(lenet, config).synthesize()
+        none = Pimsyn(lenet, SynthesisConfig.fast(
+            total_power=2.0, seed=7
+        )).synthesize_with_wtdup(
+            lambda point: [1] * lenet.num_weighted_layers
+        )
+        assert sa.evaluation.throughput > none.evaluation.throughput
+
+
+class TestSolutionObjects:
+    def test_summary_text(self, lenet_solution):
+        text = lenet_solution.summary()
+        assert "TOPS/W" in text and "WtDup" in text
+
+    def test_json_roundtrip(self, lenet_solution):
+        payload = json.loads(lenet_solution.to_json())
+        assert payload["model"] == "lenet5"
+        assert payload["wt_dup"] == list(lenet_solution.wt_dup)
+        assert payload["metrics"]["throughput_img_s"] == pytest.approx(
+            lenet_solution.evaluation.throughput
+        )
+
+    def test_build_accelerator_consistent(self, lenet_solution):
+        chip = lenet_solution.build_accelerator()
+        assert chip.num_macros == lenet_solution.partition.num_macros
+        used = sum(g.crossbars for g in lenet_solution.spec.geometries)
+        assert chip.num_crossbars >= used  # ceil rounding per macro
+
+    def test_build_dag_lints_clean(self, lenet_solution):
+        dag = lenet_solution.build_dag()
+        assert lint_dag(dag) == []
+
+    def test_peak_metrics_positive(self, lenet_solution):
+        peak_tops, peak_eff = lenet_solution.peak_metrics()
+        assert peak_tops > 0 and peak_eff > 0

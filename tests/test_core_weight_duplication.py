@@ -1,0 +1,147 @@
+"""Unit tests for the stage-1 SA weight-duplication filter."""
+
+import random
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.core.weight_duplication import WeightDuplicationFilter
+from repro.errors import InfeasibleError
+from repro.utils.mathutils import stdev
+
+
+def _filter(model, num_crossbars=2000, **overrides):
+    config = SynthesisConfig.fast(total_power=5.0, **overrides)
+    return WeightDuplicationFilter(
+        model=model, xb_size=128, res_rram=2,
+        num_crossbars=num_crossbars, config=config,
+    )
+
+
+class TestFeasibility:
+    def test_infeasible_budget_raises(self, tiny_model):
+        with pytest.raises(InfeasibleError):
+            _filter(tiny_model, num_crossbars=3)
+
+    def test_crossbars_used_formula(self, tiny_model):
+        filt = _filter(tiny_model)
+        dup = (2, 3, 1)
+        expected = sum(
+            d * s for d, s in zip(dup, filt.set_sizes)
+        )
+        assert filt.crossbars_used(dup) == expected
+
+    def test_is_feasible_checks_budget(self, tiny_model):
+        filt = _filter(tiny_model, num_crossbars=50)
+        assert filt.is_feasible((1, 1, 1))
+        assert not filt.is_feasible((10000, 1, 1))
+
+    def test_is_feasible_rejects_nonpositive(self, tiny_model):
+        filt = _filter(tiny_model)
+        assert not filt.is_feasible((0, 1, 1))
+
+    def test_is_feasible_caps_at_output_positions(self, tiny_model):
+        filt = _filter(tiny_model, num_crossbars=10 ** 9)
+        # fc1 has 1 output position: duplication beyond 1 is useless.
+        assert not filt.is_feasible((1, 1, 2))
+
+
+class TestEnergyFunction:
+    def test_eq4_value(self, tiny_model):
+        filt = _filter(tiny_model)
+        dup = (1, 1, 1)
+        steps = [p / d for p, d in zip(filt.out_positions, dup)]
+        volumes = [
+            d * u for d, u in zip(dup, filt.volume_units)
+        ]
+        expected = stdev(steps) + filt.config.sa_alpha * stdev(volumes)
+        assert filt.energy(dup) == pytest.approx(expected)
+
+    def test_balanced_beats_skewed(self, tiny_model):
+        filt = _filter(tiny_model)
+        # c1: 256 positions, c2: 64, fc: 1. Balancing steps lowers E.
+        skewed = filt.energy((1, 1, 1))
+        balanced = filt.energy((4, 1, 1))
+        assert balanced < skewed
+
+
+class TestInitialState:
+    def test_feasible(self, tiny_model):
+        filt = _filter(tiny_model)
+        assert filt.is_feasible(filt.initial_state())
+
+    def test_fills_budget_greedily(self, tiny_model):
+        filt = _filter(tiny_model, num_crossbars=500)
+        state = filt.initial_state()
+        # the remaining budget cannot fit another copy of any
+        # still-improvable layer
+        remaining = filt.num_crossbars - filt.crossbars_used(state)
+        for index, size in enumerate(filt.set_sizes):
+            if state[index] < filt.dup_caps[index]:
+                assert size > remaining
+
+    def test_tight_budget_gives_all_ones(self, tiny_model):
+        filt = _filter(tiny_model, num_crossbars=sum(
+            _filter(tiny_model).set_sizes
+        ))
+        assert filt.initial_state() == (1, 1, 1)
+
+
+class TestNeighbor:
+    def test_neighbors_stay_feasible(self, tiny_model):
+        filt = _filter(tiny_model)
+        rng = random.Random(0)
+        state = filt.initial_state()
+        for _ in range(200):
+            state = filt.neighbor(state, rng)
+            assert filt.is_feasible(state)
+
+    def test_frozen_when_no_move_possible(self, lenet):
+        config = SynthesisConfig.fast(total_power=5.0)
+        filt = WeightDuplicationFilter(
+            model=lenet, xb_size=128, res_rram=2,
+            num_crossbars=sum(
+                WeightDuplicationFilter(
+                    model=lenet, xb_size=128, res_rram=2,
+                    num_crossbars=10 ** 6, config=config,
+                ).set_sizes
+            ),
+            config=config,
+        )
+        state = (1,) * lenet.num_weighted_layers
+        rng = random.Random(0)
+        # With zero headroom the only feasible moves keep the state.
+        assert filt.neighbor(state, rng) == state
+
+
+class TestTopCandidates:
+    def test_returns_requested_count(self, tiny_model):
+        filt = _filter(tiny_model, num_wtdup_candidates=5)
+        candidates = filt.top_candidates(random.Random(1))
+        assert 1 <= len(candidates) <= 5
+
+    def test_candidates_distinct_and_feasible(self, tiny_model):
+        filt = _filter(tiny_model, num_wtdup_candidates=8)
+        candidates = filt.top_candidates(random.Random(1))
+        assert len(set(candidates)) == len(candidates)
+        for c in candidates:
+            assert filt.is_feasible(c)
+
+    def test_sorted_by_energy(self, tiny_model):
+        filt = _filter(tiny_model, num_wtdup_candidates=8)
+        candidates = filt.top_candidates(random.Random(1))
+        energies = [filt.energy(c) for c in candidates]
+        assert energies == sorted(energies)
+
+    def test_deterministic_under_seed(self, tiny_model):
+        filt = _filter(tiny_model)
+        a = filt.top_candidates(random.Random(9))
+        b = _filter(tiny_model).top_candidates(random.Random(9))
+        assert a == b
+
+    def test_sa_beats_all_ones_energy(self, vgg13_model):
+        filt = _filter(vgg13_model, num_crossbars=100000)
+        best = filt.top_candidates(random.Random(2))[0]
+        assert filt.energy(best) < filt.energy(
+            tuple([1] * vgg13_model.num_weighted_layers)
+        )

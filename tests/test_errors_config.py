@@ -1,0 +1,88 @@
+"""Tests for the exception hierarchy and SynthesisConfig validation."""
+
+import pytest
+
+from repro.core.config import SynthesisConfig
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    IRError,
+    ModelError,
+    PimsynError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        for exc_type in (ConfigurationError, InfeasibleError, IRError,
+                         ModelError, SimulationError):
+            assert issubclass(exc_type, PimsynError)
+
+    def test_single_catch_covers_package(self):
+        with pytest.raises(PimsynError):
+            raise InfeasibleError("x")
+
+    def test_types_distinct(self):
+        with pytest.raises(ModelError):
+            raise ModelError("m")
+        assert not issubclass(ModelError, IRError)
+
+
+class TestSynthesisConfigValidation:
+    def test_defaults_are_paper_grid(self):
+        config = SynthesisConfig()
+        assert config.ratio_rram_choices == (0.1, 0.2, 0.3, 0.4)
+        assert config.res_rram_choices == (1, 2, 4)
+        assert config.xb_size_choices == (128, 256, 512)
+        assert config.res_dac_choices == (1, 2, 4)
+        assert config.num_wtdup_candidates == 30  # paper's top-30
+
+    def test_nonpositive_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(total_power=0.0)
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(ratio_rram_choices=(1.5,))
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(ratio_rram_choices=(0.0,))
+
+    def test_empty_choice_lists_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(xb_size_choices=())
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(res_dac_choices=(0,))
+
+    def test_candidate_floor(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(num_wtdup_candidates=0)
+
+    def test_fast_preset_overridable(self):
+        config = SynthesisConfig.fast(
+            total_power=9.0, xb_size_choices=(512,), seed=77
+        )
+        assert config.total_power == 9.0
+        assert config.xb_size_choices == (512,)
+        assert config.seed == 77
+
+    def test_fast_preset_params_override(self):
+        from repro.hardware.params import HardwareParams
+
+        custom = HardwareParams(crossbar_latency=50e-9)
+        config = SynthesisConfig.fast(total_power=2.0, params=custom)
+        assert config.params.crossbar_latency == 50e-9
+
+    def test_fast_smaller_than_full(self):
+        fast = SynthesisConfig.fast()
+        full = SynthesisConfig()
+        fast_points = (
+            len(fast.ratio_rram_choices) * len(fast.res_rram_choices)
+            * len(fast.xb_size_choices)
+        )
+        full_points = (
+            len(full.ratio_rram_choices) * len(full.res_rram_choices)
+            * len(full.xb_size_choices)
+        )
+        assert fast_points < full_points
+        assert fast.num_wtdup_candidates < full.num_wtdup_candidates

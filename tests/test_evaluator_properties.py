@@ -1,0 +1,122 @@
+"""Property tests on the analytical evaluator and allocation stage.
+
+These pin the *monotonicities* the DSE relies on: if they break, the
+search can silently optimize the wrong thing.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.component_alloc import allocate_components
+from repro.core.dataflow import make_spec
+from repro.core.evaluator import PerformanceEvaluator
+from repro.hardware.params import HardwareParams
+from repro.hardware.power import PowerBudget
+from repro.nn import lenet5
+
+PARAMS = HardwareParams()
+MODEL = lenet5()
+
+
+def _evaluate(total_power, wt_dup, groups=None, res_dac=1):
+    budget = PowerBudget.from_constraint(
+        total_power, 0.3, 128, 2, PARAMS
+    )
+    spec = make_spec(MODEL, wt_dup, xb_size=128, res_rram=2,
+                     res_dac=res_dac, params=PARAMS)
+    if groups is None:
+        groups = [[i] for i in range(spec.num_layers)]
+    allocation = allocate_components(
+        spec.geometries, groups, budget, PARAMS, res_dac, MODEL
+    )
+    evaluator = PerformanceEvaluator(spec, budget)
+    return evaluator.evaluate(groups, allocation)
+
+
+class TestPowerMonotonicity:
+    @given(st.floats(1.0, 4.0), st.floats(1.05, 2.0))
+    @settings(max_examples=15, deadline=None)
+    def test_more_power_never_slower(self, base_power, factor):
+        """Same duplication, bigger peripheral budget: period shrinks
+        or stays (ADC/ALU banks scale up, structure fixed)."""
+        wt_dup = [4, 2, 1, 1, 1]
+        low = _evaluate(base_power, wt_dup)
+        high = _evaluate(base_power * factor, wt_dup)
+        assert high.period <= low.period * (1 + 1e-9)
+
+    @given(st.floats(1.0, 4.0))
+    @settings(max_examples=10, deadline=None)
+    def test_power_accounting_consistent(self, total_power):
+        result = _evaluate(total_power, [4, 2, 1, 1, 1])
+        assert 0 < result.power <= total_power * 1.001
+        assert result.tops_per_watt == pytest.approx(
+            result.tops / result.power
+        )
+        assert result.energy_per_image == pytest.approx(
+            result.power * result.latency
+        )
+
+
+class TestDuplicationEffect:
+    @given(st.integers(1, 16))
+    @settings(max_examples=10, deadline=None)
+    def test_duplication_reduces_mvm_time(self, dup):
+        """WtDup cuts the crossbar-bound stage near-linearly."""
+        one = _evaluate(4.0, [1, 1, 1, 1, 1])
+        many = _evaluate(4.0, [dup, 1, 1, 1, 1])
+        ratio = one.layer_timings[0].mvm / many.layer_timings[0].mvm
+        # total_blocks = ceil(positions / dup): ratio within ceil slack
+        assert ratio == pytest.approx(dup, rel=0.2)
+
+
+class TestResDacEffect:
+    def test_higher_dac_fewer_bits(self):
+        """ResDAC=4 quarters the bit-serial iterations of ResDAC=1."""
+        slow = _evaluate(4.0, [4, 2, 1, 1, 1], res_dac=1)
+        fast = _evaluate(4.0, [4, 2, 1, 1, 1], res_dac=4)
+        assert fast.layer_timings[0].mvm == pytest.approx(
+            slow.layer_timings[0].mvm / 4
+        )
+
+
+class TestAllocationScaling:
+    @given(st.floats(1.5, 4.0))
+    @settings(max_examples=10, deadline=None)
+    def test_balanced_delay_scales_inversely(self, factor):
+        """Eq. 6: D = denom / available — doubling the available
+        peripheral power halves the balanced delay, modulo the fixed
+        overhead offset."""
+        wt_dup = [4, 2, 1, 1, 1]
+        budget_small = PowerBudget.from_constraint(
+            2.0, 0.3, 128, 2, PARAMS
+        )
+        budget_large = PowerBudget.from_constraint(
+            2.0 * factor, 0.3, 128, 2, PARAMS
+        )
+        spec = make_spec(MODEL, wt_dup, xb_size=128, res_rram=2,
+                         res_dac=1, params=PARAMS)
+        groups = [[i] for i in range(spec.num_layers)]
+        small = allocate_components(
+            spec.geometries, groups, budget_small, PARAMS, 1, MODEL
+        )
+        large = allocate_components(
+            spec.geometries, groups, budget_large, PARAMS, 1, MODEL
+        )
+        assert large.balanced_delay < small.balanced_delay
+
+    def test_fixed_overhead_invariant_to_power(self):
+        wt_dup = [4, 2, 1, 1, 1]
+        spec = make_spec(MODEL, wt_dup, xb_size=128, res_rram=2,
+                         res_dac=1, params=PARAMS)
+        groups = [[i] for i in range(spec.num_layers)]
+        allocations = [
+            allocate_components(
+                spec.geometries, groups,
+                PowerBudget.from_constraint(p, 0.3, 128, 2, PARAMS),
+                PARAMS, 1, MODEL,
+            )
+            for p in (2.0, 4.0, 8.0)
+        ]
+        overheads = {round(a.fixed_power, 12) for a in allocations}
+        assert len(overheads) == 1  # structure-bound, power-invariant

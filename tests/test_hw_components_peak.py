@@ -1,0 +1,140 @@
+"""Unit tests for component specs and the architecture-level peak model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.components import (
+    AdcSpec,
+    AluSpec,
+    ComponentKind,
+    CrossbarSpec,
+    DacSpec,
+    EDramSpec,
+    NocRouterSpec,
+    RegisterFileSpec,
+    SampleHoldSpec,
+)
+from repro.hardware.peak import (
+    adc_demand_per_crossbar,
+    best_matched_peak,
+    crossbar_ops_rate,
+    dense_mvm_reads,
+    fixed_peak_point,
+    matched_peak_point,
+)
+
+
+class TestComponentSpecs:
+    def test_crossbar_spec_from_params(self, params):
+        spec = CrossbarSpec.from_params(params, 128)
+        assert spec.kind is ComponentKind.CROSSBAR
+        assert spec.power == pytest.approx(0.3e-3)
+        assert spec.rate == pytest.approx(1e7)  # 1/100ns
+
+    def test_adc_spec(self, params):
+        spec = AdcSpec.from_params(params, 8)
+        assert spec.rate == pytest.approx(1.2e9)
+        assert spec.resolution == 8
+
+    def test_time_for_eq5_form(self, params):
+        spec = AdcSpec.from_params(params, 8)
+        # Eq. 5: Wl / (Freq * alloc)
+        assert spec.time_for(1.2e9, 1.0) == pytest.approx(1.0)
+        assert spec.time_for(1.2e9, 2.0) == pytest.approx(0.5)
+
+    def test_time_for_rejects_zero_instances(self, params):
+        spec = AluSpec.from_params(params)
+        with pytest.raises(ConfigurationError):
+            spec.time_for(100.0, 0)
+
+    def test_all_specs_constructible(self, params):
+        for spec in (
+            DacSpec.from_params(params, 1),
+            EDramSpec.from_params(params),
+            NocRouterSpec.from_params(params),
+            SampleHoldSpec.from_params(params),
+            RegisterFileSpec.from_params(params),
+        ):
+            assert spec.power >= 0
+            assert spec.rate > 0
+
+
+class TestDenseMvmReads:
+    def test_isaac_point(self):
+        # 16-bit over 2-bit cells and 1-bit DAC: 8 slices x 16 bits.
+        assert dense_mvm_reads(16, 2, 16, 1) == 128
+
+    def test_fast_point(self):
+        assert dense_mvm_reads(16, 4, 16, 4) == 16
+
+    def test_single_read_at_full_resolution(self):
+        assert dense_mvm_reads(16, 16, 16, 16) == 1
+
+
+class TestOpsRate:
+    def test_formula(self, params):
+        # 2 * 128^2 MACs per 128 reads of 100 ns
+        rate = crossbar_ops_rate(128, 2, 1, params)
+        assert rate == pytest.approx(2 * 128 * 128 / (128 * 100e-9))
+
+    def test_higher_resolution_is_faster(self, params):
+        assert crossbar_ops_rate(128, 4, 4, params) > crossbar_ops_rate(
+            128, 1, 1, params
+        )
+
+    def test_adc_demand(self, params):
+        # One conversion per column per read.
+        assert adc_demand_per_crossbar(128, params) == pytest.approx(
+            128 / 100e-9
+        )
+
+
+class TestPeakPoints:
+    def test_matched_peak_positive(self, params):
+        point = matched_peak_point(128, 2, 1, params)
+        assert point.tops_per_watt > 0
+        assert point.adc_resolution == 8
+
+    def test_best_matched_beats_single_points(self, params):
+        best = best_matched_peak(params)
+        for xb in (128, 256, 512):
+            point = matched_peak_point(xb, 2, 1, params)
+            assert best.tops_per_watt >= point.tops_per_watt
+
+    def test_fixed_peak_underprovision_throttles(self, params):
+        full = fixed_peak_point(128, 2, 1, 2.0, 8, 1e-3, params)
+        starved = fixed_peak_point(128, 2, 1, 0.1, 8, 1e-3, params)
+        assert starved.ops_per_second_per_crossbar < \
+            full.ops_per_second_per_crossbar
+
+    def test_fixed_peak_overprovision_wastes_power(self, params):
+        lean = fixed_peak_point(128, 2, 1, 1.1, 8, 1e-3, params)
+        bloated = fixed_peak_point(128, 2, 1, 4.0, 8, 1e-3, params)
+        assert bloated.tops_per_watt < lean.tops_per_watt
+
+    def test_conversion_overhead_hurts(self, params):
+        clean = fixed_peak_point(128, 2, 1, 1.0, 8, 1e-3, params)
+        spiky = fixed_peak_point(
+            128, 2, 1, 1.0, 8, 1e-3, params, conversion_overhead=2.0
+        )
+        assert spiky.tops_per_watt < clean.tops_per_watt
+
+    def test_fixed_peak_rejects_zero_adcs(self, params):
+        with pytest.raises(ConfigurationError):
+            fixed_peak_point(128, 2, 1, 0.0, 8, 1e-3, params)
+
+    def test_matched_peak_beats_manual_fixed_designs(self, params):
+        """The Table IV headline: synthesis-chosen peak tops manual ones."""
+        from repro.baselines import (
+            atomlayer_design,
+            isaac_design,
+            pipelayer_design,
+            prime_design,
+            puma_design,
+        )
+
+        best = best_matched_peak(params)
+        for design_fn in (isaac_design, pipelayer_design, prime_design,
+                          puma_design, atomlayer_design):
+            point = design_fn().peak_point(params)
+            assert best.tops_per_watt > point.tops_per_watt

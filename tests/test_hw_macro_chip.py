@@ -1,0 +1,150 @@
+"""Unit tests for macro/PE configs and full-chip assembly."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.chip import Accelerator
+from repro.hardware.macro import MacroConfig, PEConfig
+
+
+@pytest.fixture()
+def pe():
+    return PEConfig(xb_size=128, res_rram=2, res_dac=1)
+
+
+def _macro(mid, pe, layers=(0,), pes=8, adcs=8, alus=4, res=8):
+    return MacroConfig(
+        macro_id=mid, pe=pe, num_pes=pes, num_adcs=adcs,
+        adc_resolution=res, num_alus=alus, layer_indices=tuple(layers),
+    )
+
+
+class TestPEConfig:
+    def test_dac_and_sh_scale_with_size(self, pe):
+        assert pe.num_dacs == 128
+        assert pe.num_sample_holds == 128
+
+    def test_power_composition(self, pe, params):
+        expected = (
+            params.crossbar_power_of(128)
+            + 128 * params.dac_power_of(1)
+            + 128 * params.sample_hold_power
+        )
+        assert pe.power(params) == pytest.approx(expected)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PEConfig(xb_size=0, res_rram=2, res_dac=1)
+        with pytest.raises(ConfigurationError):
+            PEConfig(xb_size=128, res_rram=0, res_dac=1)
+
+
+class TestMacroConfig:
+    def test_power_includes_shared_peripherals(self, pe, params):
+        macro = _macro(0, pe)
+        power = macro.power(params)
+        assert power > 8 * pe.power(params)
+        assert macro.peripheral_power(params) == pytest.approx(
+            power - 8 * params.crossbar_power_of(128)
+        )
+
+    def test_component_counts(self, pe):
+        counts = _macro(0, pe).component_counts()
+        assert counts["crossbars"] == 8
+        assert counts["dacs"] == 8 * 128
+        assert counts["adcs"] == 8
+
+    def test_sharing_flag(self, pe):
+        assert _macro(0, pe, layers=(0, 1)).shared
+        assert not _macro(0, pe, layers=(0,)).shared
+
+    def test_three_layer_sharing_rejected(self, pe):
+        with pytest.raises(ConfigurationError):
+            _macro(0, pe, layers=(0, 1, 2))
+
+    def test_zero_pes_rejected(self, pe):
+        with pytest.raises(ConfigurationError):
+            MacroConfig(macro_id=0, pe=pe, num_pes=0, num_adcs=1,
+                        adc_resolution=8, num_alus=1)
+
+    def test_bad_adc_resolution_rejected(self, pe):
+        with pytest.raises(ConfigurationError):
+            MacroConfig(macro_id=0, pe=pe, num_pes=1, num_adcs=1,
+                        adc_resolution=0, num_alus=1)
+
+
+class TestAccelerator:
+    def _chip(self, pe, params):
+        macros = [
+            _macro(0, pe, layers=(0,)),
+            _macro(1, pe, layers=(1,), pes=4, adcs=2),
+        ]
+        return Accelerator(
+            macros=macros, params=params,
+            layer_macros={0: [0], 1: [1]},
+        )
+
+    def test_counts(self, pe, params):
+        chip = self._chip(pe, params)
+        assert chip.num_macros == 2
+        assert chip.num_crossbars == 12
+
+    def test_specialized_detection(self, pe, params):
+        chip = self._chip(pe, params)
+        assert chip.is_specialized
+        uniform = Accelerator(
+            macros=[_macro(0, pe, layers=(0,)),
+                    _macro(1, pe, layers=(1,))],
+            params=params, layer_macros={0: [0], 1: [1]},
+        )
+        assert not uniform.is_specialized
+
+    def test_sharing_detection(self, pe, params):
+        shared = Accelerator(
+            macros=[_macro(0, pe, layers=(0, 1))], params=params,
+            layer_macros={0: [0], 1: [0]},
+        )
+        assert shared.has_macro_sharing
+
+    def test_power_report_totals(self, pe, params):
+        chip = self._chip(pe, params)
+        report = chip.power_report()
+        direct = sum(m.power(params) for m in chip.macros)
+        assert report.total == pytest.approx(direct)
+        assert 0.0 < report.peripheral_fraction < 1.0
+
+    def test_power_report_dict(self, pe, params):
+        report = self._chip(pe, params).power_report()
+        payload = report.as_dict()
+        assert payload["total"] == pytest.approx(report.total)
+
+    def test_area_report_positive(self, pe, params):
+        report = self._chip(pe, params).area_report()
+        assert report.total > 0
+        assert report.crossbars > 0
+
+    def test_id_mismatch_rejected(self, pe, params):
+        with pytest.raises(ConfigurationError):
+            Accelerator(
+                macros=[_macro(1, pe)], params=params, layer_macros={}
+            )
+
+    def test_layer_mapping_validated(self, pe, params):
+        with pytest.raises(ConfigurationError):
+            Accelerator(
+                macros=[_macro(0, pe, layers=(0,))], params=params,
+                layer_macros={0: [5]},
+            )
+        with pytest.raises(ConfigurationError):
+            Accelerator(
+                macros=[_macro(0, pe, layers=(0,))], params=params,
+                layer_macros={1: [0]},  # macro 0 does not list layer 1
+            )
+
+    def test_macros_of_layer(self, pe, params):
+        chip = self._chip(pe, params)
+        assert [m.macro_id for m in chip.macros_of_layer(1)] == [1]
+
+    def test_summary_text(self, pe, params):
+        text = self._chip(pe, params).summary()
+        assert "macro 0" in text and "macro 1" in text

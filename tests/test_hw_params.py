@@ -1,0 +1,87 @@
+"""Unit tests for repro.hardware.params (Table III fidelity)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.params import HardwareParams
+
+
+class TestTableIIIEndpoints:
+    """The component library must reproduce Table III's published ranges."""
+
+    def test_crossbar_power_range(self, params):
+        assert params.crossbar_power_of(128) == pytest.approx(0.3e-3)
+        assert params.crossbar_power_of(512) == pytest.approx(4.8e-3)
+
+    def test_crossbar_power_quadratic_scaling(self, params):
+        assert params.crossbar_power_of(256) == pytest.approx(
+            4 * params.crossbar_power_of(128)
+        )
+
+    def test_dac_power_range(self, params):
+        assert params.dac_power_of(1) == pytest.approx(4e-6)
+        assert params.dac_power_of(4) == pytest.approx(30e-6)
+
+    def test_adc_power_range(self, params):
+        assert params.adc_power_of(7) == pytest.approx(2e-3)
+        assert params.adc_power_of(14) == pytest.approx(54e-3)
+
+    def test_adc_power_monotone_in_resolution(self, params):
+        powers = [params.adc_power_of(r) for r in range(7, 15)]
+        assert powers == sorted(powers)
+
+    def test_edram_spec(self, params):
+        assert params.edram_size_bytes == 64 * 1024
+        assert params.edram_bus_bits == 256
+        assert params.edram_power == pytest.approx(20.7e-3)
+
+    def test_noc_spec(self, params):
+        assert params.noc_flit_bits == 32
+        assert params.noc_ports == 8
+        assert params.noc_power == pytest.approx(42e-3)
+
+
+class TestDerivedQuantities:
+    def test_edram_bandwidth(self, params):
+        assert params.edram_bandwidth == pytest.approx(32e9)  # 32 GB/s
+
+    def test_noc_port_bandwidth(self, params):
+        assert params.noc_port_bandwidth == pytest.approx(4e9)
+
+    def test_dacs_per_pe_is_wordlines(self, params):
+        assert params.dacs_per_pe(128) == 128
+
+    def test_bit_iterations(self, params):
+        assert params.act_bit_iterations(1) == 16
+        assert params.act_bit_iterations(2) == 8
+        assert params.act_bit_iterations(4) == 4
+        assert params.act_bit_iterations(16) == 1
+        assert params.act_bit_iterations(3) == 6  # ceil(16/3)
+
+
+class TestValidation:
+    def test_unknown_crossbar_size_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            params.crossbar_power_of(100)
+
+    def test_unknown_dac_resolution_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            params.dac_power_of(3)
+
+    def test_unknown_adc_resolution_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            params.adc_power_of(6)
+
+    def test_bad_dac_resolution_for_bits_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            params.act_bit_iterations(0)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HardwareParams(crossbar_latency=0)
+        with pytest.raises(ConfigurationError):
+            HardwareParams(act_precision=0)
+
+    def test_override_propagates(self):
+        custom = HardwareParams(crossbar_latency=50e-9)
+        assert custom.crossbar_latency == 50e-9

@@ -1,0 +1,113 @@
+"""Unit tests for power budgeting (Eq. 3) and the mesh NoC model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.hardware.noc import MeshNoC, neighbor_distance_hops
+from repro.hardware.power import PowerBudget, crossbar_budget
+
+
+class TestEq3:
+    def test_budget_formula(self, params):
+        # 50 W * 0.3 / 0.3 mW = 50000 crossbars
+        assert crossbar_budget(50.0, 0.3, 128, 2, params) == 50000
+
+    def test_larger_crossbars_fewer_afforded(self, params):
+        small = crossbar_budget(50.0, 0.3, 128, 2, params)
+        large = crossbar_budget(50.0, 0.3, 512, 2, params)
+        assert large == small // 16
+
+    def test_scales_with_ratio(self, params):
+        assert crossbar_budget(50.0, 0.4, 128, 2, params) > \
+            crossbar_budget(50.0, 0.1, 128, 2, params)
+
+    def test_infeasible_when_too_small(self, params):
+        with pytest.raises(InfeasibleError):
+            crossbar_budget(1e-6, 0.1, 512, 2, params)
+
+    def test_invalid_inputs_rejected(self, params):
+        with pytest.raises(ConfigurationError):
+            crossbar_budget(-1.0, 0.3, 128, 2, params)
+        with pytest.raises(ConfigurationError):
+            crossbar_budget(50.0, 0.0, 128, 2, params)
+        with pytest.raises(ConfigurationError):
+            crossbar_budget(50.0, 1.5, 128, 2, params)
+
+
+class TestPowerBudget:
+    def test_two_sided_account(self, params):
+        budget = PowerBudget.from_constraint(50.0, 0.3, 128, 2, params)
+        assert budget.rram_power == pytest.approx(15.0)
+        assert budget.peripheral_power == pytest.approx(35.0)
+        assert budget.num_crossbars == 50000
+
+    def test_sides_sum_to_total(self, params):
+        budget = PowerBudget.from_constraint(64.0, 0.25, 256, 4, params)
+        assert budget.rram_power + budget.peripheral_power == \
+            pytest.approx(64.0)
+
+
+class TestMeshNoC:
+    def test_near_square_grid(self, params):
+        noc = MeshNoC(num_macros=10, params=params)
+        assert noc.cols == 4
+        assert noc.rows == 3
+
+    def test_single_macro(self, params):
+        noc = MeshNoC(num_macros=1, params=params)
+        assert noc.rows == noc.cols == 1
+        assert noc.average_hops() == 0.0
+
+    def test_hops_manhattan(self, params):
+        noc = MeshNoC(num_macros=9, params=params)  # 3x3
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 2) == 2
+        assert noc.hops(0, 8) == 4
+        assert noc.hops(4, 4) == 0
+
+    def test_hops_symmetric(self, params):
+        noc = MeshNoC(num_macros=12, params=params)
+        for a in range(12):
+            for b in range(12):
+                assert noc.hops(a, b) == noc.hops(b, a)
+
+    def test_transfer_latency_zero_for_self(self, params):
+        noc = MeshNoC(num_macros=4, params=params)
+        assert noc.transfer_latency(1, 1, 1024) == 0.0
+
+    def test_transfer_latency_components(self, params):
+        noc = MeshNoC(num_macros=4, params=params)  # 2x2
+        latency = noc.transfer_latency(0, 3, 4000)
+        expected = 2 * params.noc_hop_latency + 4000 / 4e9
+        assert latency == pytest.approx(expected)
+
+    def test_transfer_rejects_negative_bytes(self, params):
+        noc = MeshNoC(num_macros=4, params=params)
+        with pytest.raises(ConfigurationError):
+            noc.transfer_latency(0, 1, -1)
+
+    def test_merge_latency_trivial_cases(self, params):
+        noc = MeshNoC(num_macros=4, params=params)
+        assert noc.merge_latency([0], 100) == 0.0
+        assert noc.merge_latency([0, 1], 0) == 0.0
+
+    def test_merge_latency_grows_with_group(self, params):
+        noc = MeshNoC(num_macros=16, params=params)
+        two = noc.merge_latency([0, 1], 1024)
+        eight = noc.merge_latency(list(range(8)), 1024)
+        assert eight > two
+
+    def test_total_power(self, params):
+        noc = MeshNoC(num_macros=5, params=params)
+        assert noc.total_power() == pytest.approx(5 * 42e-3)
+
+    def test_out_of_range_macro_rejected(self, params):
+        noc = MeshNoC(num_macros=4, params=params)
+        with pytest.raises(ConfigurationError):
+            noc.position(4)
+
+    def test_neighbor_distance_hops(self, params):
+        noc = MeshNoC(num_macros=9, params=params)
+        groups = {0: [0, 1], 1: [2]}
+        assert neighbor_distance_hops(groups, 0, 1, noc) == 1
+        assert neighbor_distance_hops(groups, 0, 99, noc) == 0

@@ -1,0 +1,112 @@
+"""Integration tests: full flows across modules."""
+
+import pytest
+
+from repro import Pimsyn, SynthesisConfig
+from repro.baselines import build_manual_solution, isaac_design
+from repro.core.design_space import DesignSpace
+from repro.ir.lint import lint_dag
+from repro.nn import lenet5, model_from_json, model_to_json
+from repro.sim import SimulationEngine
+
+
+class TestJsonToChipFlow:
+    """ONNX-like JSON in, synthesized accelerator out (the paper's
+    one-click transformation, §I)."""
+
+    def test_full_flow(self):
+        document = model_to_json(lenet5())
+        model = model_from_json(document)
+        config = SynthesisConfig.fast(total_power=2.0, seed=21)
+        solution = Pimsyn(model, config).synthesize()
+
+        chip = solution.build_accelerator()
+        assert chip.num_macros == solution.partition.num_macros
+        report = chip.power_report()
+        assert report.total > 0
+
+        dag = solution.build_dag()
+        assert lint_dag(dag) == []
+
+        engine = SimulationEngine(
+            spec=solution.spec, allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+        )
+        metrics = engine.simulate(dag)
+        assert metrics.throughput > 0
+
+
+class TestAblationConsistency:
+    """The §V-C design-space ablations must hold end to end."""
+
+    @pytest.fixture(scope="class")
+    def power(self):
+        return 3.0
+
+    def _synthesize(self, power, **overrides):
+        config = SynthesisConfig.fast(total_power=power, seed=13,
+                                      **overrides)
+        return Pimsyn(lenet5(), config).synthesize()
+
+    def test_specialized_beats_identical(self, power):
+        specialized = self._synthesize(power, specialized_macros=True)
+        identical = self._synthesize(power, specialized_macros=False)
+        assert specialized.evaluation.throughput >= \
+            identical.evaluation.throughput * 0.999
+
+    def test_duplication_beats_none(self, power):
+        full = self._synthesize(power)
+        config = SynthesisConfig.fast(total_power=power, seed=13)
+        none = Pimsyn(lenet5(), config).synthesize_with_wtdup(
+            lambda point: [1] * 5
+        )
+        assert full.evaluation.throughput > \
+            none.evaluation.throughput * 2
+
+    def test_sharing_never_hurts(self, power):
+        with_sharing = self._synthesize(power, enable_macro_sharing=True)
+        without = self._synthesize(power, enable_macro_sharing=False)
+        assert with_sharing.evaluation.throughput >= \
+            without.evaluation.throughput * 0.999
+
+
+class TestPimsynVsManualDesign:
+    def test_synthesis_beats_isaac_at_same_power(self, params):
+        model = lenet5()
+        design = isaac_design()
+        power = design.minimum_power(model, params) * 3
+        isaac = build_manual_solution(design, model, power)
+        config = SynthesisConfig.fast(total_power=power, seed=5)
+        pimsyn = Pimsyn(model, config).synthesize()
+        assert pimsyn.evaluation.tops_per_watt > \
+            isaac.evaluation.tops_per_watt
+
+
+class TestPowerMonotonicity:
+    def test_feasibility_frontier(self):
+        model = lenet5()
+        config = SynthesisConfig.fast()
+        pmin = DesignSpace(model, config).minimum_feasible_power()
+        below = SynthesisConfig.fast(total_power=pmin * 0.2)
+        from repro.errors import InfeasibleError
+
+        with pytest.raises(InfeasibleError):
+            Pimsyn(model, below).synthesize()
+        above = SynthesisConfig.fast(total_power=pmin * 2.0)
+        assert Pimsyn(model, above).synthesize().evaluation.throughput > 0
+
+
+class TestSimulatorValidatesEvaluator:
+    """§V's simulator exists to evaluate synthesized designs; it must
+    agree with the analytical model used inside the DSE."""
+
+    def test_agreement_on_lenet(self):
+        config = SynthesisConfig.fast(total_power=2.0, seed=17)
+        solution = Pimsyn(lenet5(), config).synthesize()
+        engine = SimulationEngine(
+            spec=solution.spec, allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+        )
+        metrics = engine.simulate()
+        ratio = solution.evaluation.throughput / metrics.throughput
+        assert 0.5 <= ratio <= 4.0

@@ -1,0 +1,84 @@
+"""Tests for IR DAG serialization (JSON + DOT)."""
+
+import json
+
+import pytest
+
+from repro.core.dataflow import compile_dataflow, make_spec
+from repro.errors import IRError
+from repro.ir.nodes import IROp
+from repro.ir.serialize import dag_from_json, dag_to_dot, dag_to_json
+
+
+@pytest.fixture()
+def dag(tiny_model, params):
+    spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                     res_dac=4, params=params, max_blocks_per_layer=3)
+    return compile_dataflow(spec, macro_alloc={0: [0], 1: [1], 2: [2]})
+
+
+class TestJsonRoundtrip:
+    def test_structure_preserved(self, dag):
+        restored = dag_from_json(dag_to_json(dag))
+        assert len(restored) == len(dag)
+        assert restored.num_edges == dag.num_edges
+        assert restored.op_histogram() == dag.op_histogram()
+
+    def test_node_attributes_preserved(self, dag):
+        restored = dag_from_json(dag_to_json(dag))
+        originals = {n.key() for n in dag}
+        restoreds = {n.key() for n in restored}
+        assert originals == restoreds
+
+    def test_edges_preserved(self, dag):
+        restored = dag_from_json(dag_to_json(dag))
+        def edge_keys(graph):
+            return {
+                (node.key(), succ.key())
+                for node in graph
+                for succ in graph.successors(node)
+            }
+        assert edge_keys(restored) == edge_keys(dag)
+
+    def test_critical_path_invariant(self, dag):
+        restored = dag_from_json(dag_to_json(dag))
+        assert restored.critical_path_length(lambda n: 1.0) == \
+            dag.critical_path_length(lambda n: 1.0)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(IRError):
+            dag_from_json("{broken")
+        with pytest.raises(IRError):
+            dag_from_json(json.dumps({"edges": []}))
+
+    def test_dangling_edge_rejected(self, dag):
+        payload = json.loads(dag_to_json(dag))
+        payload["edges"].append([0, 10 ** 9])
+        with pytest.raises(IRError):
+            dag_from_json(json.dumps(payload))
+
+    def test_malformed_node_rejected(self):
+        payload = {"nodes": [{"id": 0, "op": "warp", "layer": 0}],
+                   "edges": []}
+        with pytest.raises(IRError):
+            dag_from_json(json.dumps(payload))
+
+
+class TestDot:
+    def test_dot_contains_all_nodes_and_clusters(self, dag):
+        dot = dag_to_dot(dag)
+        assert dot.startswith("digraph ir {")
+        for node in dag:
+            assert f"n{node.node_id} " in dot or \
+                f"n{node.node_id} ->" in dot
+        assert "cluster_L0" in dot and "cluster_L2" in dot
+
+    def test_transfer_nodes_colored(self, dag):
+        dot = dag_to_dot(dag)
+        transfers = dag.nodes_of_op(IROp.TRANSFER)
+        assert transfers
+        assert "salmon" in dot
+
+    def test_size_cap(self, dag):
+        with pytest.raises(IRError):
+            dag_to_dot(dag, max_nodes=3)

@@ -1,0 +1,107 @@
+"""Unit tests for repro.nn.layers."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    AddLayer,
+    ConcatLayer,
+    ConvLayer,
+    FCLayer,
+    FlattenLayer,
+    LayerKind,
+    PoolLayer,
+    ReluLayer,
+)
+
+
+class TestConvLayer:
+    def test_weight_rows_is_wk2_ci(self):
+        conv = ConvLayer(name="c", inputs=("input",), kernel=3,
+                         in_channels=64, out_channels=128)
+        assert conv.weight_rows == 3 * 3 * 64
+
+    def test_weight_count(self):
+        conv = ConvLayer(name="c", inputs=("input",), kernel=3,
+                         in_channels=64, out_channels=128)
+        assert conv.weight_count == 3 * 3 * 64 * 128
+
+    def test_is_weighted(self):
+        conv = ConvLayer(name="c", inputs=("input",), kernel=1,
+                         in_channels=1, out_channels=1)
+        assert conv.is_weighted
+        assert conv.kind is LayerKind.CONV
+
+    def test_validate_rejects_bad_kernel(self):
+        with pytest.raises(ModelError):
+            ConvLayer(name="c", inputs=("input",), kernel=0,
+                      in_channels=1, out_channels=1).validate()
+
+    def test_validate_rejects_bad_channels(self):
+        with pytest.raises(ModelError):
+            ConvLayer(name="c", inputs=("input",), kernel=3,
+                      in_channels=0, out_channels=1).validate()
+
+    def test_validate_rejects_negative_padding(self):
+        with pytest.raises(ModelError):
+            ConvLayer(name="c", inputs=("input",), kernel=3,
+                      in_channels=1, out_channels=1,
+                      padding=-1).validate()
+
+    def test_validate_rejects_two_inputs(self):
+        with pytest.raises(ModelError):
+            ConvLayer(name="c", inputs=("a", "b"), kernel=3,
+                      in_channels=1, out_channels=1).validate()
+
+
+class TestFCLayer:
+    def test_weight_geometry(self):
+        fc = FCLayer(name="f", inputs=("input",), in_features=100,
+                     out_features=10)
+        assert fc.weight_rows == 100
+        assert fc.weight_count == 1000
+        assert fc.is_weighted
+
+    def test_validate_rejects_zero_features(self):
+        with pytest.raises(ModelError):
+            FCLayer(name="f", inputs=("input",), in_features=0,
+                    out_features=10).validate()
+
+
+class TestVectorLayers:
+    def test_pool_modes(self):
+        PoolLayer(name="p", inputs=("x",), mode="max").validate()
+        PoolLayer(name="p", inputs=("x",), mode="avg").validate()
+        with pytest.raises(ModelError):
+            PoolLayer(name="p", inputs=("x",), mode="median").validate()
+
+    def test_pool_not_weighted(self):
+        assert not PoolLayer(name="p", inputs=("x",)).is_weighted
+
+    def test_relu_single_input(self):
+        ReluLayer(name="r", inputs=("x",)).validate()
+        with pytest.raises(ModelError):
+            ReluLayer(name="r", inputs=("x", "y")).validate()
+
+    def test_add_needs_two_inputs(self):
+        AddLayer(name="a", inputs=("x", "y")).validate()
+        with pytest.raises(ModelError):
+            AddLayer(name="a", inputs=("x",)).validate()
+
+    def test_concat_needs_two_or_more(self):
+        ConcatLayer(name="c", inputs=("x", "y", "z")).validate()
+        with pytest.raises(ModelError):
+            ConcatLayer(name="c", inputs=("x",)).validate()
+
+    def test_flatten(self):
+        FlattenLayer(name="f", inputs=("x",)).validate()
+        assert FlattenLayer(name="f", inputs=("x",)).kind is \
+            LayerKind.FLATTEN
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ModelError):
+            ReluLayer(name="", inputs=("x",)).validate()
+
+    def test_no_inputs_rejected(self):
+        with pytest.raises(ModelError):
+            ReluLayer(name="r", inputs=()).validate()

@@ -1,0 +1,121 @@
+"""Unit tests for the ONNX-like JSON interchange."""
+
+import json
+
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import lenet5, model_from_json, model_to_json, resnet18_cifar, vgg16
+from repro.nn.onnx_io import load_model, save_model
+from repro.nn.workload import model_macs
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [lenet5, vgg16, resnet18_cifar])
+    def test_roundtrip_preserves_structure(self, builder):
+        original = builder()
+        restored = model_from_json(model_to_json(original))
+        assert restored.name == original.name
+        assert restored.input_shape == original.input_shape
+        assert len(restored) == len(original)
+        assert [l.name for l in restored.topo_order] == [
+            l.name for l in original.topo_order
+        ]
+
+    def test_roundtrip_preserves_macs(self):
+        original = vgg16()
+        restored = model_from_json(model_to_json(original))
+        assert model_macs(restored) == model_macs(original)
+
+    def test_roundtrip_preserves_precisions(self):
+        original = lenet5()
+        restored = model_from_json(model_to_json(original))
+        assert restored.act_precision == original.act_precision
+        assert restored.weight_precision == original.weight_precision
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "lenet.json"
+        save_model(lenet5(), path)
+        restored = load_model(path)
+        assert restored.name == "lenet5"
+
+
+class TestDocumentValidation:
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_json({"name": "x"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_json("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_json("[1, 2]")
+
+    def test_bad_input_shape_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_json({
+                "name": "x", "input_shape": [3, 32],
+                "nodes": [],
+            })
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_json({
+                "name": "x", "input_shape": [3, 32, 32],
+                "nodes": [{"op": "Softmax", "name": "s",
+                           "inputs": ["input"], "attrs": {}}],
+            })
+
+    def test_malformed_node_rejected(self):
+        with pytest.raises(ModelError):
+            model_from_json({
+                "name": "x", "input_shape": [3, 32, 32],
+                "nodes": [{"op": "Conv"}],
+            })
+
+
+class TestOnnxStyleDocument:
+    def test_hand_written_document_parses(self):
+        document = {
+            "name": "micro",
+            "input_shape": [1, 8, 8],
+            "nodes": [
+                {"op": "Conv", "name": "c1", "inputs": ["input"],
+                 "attrs": {"kernel": 3, "out_channels": 4,
+                           "stride": 1, "padding": 1}},
+                {"op": "Relu", "name": "r1", "inputs": ["c1"]},
+                {"op": "MaxPool", "name": "p1", "inputs": ["r1"],
+                 "attrs": {"kernel": 2}},
+                {"op": "Flatten", "name": "f1", "inputs": ["p1"]},
+                {"op": "Gemm", "name": "fc1", "inputs": ["f1"],
+                 "attrs": {"in_features": 64, "out_features": 10}},
+            ],
+        }
+        model = model_from_json(json.dumps(document))
+        assert model.num_weighted_layers == 2
+        assert model.layer("p1").output_shape == (4, 4, 4)
+
+    def test_in_channels_inferred_for_conv(self):
+        document = {
+            "name": "chain",
+            "input_shape": [3, 8, 8],
+            "nodes": [
+                {"op": "Conv", "name": "c1", "inputs": ["input"],
+                 "attrs": {"kernel": 1, "out_channels": 5}},
+                {"op": "Conv", "name": "c2", "inputs": ["c1"],
+                 "attrs": {"kernel": 1, "out_channels": 7}},
+            ],
+        }
+        model = model_from_json(document)
+        assert model.layer("c2").in_channels == 5
+
+    def test_average_pool_mode(self):
+        document = {
+            "name": "ap", "input_shape": [2, 4, 4],
+            "nodes": [{"op": "AveragePool", "name": "p",
+                       "inputs": ["input"], "attrs": {"kernel": 2}}],
+        }
+        model = model_from_json(document)
+        assert model.layer("p").mode == "avg"

@@ -1,0 +1,118 @@
+"""Unit tests for repro.nn.zoo: published architecture facts."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.nn import (
+    alexnet,
+    alexnet_cifar,
+    build_model,
+    lenet5,
+    msra,
+    resnet18,
+    resnet18_cifar,
+    vgg13,
+    vgg16,
+    vgg16_cifar,
+)
+from repro.nn.workload import model_macs, model_weight_count
+from repro.nn.zoo import available_models, by_name
+
+
+class TestVGG16:
+    """VGG16's published numbers pin the whole substrate."""
+
+    def test_macs(self):
+        # ~15.5 GMACs at 224x224
+        assert model_macs(vgg16()) == pytest.approx(15.47e9, rel=0.01)
+
+    def test_weights(self):
+        # ~138M parameters (conv + fc, no biases here)
+        assert model_weight_count(vgg16()) == pytest.approx(
+            138.3e6, rel=0.01
+        )
+
+    def test_sixteen_weighted_layers(self):
+        assert vgg16().num_weighted_layers == 16
+
+    def test_quantification_default(self):
+        model = vgg16()
+        assert model.act_precision == 16
+        assert model.weight_precision == 16
+
+
+class TestOtherImagenetModels:
+    def test_alexnet_weights(self):
+        # ~62M (the classic figure is 60-62M depending on bias counting)
+        assert model_weight_count(alexnet()) == pytest.approx(
+            62.4e6, rel=0.02
+        )
+
+    def test_vgg13_weighted_layers(self):
+        assert vgg13().num_weighted_layers == 13
+
+    def test_resnet18_macs(self):
+        # ~1.8 GMACs
+        assert model_macs(resnet18()) == pytest.approx(1.8e9, rel=0.05)
+
+    def test_resnet18_weights(self):
+        # ~11.7M parameters
+        assert model_weight_count(resnet18()) == pytest.approx(
+            11.7e6, rel=0.05
+        )
+
+    def test_msra_is_deeper_than_vgg16(self):
+        assert msra().num_weighted_layers >= 16
+
+    def test_final_fc_is_1000_way(self):
+        for model in (alexnet(), vgg13(), vgg16(), msra(), resnet18()):
+            last = model.weighted_layers[-1]
+            assert last.out_features == 1000
+
+
+class TestCifarModels:
+    def test_inputs_are_32x32(self):
+        for model in (alexnet_cifar(), vgg16_cifar(), resnet18_cifar()):
+            assert model.input_shape == (3, 32, 32)
+
+    def test_ten_way_heads(self):
+        for model in (alexnet_cifar(), vgg16_cifar(), resnet18_cifar()):
+            assert model.weighted_layers[-1].out_features == 10
+
+    def test_cifar_much_smaller_than_imagenet(self):
+        assert model_macs(vgg16_cifar()) < model_macs(vgg16()) / 10
+
+
+class TestRegistry:
+    def test_by_name_roundtrip(self):
+        for name in available_models():
+            assert by_name(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ModelError):
+            by_name("vgg9000")
+
+    def test_builders_are_deterministic(self):
+        a, b = vgg16(), vgg16()
+        assert [l.name for l in a] == [l.name for l in b]
+
+
+class TestBuildModel:
+    def test_spec_channel_threading(self):
+        model = build_model(
+            "demo",
+            [("conv", 8, 3, 1, 1), ("relu",), ("pool", 2, 2),
+             ("flatten",), ("fc", 10)],
+            (3, 8, 8),
+        )
+        fc = model.weighted_layers[-1]
+        assert fc.in_features == 8 * 4 * 4
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ModelError):
+            build_model("bad", [("warp", 1)], (3, 8, 8))
+
+    def test_lenet_shapes(self):
+        model = lenet5()
+        conv2 = model.layer("conv2")
+        assert conv2.output_shape == (16, 10, 10)

@@ -1,0 +1,176 @@
+"""Unit tests for the SA and EA engines."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.optim.annealing import AnnealingSchedule, SimulatedAnnealer
+from repro.optim.evolution import EvolutionEngine
+
+
+class TestAnnealingSchedule:
+    def test_ladder_descends(self):
+        temps = AnnealingSchedule(
+            initial_temperature=1.0, min_temperature=0.1,
+            cooling_rate=0.5, steps_per_temp=1,
+        ).temperatures()
+        assert temps == pytest.approx([1.0, 0.5, 0.25, 0.125])
+
+    def test_invalid_schedules_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(initial_temperature=0)
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(cooling_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(min_temperature=2.0,
+                              initial_temperature=1.0)
+        with pytest.raises(ConfigurationError):
+            AnnealingSchedule(steps_per_temp=0)
+
+
+class TestSimulatedAnnealer:
+    def _quadratic_annealer(self, seed=1):
+        return SimulatedAnnealer(
+            energy=lambda x: (x - 17) ** 2,
+            neighbor=lambda x, rng: x + rng.choice((-1, 1)),
+            state_key=lambda x: x,
+            rng=random.Random(seed),
+            schedule=AnnealingSchedule(
+                initial_temperature=10.0, min_temperature=0.01,
+                cooling_rate=0.9, steps_per_temp=30,
+            ),
+        )
+
+    def test_finds_minimum_of_quadratic(self):
+        best = self._quadratic_annealer().run(0, top_k=1)
+        state, energy = best[0]
+        assert abs(state - 17) <= 1
+        assert energy <= 1
+
+    def test_top_k_distinct_and_sorted(self):
+        results = self._quadratic_annealer().run(0, top_k=5)
+        states = [s for s, _ in results]
+        energies = [e for _, e in results]
+        assert len(set(states)) == len(states)
+        assert energies == sorted(energies)
+
+    def test_deterministic_under_seed(self):
+        a = self._quadratic_annealer(seed=3).run(0, top_k=3)
+        b = self._quadratic_annealer(seed=3).run(0, top_k=3)
+        assert a == b
+
+    def test_counts_evaluations(self):
+        annealer = self._quadratic_annealer()
+        annealer.run(0, top_k=1)
+        assert annealer.evaluations > 100
+
+    def test_top_k_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._quadratic_annealer().run(0, top_k=0)
+
+    def test_always_returns_at_least_initial(self):
+        annealer = SimulatedAnnealer(
+            energy=lambda x: 0.0,
+            neighbor=lambda x, rng: x,  # frozen walk
+            state_key=lambda x: x,
+            rng=random.Random(0),
+            schedule=AnnealingSchedule(
+                initial_temperature=1.0, min_temperature=0.5,
+                cooling_rate=0.5, steps_per_temp=1,
+            ),
+        )
+        results = annealer.run(42, top_k=3)
+        assert results[0][0] == 42
+
+
+class TestEvolutionEngine:
+    def _onemax_engine(self, seed=1, **kwargs):
+        def flip(gene, rng):
+            index = rng.randrange(len(gene))
+            out = list(gene)
+            out[index] ^= 1
+            return tuple(out)
+
+        defaults = dict(
+            population_size=10, offspring_per_gen=10,
+            max_generations=40,
+        )
+        defaults.update(kwargs)
+        return EvolutionEngine(
+            fitness=lambda g: float(sum(g)),
+            mutations=[flip],
+            gene_key=lambda g: g,
+            rng=random.Random(seed),
+            **defaults,
+        )
+
+    def test_solves_onemax(self):
+        engine = self._onemax_engine()
+        best, fitness = engine.run([tuple([0] * 12)])
+        assert fitness == 12.0
+        assert best == tuple([1] * 12)
+
+    def test_deterministic_under_seed(self):
+        a = self._onemax_engine(seed=5).run([tuple([0] * 8)])
+        b = self._onemax_engine(seed=5).run([tuple([0] * 8)])
+        assert a == b
+
+    def test_fitness_memoized(self):
+        calls = []
+
+        def fitness(gene):
+            calls.append(gene)
+            return float(sum(gene))
+
+        def flip(gene, rng):
+            return gene  # constant: same gene re-proposed forever
+
+        engine = EvolutionEngine(
+            fitness=fitness, mutations=[flip], gene_key=lambda g: g,
+            rng=random.Random(0), population_size=4,
+            offspring_per_gen=4, max_generations=5,
+        )
+        engine.run([(1, 0)])
+        assert len(calls) == 1  # evaluated once despite many proposals
+
+    def test_patience_stops_early(self):
+        engine = self._onemax_engine(patience=2, max_generations=100)
+        engine.run([tuple([1] * 4)])  # already optimal
+        assert engine.report.generations <= 3
+
+    def test_report_history_monotone(self):
+        engine = self._onemax_engine()
+        engine.run([tuple([0] * 10)])
+        history = engine.report.best_fitness_history
+        assert history == sorted(history)
+
+    def test_handles_nonpositive_fitness(self):
+        def fitness(gene):
+            return float(sum(gene)) - 100.0  # always negative
+
+        def flip(gene, rng):
+            index = rng.randrange(len(gene))
+            out = list(gene)
+            out[index] ^= 1
+            return tuple(out)
+
+        engine = EvolutionEngine(
+            fitness=fitness, mutations=[flip], gene_key=lambda g: g,
+            rng=random.Random(2), population_size=6,
+            offspring_per_gen=6, max_generations=30,
+        )
+        best, fit = engine.run([tuple([0] * 6)])
+        assert fit > -100.0  # still improves despite negative scores
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._onemax_engine(population_size=0)
+        with pytest.raises(ConfigurationError):
+            EvolutionEngine(
+                fitness=lambda g: 0.0, mutations=[],
+                gene_key=lambda g: g, rng=random.Random(0),
+            )
+        engine = self._onemax_engine()
+        with pytest.raises(ConfigurationError):
+            engine.run([])

@@ -1,0 +1,110 @@
+"""Tests for solution persistence, energy attribution and Gantt output."""
+
+import pytest
+
+from repro.analysis.energy import dominant_resource, layer_energy_breakdown
+from repro.analysis.gantt import render_gantt
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.persistence import load_solution, save_solution
+from repro.errors import ConfigurationError, SimulationError
+from repro.nn import lenet5, vgg13
+from repro.sim import SimulationEngine
+from repro.sim.trace import SimTrace
+
+
+@pytest.fixture(scope="module")
+def solution():
+    config = SynthesisConfig.fast(total_power=2.0, seed=31)
+    return Pimsyn(lenet5(), config).synthesize()
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_decisions(self, solution, tmp_path):
+        path = tmp_path / "sol.json"
+        save_solution(solution, path)
+        restored = load_solution(path, lenet5())
+        assert restored.wt_dup == solution.wt_dup
+        assert restored.partition.gene == solution.partition.gene
+        assert restored.evaluation.throughput == pytest.approx(
+            solution.evaluation.throughput
+        )
+
+    def test_restored_solution_is_live(self, solution, tmp_path):
+        path = tmp_path / "sol.json"
+        save_solution(solution, path)
+        restored = load_solution(path, lenet5())
+        chip = restored.build_accelerator()
+        assert chip.num_macros == solution.partition.num_macros
+
+    def test_wrong_model_rejected(self, solution, tmp_path):
+        path = tmp_path / "sol.json"
+        save_solution(solution, path)
+        with pytest.raises(ConfigurationError):
+            load_solution(path, vgg13())
+
+    def test_tampered_metrics_detected(self, solution, tmp_path):
+        import json
+
+        path = tmp_path / "sol.json"
+        save_solution(solution, path)
+        payload = json.loads(path.read_text())
+        payload["metrics"]["throughput_img_s"] *= 10
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            load_solution(path, lenet5())
+
+
+class TestEnergyBreakdown:
+    def test_sums_to_sane_total(self, solution):
+        breakdown = layer_energy_breakdown(solution)
+        assert len(breakdown) == 5
+        total = sum(e.total for e in breakdown)
+        # Attribution cannot exceed power x period (everything-on bound)
+        upper = solution.evaluation.power * solution.evaluation.period
+        assert 0 < total <= upper * 1.01
+
+    def test_every_component_nonnegative(self, solution):
+        for entry in layer_energy_breakdown(solution):
+            assert entry.crossbar >= 0
+            assert entry.adc >= 0
+            assert entry.alu >= 0
+            assert entry.memory_and_noc >= 0
+
+    def test_dominant_resource_valid(self, solution):
+        breakdown = layer_energy_breakdown(solution)
+        assert dominant_resource(breakdown) in {
+            "crossbar", "adc", "alu", "memory_and_noc",
+        }
+
+    def test_empty_breakdown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            dominant_resource([])
+
+
+class TestGantt:
+    def test_renders_rows_per_bank(self, solution):
+        engine = SimulationEngine(
+            spec=solution.spec, allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+        )
+        trace = engine.run(solution.build_dag())
+        text = render_gantt(trace, width=40)
+        lines = text.splitlines()
+        assert lines[0].startswith("pipeline occupancy")
+        # one row per (layer, kind) with activity; 5 layers x 3 kinds
+        assert len(lines) - 1 == 15
+        for line in lines[1:]:
+            assert line.endswith("|")
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            render_gantt(SimTrace())
+
+    def test_width_validated(self, solution):
+        engine = SimulationEngine(
+            spec=solution.spec, allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+        )
+        trace = engine.run(solution.build_dag())
+        with pytest.raises(SimulationError):
+            render_gantt(trace, width=2)

@@ -1,0 +1,143 @@
+"""Property tests over randomly generated CNNs.
+
+Hypothesis builds random (valid) sequential CNNs and pushes them
+through the whole compilation pipeline, checking the structural
+invariants that must hold for *any* network — not just the zoo.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataflow import compile_dataflow, make_spec
+from repro.hardware.params import HardwareParams
+from repro.ir.lint import lint_dag
+from repro.ir.nodes import IROp
+from repro.nn.zoo import build_model
+
+PARAMS = HardwareParams()
+
+
+@st.composite
+def random_cnn(draw):
+    """A random small sequential CNN (conv/pool/relu trunk + fc head)."""
+    size = draw(st.sampled_from([16, 24, 32]))
+    channels = draw(st.integers(1, 4))
+    spec = []
+    current = size
+    n_convs = draw(st.integers(1, 4))
+    out_ch = channels
+    for _ in range(n_convs):
+        out_ch = draw(st.integers(2, 32))
+        kernel = draw(st.sampled_from([1, 3]))
+        spec.append(("conv", out_ch, kernel, 1, kernel // 2))
+        if draw(st.booleans()):
+            spec.append(("relu",))
+        if current >= 8 and draw(st.booleans()):
+            spec.append(("pool", 2, 2))
+            current //= 2
+    spec.append(("flatten",))
+    spec.append(("fc", draw(st.integers(2, 32))))
+    return build_model("random_cnn", spec, (channels, size, size))
+
+
+@given(random_cnn(), st.sampled_from([1, 2, 4]))
+@settings(max_examples=25, deadline=None)
+def test_random_models_compile_clean(model, res_dac):
+    """Any valid CNN compiles to a lint-clean, acyclic IR DAG."""
+    wt_dup = [1] * model.num_weighted_layers
+    spec = make_spec(model, wt_dup, xb_size=128, res_rram=2,
+                     res_dac=res_dac, params=PARAMS,
+                     max_blocks_per_layer=3)
+    dag = compile_dataflow(spec)
+    assert lint_dag(dag) == []
+
+
+@given(random_cnn())
+@settings(max_examples=20, deadline=None)
+def test_node_count_formula(model):
+    """Windowed DAG size follows the per-block IR complement exactly."""
+    wt_dup = [1] * model.num_weighted_layers
+    spec = make_spec(model, wt_dup, xb_size=128, res_rram=2,
+                     res_dac=4, params=PARAMS, max_blocks_per_layer=3)
+    dag = compile_dataflow(spec)
+    total_blocks = sum(
+        spec.window_blocks(i) for i in range(spec.num_layers)
+    )
+    # load + store + bits * (mvm + adc + alu) per block
+    expected = total_blocks * (2 + 3 * spec.bits)
+    assert len(dag) == expected
+
+
+@given(random_cnn())
+@settings(max_examples=15, deadline=None)
+def test_interlayer_edges_are_chain_for_sequential(model):
+    """Sequential models produce exactly the (i, i+1) edge chain."""
+    edges = model.interlayer_edges()
+    expected = [(i, i + 1) for i in range(model.num_weighted_layers - 1)]
+    assert edges == expected
+
+
+@given(random_cnn(), st.integers(1, 12))
+@settings(max_examples=20, deadline=None)
+def test_window_blocks_bounds(model, max_blocks):
+    """Windows never exceed true block counts, never drop below 1, and
+    the largest layer saturates the cap."""
+    wt_dup = [1] * model.num_weighted_layers
+    spec = make_spec(model, wt_dup, xb_size=128, res_rram=2, res_dac=1,
+                     params=PARAMS, max_blocks_per_layer=max_blocks)
+    totals = [g.total_blocks for g in spec.geometries]
+    windows = [spec.window_blocks(i) for i in range(spec.num_layers)]
+    for window, total in zip(windows, totals):
+        assert 1 <= window <= total
+    biggest = max(range(len(totals)), key=lambda i: totals[i])
+    assert windows[biggest] == min(max_blocks, totals[biggest])
+
+
+@given(random_cnn())
+@settings(max_examples=10, deadline=None)
+def test_allocation_balances_for_random_models(model):
+    """Eq. 6's equal-delay property holds for arbitrary networks."""
+    from repro.core.component_alloc import allocate_components
+    from repro.hardware.power import PowerBudget
+
+    wt_dup = [1] * model.num_weighted_layers
+    spec = make_spec(model, wt_dup, xb_size=128, res_rram=2, res_dac=1,
+                     params=PARAMS)
+    budget = PowerBudget.from_constraint(5.0, 0.3, 128, 2, PARAMS)
+    groups = [[i] for i in range(spec.num_layers)]
+    allocation = allocate_components(
+        spec.geometries, groups, budget, PARAMS, 1, model
+    )
+    for layer in allocation.layers:
+        assert layer.adc_delay == pytest.approx(
+            allocation.balanced_delay, rel=1e-6
+        )
+        assert layer.alu_delay == pytest.approx(
+            allocation.balanced_delay, rel=1e-6
+        )
+
+
+@given(random_cnn())
+@settings(max_examples=8, deadline=None)
+def test_simulator_handles_random_models(model):
+    """The sim schedules any compiled DAG completely and respects
+    dependencies (spot-checked through extrapolation succeeding)."""
+    from repro.core.component_alloc import allocate_components
+    from repro.hardware.power import PowerBudget
+    from repro.sim import SimulationEngine
+
+    wt_dup = [1] * model.num_weighted_layers
+    spec = make_spec(model, wt_dup, xb_size=128, res_rram=2, res_dac=4,
+                     params=PARAMS, max_blocks_per_layer=2)
+    budget = PowerBudget.from_constraint(5.0, 0.3, 128, 2, PARAMS)
+    groups = [[i] for i in range(spec.num_layers)]
+    allocation = allocate_components(
+        spec.geometries, groups, budget, PARAMS, 4, model
+    )
+    engine = SimulationEngine(
+        spec=spec, allocation=allocation, macro_groups=groups
+    )
+    metrics = engine.simulate()
+    assert metrics.throughput > 0
+    assert metrics.image_period > 0

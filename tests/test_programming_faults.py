@@ -1,0 +1,132 @@
+"""Tests for weight programming and fault-sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.faults import (
+    bit_slice_sensitivity,
+    fault_sweep,
+    faulty_crossbar_mvm,
+)
+from repro.core import Pimsyn, SynthesisConfig
+from repro.errors import ConfigurationError
+from repro.hardware.analog import reference_mvm
+from repro.hardware.programming import (
+    PEAssignment,
+    WeightLayout,
+    program_solution,
+    programming_summary,
+)
+from repro.nn import lenet5
+
+
+@pytest.fixture(scope="module")
+def solution():
+    config = SynthesisConfig.fast(total_power=2.0, seed=23)
+    return Pimsyn(lenet5(), config).synthesize()
+
+
+class TestWeightProgramming:
+    def test_every_copy_of_every_tile_programmed(self, solution):
+        layout = program_solution(solution)
+        for geo in solution.spec.geometries:
+            assignments = layout.assignments_of_layer(geo.index)
+            assert len(assignments) == geo.wt_dup * geo.set_size
+            copies = {a.copy for a in assignments}
+            assert copies == set(range(geo.wt_dup))
+
+    def test_pes_fit_in_built_chip(self, solution):
+        layout = program_solution(solution)
+        chip = solution.build_accelerator()
+        for macro in chip.macros:
+            programmed = len(layout.assignments_of_macro(macro.macro_id))
+            assert programmed <= macro.num_pes
+
+    def test_assignments_only_on_owned_macros(self, solution):
+        layout = program_solution(solution)
+        for geo in solution.spec.geometries:
+            owned = set(solution.partition.macro_groups[geo.index])
+            for a in layout.assignments_of_layer(geo.index):
+                assert a.macro_id in owned
+
+    def test_utilization_in_unit_interval(self, solution):
+        layout = program_solution(solution)
+        for utilization in layout.utilization_report().values():
+            assert 0.0 < utilization <= 1.0
+
+    def test_validate_catches_double_programming(self, solution):
+        layout = program_solution(solution)
+        first = layout.assignments[0]
+        layout.assignments.append(
+            PEAssignment(
+                macro_id=first.macro_id, pe_index=first.pe_index,
+                layer=first.layer, copy=first.copy, tile=first.tile,
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            layout.validate()
+
+    def test_summary_text(self, solution):
+        text = programming_summary(program_solution(solution))
+        assert "PEs programmed" in text
+        assert "macro 0" in text
+
+    def test_empty_macro_utilization_zero(self):
+        layout = WeightLayout(xb_size=128)
+        assert layout.cell_utilization(0) == 0.0
+
+
+class TestFaultInjection:
+    def test_zero_rate_is_exact(self):
+        rng = np.random.default_rng(0)
+        weights = rng.integers(0, 256, size=(64, 8))
+        acts = rng.integers(0, 256, size=64)
+        noisy = faulty_crossbar_mvm(
+            weights, acts, 2, 1, 8, 8, fault_rate=0.0, rng=rng
+        )
+        np.testing.assert_array_equal(noisy, reference_mvm(weights,
+                                                           acts))
+
+    def test_full_stuck_at_zero_gives_zero(self):
+        rng = np.random.default_rng(1)
+        weights = rng.integers(1, 256, size=(16, 4))
+        acts = rng.integers(1, 256, size=16)
+        noisy = faulty_crossbar_mvm(
+            weights, acts, 2, 1, 8, 8, fault_rate=1.0, rng=rng,
+            stuck_high_fraction=0.0,
+        )
+        assert np.all(noisy == 0)
+
+    def test_error_grows_with_rate(self):
+        samples = fault_sweep(
+            rows=64, cols=16, trials=3,
+            fault_rates=[0.0, 1e-3, 1e-1], seed=3,
+        )
+        errors = [s.mean_relative_error for s in samples]
+        assert errors[0] == 0.0
+        assert errors[2] > errors[1]
+
+    def test_affected_fraction_monotone_ish(self):
+        samples = fault_sweep(
+            rows=64, cols=16, trials=3,
+            fault_rates=[0.0, 5e-2], seed=4,
+        )
+        assert samples[0].affected_outputs_fraction == 0.0
+        assert samples[1].affected_outputs_fraction > 0.5
+
+    def test_finer_cells_more_robust(self):
+        """1-bit cells localize damage better than 4-bit cells."""
+        samples = bit_slice_sensitivity(
+            [1, 4], fault_rate=2e-2, rows=64, cols=16, trials=6,
+        )
+        one_bit, four_bit = samples
+        assert one_bit.mean_relative_error < \
+            four_bit.mean_relative_error * 1.2
+
+    def test_bad_rate_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            faulty_crossbar_mvm(
+                np.ones((2, 2), dtype=int), np.ones(2, dtype=int),
+                2, 1, 8, 8, fault_rate=1.5, rng=rng,
+            )

@@ -1,0 +1,190 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.macro_partition import (
+    MacroPartition,
+    decode_gene,
+    encode_gene,
+)
+from repro.hardware.crossbar import (
+    crossbar_set_size,
+    map_layer_weights,
+    required_adc_resolution,
+)
+from repro.hardware.noc import MeshNoC
+from repro.hardware.params import HardwareParams
+from repro.nn.layers import ConvLayer
+from repro.utils.mathutils import ceil_div, stdev
+
+PARAMS = HardwareParams()
+
+conv_strategy = st.builds(
+    lambda k, ci, co: ConvLayer(
+        name="c", inputs=("input",), kernel=k, in_channels=ci,
+        out_channels=co,
+    ),
+    st.sampled_from([1, 3, 5, 7, 11]),
+    st.integers(min_value=1, max_value=512),
+    st.integers(min_value=1, max_value=1024),
+)
+
+
+class TestCeilDivProperties:
+    @given(st.integers(0, 10 ** 9), st.integers(1, 10 ** 6))
+    def test_matches_float_ceil(self, n, d):
+        assert ceil_div(n, d) == math.ceil(n / d)
+
+    @given(st.integers(0, 10 ** 9), st.integers(1, 10 ** 6))
+    def test_tight_bound(self, n, d):
+        q = ceil_div(n, d)
+        assert q * d >= n
+        assert (q - 1) * d < n or q == 0
+
+
+class TestStdevProperties:
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_nonnegative(self, values):
+        assert stdev(values) >= 0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+           st.floats(-100, 100))
+    def test_shift_invariant(self, values, shift):
+        shifted = [v + shift for v in values]
+        assert stdev(shifted) == pytest_approx(stdev(values))
+
+
+def pytest_approx(x, tolerance=1e-6):
+    """Tiny approx helper usable inside hypothesis assertions."""
+    class _Approx:
+        def __eq__(self, other):
+            scale = max(1.0, abs(x), abs(other))
+            return abs(other - x) <= tolerance * scale
+
+        def __rq__(self, other):
+            return self.__eq__(other)
+    approx = _Approx()
+    return approx
+
+
+class TestEq1Properties:
+    @given(conv_strategy,
+           st.sampled_from([128, 256, 512]),
+           st.sampled_from([1, 2, 4]))
+    @settings(max_examples=60)
+    def test_tiling_matches_eq1(self, layer, xb, res):
+        tiling = map_layer_weights(layer, xb, res, 16)
+        assert tiling.num_crossbars == crossbar_set_size(layer, xb, res,
+                                                         16)
+
+    @given(conv_strategy,
+           st.sampled_from([128, 256, 512]),
+           st.sampled_from([1, 2, 4]))
+    @settings(max_examples=60)
+    def test_tiles_partition_weights(self, layer, xb, res):
+        """Tiles of one bit slice exactly cover the weight matrix."""
+        tiling = map_layer_weights(layer, xb, res, 16)
+        slice0 = [t for t in tiling.tiles if t.bit_slice == 0]
+        covered = sum(t.rows * t.cols for t in slice0)
+        assert covered == layer.weight_rows * layer.out_channels
+
+    @given(conv_strategy, st.sampled_from([1, 2, 4]))
+    @settings(max_examples=30)
+    def test_bigger_crossbar_never_needs_more(self, layer, res):
+        small = crossbar_set_size(layer, 128, res, 16)
+        large = crossbar_set_size(layer, 512, res, 16)
+        assert large <= small
+
+
+class TestAdcResolutionProperties:
+    @given(st.integers(1, 4096), st.sampled_from([1, 2, 4]),
+           st.sampled_from([1, 2, 4]))
+    def test_in_library_range(self, rows, rram, dac):
+        res = required_adc_resolution(rows, rram, dac)
+        assert 7 <= res <= 14
+
+    @given(st.integers(1, 2048), st.sampled_from([1, 2, 4]),
+           st.sampled_from([1, 2, 4]))
+    def test_monotone_in_rows(self, rows, rram, dac):
+        assert required_adc_resolution(rows + 1, rram, dac) >= \
+            required_adc_resolution(rows, rram, dac)
+
+
+class TestMeshProperties:
+    @given(st.integers(1, 64))
+    def test_all_macros_placed_uniquely(self, n):
+        noc = MeshNoC(num_macros=n, params=PARAMS)
+        positions = {noc.position(i) for i in range(n)}
+        assert len(positions) == n
+
+    @given(st.integers(2, 40), st.data())
+    def test_triangle_inequality(self, n, data):
+        noc = MeshNoC(num_macros=n, params=PARAMS)
+        a = data.draw(st.integers(0, n - 1))
+        b = data.draw(st.integers(0, n - 1))
+        c = data.draw(st.integers(0, n - 1))
+        assert noc.hops(a, c) <= noc.hops(a, b) + noc.hops(b, c)
+
+    @given(st.integers(1, 64))
+    def test_grid_is_near_square(self, n):
+        noc = MeshNoC(num_macros=n, params=PARAMS)
+        assert noc.rows * noc.cols >= n
+        assert abs(noc.rows - noc.cols) <= 1
+
+
+class TestGeneProperties:
+    @given(st.lists(st.integers(1, 999), min_size=1, max_size=20),
+           st.data())
+    def test_encode_decode_roundtrip(self, counts, data):
+        owners = []
+        own_set = set()
+        for index in range(len(counts)):
+            # each layer either owns itself or shares with an earlier
+            # unshared owner
+            candidates = [
+                j for j in sorted(own_set)
+                if j not in {o for i, o in enumerate(owners) if o != i}
+            ]
+            if candidates and data.draw(st.booleans()):
+                owners.append(data.draw(st.sampled_from(candidates)))
+            else:
+                owners.append(index)
+                own_set.add(index)
+        gene = encode_gene(owners, counts)
+        assert decode_gene(gene) == (owners, counts)
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=12))
+    def test_partition_macro_count(self, counts):
+        owners = list(range(len(counts)))
+        partition = MacroPartition.from_gene(encode_gene(owners, counts))
+        assert partition.num_macros == sum(counts)
+        # groups are disjoint when nothing is shared
+        seen = set()
+        for group in partition.macro_groups:
+            assert not (set(group) & seen)
+            seen.update(group)
+
+
+class TestSaFilterProperties:
+    @given(st.integers(0, 2 ** 32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_candidates_always_feasible(self, seed):
+        from repro.core.config import SynthesisConfig
+        from repro.core.weight_duplication import WeightDuplicationFilter
+        from repro.nn import lenet5
+
+        model = lenet5()
+        config = SynthesisConfig.fast(
+            total_power=2.0, num_wtdup_candidates=4,
+            sa_steps_per_temp=5,
+        )
+        filt = WeightDuplicationFilter(
+            model=model, xb_size=128, res_rram=2, num_crossbars=800,
+            config=config,
+        )
+        for candidate in filt.top_candidates(random.Random(seed)):
+            assert filt.is_feasible(candidate)

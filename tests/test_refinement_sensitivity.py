@@ -1,0 +1,105 @@
+"""Tests for post-DSE refinement, NACIM surrogate, and sensitivity."""
+
+import pytest
+
+from repro.analysis.sensitivity import KNOBS, sensitivity_sweep
+from repro.baselines.nacim import nacim_design
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.refinement import refine_solution
+from repro.errors import ConfigurationError
+from repro.nn import lenet5
+
+
+@pytest.fixture(scope="module")
+def base_solution():
+    config = SynthesisConfig.fast(total_power=2.0, seed=37)
+    return Pimsyn(lenet5(), config).synthesize(), config
+
+
+class TestRefinement:
+    def test_never_degrades(self, base_solution):
+        solution, config = base_solution
+        refined, report = refine_solution(
+            solution, lenet5(), config, max_moves=8, seed=1
+        )
+        assert refined.evaluation.throughput >= \
+            solution.evaluation.throughput
+        assert report.improvement >= 1.0
+
+    def test_report_counts_consistent(self, base_solution):
+        solution, config = base_solution
+        refined, report = refine_solution(
+            solution, lenet5(), config, max_moves=8, seed=2
+        )
+        assert report.moves_accepted <= report.moves_tried
+        assert report.final_throughput == pytest.approx(
+            refined.evaluation.throughput
+        )
+
+    def test_refined_solution_stays_feasible(self, base_solution):
+        solution, config = base_solution
+        refined, _report = refine_solution(
+            solution, lenet5(), config, max_moves=8, seed=3
+        )
+        used = sum(g.crossbars for g in refined.spec.geometries)
+        assert used <= refined.budget.num_crossbars
+
+    def test_deterministic_under_seed(self, base_solution):
+        solution, config = base_solution
+        a, _ = refine_solution(solution, lenet5(), config,
+                               max_moves=6, seed=9)
+        b, _ = refine_solution(solution, lenet5(), config,
+                               max_moves=6, seed=9)
+        assert a.wt_dup == b.wt_dup
+
+
+class TestNacim:
+    def test_no_duplication(self):
+        assert nacim_design().wtdup_policy == "none"
+
+    def test_evaluates_on_lenet(self, params):
+        from repro.baselines import build_manual_solution
+
+        design = nacim_design()
+        power = design.minimum_power(lenet5(), params) * 2
+        solution = build_manual_solution(design, lenet5(), power)
+        assert solution.evaluation.throughput > 0
+
+    def test_loses_to_pimsyn(self, params):
+        """Like Gibbon, NACIM's no-duplication regime caps throughput."""
+        from repro.baselines import build_manual_solution
+
+        design = nacim_design()
+        power = design.minimum_power(lenet5(), params) * 3
+        nacim = build_manual_solution(design, lenet5(), power)
+        config = SynthesisConfig.fast(total_power=power, seed=41)
+        pimsyn = Pimsyn(lenet5(), config).synthesize()
+        assert pimsyn.evaluation.throughput > \
+            nacim.evaluation.throughput
+
+
+class TestSensitivity:
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_sweep(lenet5(), 2.0, "warp_drive")
+
+    def test_knob_registry(self):
+        assert {"adc_power", "crossbar_latency",
+                "noc_bandwidth"} <= set(KNOBS)
+
+    def test_adc_power_sweep_shapes(self):
+        rows = sensitivity_sweep(
+            lenet5(), 2.0, "adc_power", scales=(0.5, 2.0), seed=11
+        )
+        assert len(rows) == 2
+        assert all(r.feasible for r in rows)
+        # Cheaper ADCs can only help efficiency.
+        assert rows[0].tops_per_watt >= rows[1].tops_per_watt * 0.999
+
+    def test_crossbar_latency_sweep(self):
+        rows = sensitivity_sweep(
+            lenet5(), 2.0, "crossbar_latency", scales=(1.0, 4.0),
+            seed=11,
+        )
+        # 4x slower reads cannot speed the chip up.
+        assert rows[0].throughput >= rows[1].throughput * 0.999

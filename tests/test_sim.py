@@ -1,0 +1,176 @@
+"""Unit tests for the behavior-level simulator."""
+
+import pytest
+
+from repro.core.component_alloc import allocate_components
+from repro.core.dataflow import compile_dataflow, make_spec
+from repro.errors import SimulationError
+from repro.hardware.power import PowerBudget
+from repro.ir.nodes import IRNode, IROp
+from repro.sim import SimulationEngine
+from repro.sim.resources import ResourceKind, ResourcePool, resource_of
+from repro.sim.trace import ScheduledNode, SimTrace
+
+
+@pytest.fixture()
+def sim_setup(tiny_model, params):
+    budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2, params)
+    spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                     res_dac=1, params=params, max_blocks_per_layer=6)
+    groups = [[0], [1], [2]]
+    allocation = allocate_components(
+        spec.geometries, groups, budget, params, 1, tiny_model
+    )
+    engine = SimulationEngine(
+        spec=spec, allocation=allocation, macro_groups=groups
+    )
+    return spec, engine
+
+
+class TestResourcePool:
+    def test_serializes_same_bank(self):
+        pool = ResourcePool()
+        node = IRNode(op=IROp.ADC, layer=0, vec_width=4)
+        assert pool.earliest_start(node, 0.0) == 0.0
+        pool.occupy(node, 0.0, 5.0)
+        assert pool.earliest_start(node, 0.0) == 5.0
+
+    def test_different_layers_independent(self):
+        pool = ResourcePool()
+        a = IRNode(op=IROp.ADC, layer=0, vec_width=4)
+        b = IRNode(op=IROp.ADC, layer=1, vec_width=4)
+        pool.occupy(a, 0.0, 5.0)
+        assert pool.earliest_start(b, 0.0) == 0.0
+
+    def test_capacity_two_allows_overlap(self):
+        pool = ResourcePool(
+            capacities={(ResourceKind.MEMORY_PORT, 0): 2}
+        )
+        load = IRNode(op=IROp.LOAD, layer=0, vec_width=4)
+        store = IRNode(op=IROp.STORE, layer=0, vec_width=4)
+        pool.occupy(load, 0.0, 5.0)
+        assert pool.earliest_start(store, 0.0) == 0.0
+        pool.occupy(store, 0.0, 4.0)
+        # both ports busy now
+        third = IRNode(op=IROp.LOAD, layer=0, cnt=1, vec_width=4)
+        assert pool.earliest_start(third, 0.0) == 4.0
+
+    def test_shared_banks_canonicalize(self):
+        pool = ResourcePool(shared_banks={0: 2, 2: 0})
+        a = IRNode(op=IROp.ADC, layer=0, vec_width=4)
+        b = IRNode(op=IROp.ADC, layer=2, vec_width=4)
+        pool.occupy(a, 0.0, 5.0)
+        assert pool.earliest_start(b, 0.0) == 5.0  # same physical bank
+
+    def test_conflicting_occupy_rejected(self):
+        pool = ResourcePool()
+        node = IRNode(op=IROp.ADC, layer=0, vec_width=4)
+        pool.occupy(node, 0.0, 5.0)
+        with pytest.raises(SimulationError):
+            pool.occupy(node, 1.0, 2.0)
+
+    def test_resource_mapping(self):
+        assert resource_of(
+            IRNode(op=IROp.MVM, layer=0, xb_num=1)
+        ) is ResourceKind.CROSSBAR_SET
+        assert resource_of(
+            IRNode(op=IROp.TRANSFER, layer=0, src=0, dst=1, vec_width=1)
+        ) is ResourceKind.NOC_PORT
+
+
+class TestTrace:
+    def test_makespan(self):
+        trace = SimTrace()
+        node = IRNode(op=IROp.LOAD, layer=0, vec_width=4)
+        trace.record(node, 0.0, 2.0)
+        trace.record(node, 2.0, 7.0)
+        assert trace.makespan == 7.0
+        assert len(trace) == 2
+
+    def test_store_times_sorted(self):
+        trace = SimTrace()
+        store = IRNode(op=IROp.STORE, layer=1, vec_width=4)
+        trace.record(store, 5.0, 9.0)
+        trace.record(store, 1.0, 3.0)
+        assert trace.store_times_of_layer(1) == [3.0, 9.0]
+
+    def test_first_start_of_layer(self):
+        trace = SimTrace()
+        node = IRNode(op=IROp.LOAD, layer=2, vec_width=4)
+        trace.record(node, 4.0, 5.0)
+        trace.record(node, 1.5, 2.0)
+        assert trace.first_start_of_layer(2) == 1.5
+        with pytest.raises(KeyError):
+            trace.first_start_of_layer(9)
+
+
+class TestEngine:
+    def test_all_nodes_scheduled(self, sim_setup):
+        spec, engine = sim_setup
+        dag = compile_dataflow(spec, macro_alloc={0: [0], 1: [1],
+                                                  2: [2]})
+        trace = engine.run(dag)
+        assert len(trace) == len(dag)
+
+    def test_dependencies_respected(self, sim_setup):
+        spec, engine = sim_setup
+        dag = compile_dataflow(spec, macro_alloc={0: [0], 1: [1],
+                                                  2: [2]})
+        trace = engine.run(dag)
+        finish = {e.node.node_id: e.finish for e in trace}
+        start = {e.node.node_id: e.start for e in trace}
+        for node in dag:
+            for pred in dag.predecessors(node):
+                assert start[node.node_id] >= \
+                    finish[pred.node_id] - 1e-15
+
+    def test_no_bank_overlap(self, sim_setup):
+        spec, engine = sim_setup
+        dag = compile_dataflow(spec, macro_alloc={0: [0], 1: [1],
+                                                  2: [2]})
+        trace = engine.run(dag)
+        for (kind, _layer), intervals in trace.by_resource().items():
+            capacity = 2 if kind is ResourceKind.MEMORY_PORT else 1
+            active = []
+            for entry in intervals:  # sorted by start
+                active = [e for e in active if e.finish > entry.start
+                          + 1e-15]
+                active.append(entry)
+                assert len(active) <= capacity
+
+    def test_simulate_metrics(self, sim_setup):
+        spec, engine = sim_setup
+        metrics = engine.simulate()
+        assert metrics.throughput > 0
+        assert metrics.image_period > 0
+        assert metrics.latency >= metrics.window_makespan * 0.999
+        assert metrics.tops > 0
+        assert set(metrics.layer_block_periods) == {0, 1, 2}
+
+    def test_tops_per_watt_requires_power(self, sim_setup):
+        spec, engine = sim_setup
+        metrics = engine.simulate()
+        assert metrics.tops_per_watt(2.0) == pytest.approx(
+            metrics.tops / 2.0
+        )
+        with pytest.raises(SimulationError):
+            metrics.tops_per_watt(0.0)
+
+    def test_sim_close_to_analytical(self, lenet, params):
+        """The simulator must confirm the analytical model's estimate
+        (same rates, plus contention) within a small factor."""
+        from repro.core import Pimsyn, SynthesisConfig
+
+        config = SynthesisConfig.fast(total_power=2.0, seed=7)
+        solution = Pimsyn(lenet, config).synthesize()
+        engine = SimulationEngine(
+            spec=solution.spec,
+            allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+        )
+        metrics = engine.simulate()
+        analytical = solution.evaluation.throughput
+        assert metrics.throughput == pytest.approx(analytical, rel=3.0)
+        # Contention can only slow things down vs the analytic bound
+        # within modeling noise.
+        assert metrics.throughput <= analytical * 1.5

@@ -1,0 +1,156 @@
+"""Tests for schedule export and the shared-bus interconnect model."""
+
+import json
+
+import pytest
+
+from repro.core.component_alloc import allocate_components
+from repro.core.dataflow import make_spec
+from repro.errors import ConfigurationError, SimulationError
+from repro.hardware.bus import SharedBus
+from repro.hardware.noc import MeshNoC
+from repro.hardware.power import PowerBudget
+from repro.sim import SimulationEngine
+from repro.sim.schedule import export_schedule
+
+
+@pytest.fixture()
+def traced(tiny_model, params):
+    budget = PowerBudget.from_constraint(2.0, 0.3, 128, 2, params)
+    spec = make_spec(tiny_model, [4, 2, 1], xb_size=128, res_rram=2,
+                     res_dac=1, params=params, max_blocks_per_layer=4)
+    groups = [[0], [1], [2]]
+    allocation = allocate_components(
+        spec.geometries, groups, budget, params, 1, tiny_model
+    )
+    engine = SimulationEngine(
+        spec=spec, allocation=allocation, macro_groups=groups
+    )
+    from repro.core.dataflow import compile_dataflow
+
+    dag = compile_dataflow(spec, macro_alloc={0: [0], 1: [1], 2: [2]})
+    trace = engine.run(dag)
+    return trace, groups
+
+
+class TestScheduleExport:
+    def test_every_macro_has_a_program(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        assert schedule.num_macros == 3
+        assert schedule.total_steps >= len(trace)
+
+    def test_steps_ordered_by_time(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        for mid in range(3):
+            starts = [s.start for s in schedule.program_of(mid)]
+            assert starts == sorted(starts)
+
+    def test_step_numbers_sequential(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        program = schedule.program_of(0)
+        assert [s.step for s in program] == list(range(len(program)))
+
+    def test_transfers_on_both_endpoints(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        transfer_steps = [
+            (mid, s) for mid in range(3)
+            for s in schedule.program_of(mid) if s.op == "transfer"
+        ]
+        assert transfer_steps
+        # every transfer appears on exactly two macros
+        by_identity = {}
+        for mid, step in transfer_steps:
+            key = (step.layer, step.cnt, step.detail)
+            by_identity.setdefault(key, set()).add(mid)
+        for macros in by_identity.values():
+            assert len(macros) == 2
+
+    def test_utilization_bounded(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        for mid in range(3):
+            assert 0.0 <= schedule.utilization(mid) <= 1.0
+
+    def test_json_roundtrip(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        payload = json.loads(schedule.to_json())
+        assert payload["makespan"] == schedule.makespan
+        assert set(payload["macros"]) == {"0", "1", "2"}
+
+    def test_render_text(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        text = schedule.render(0, limit=5)
+        assert "macro 0 program" in text
+        assert "t=" in text
+
+    def test_unknown_macro_rejected(self, traced):
+        trace, groups = traced
+        schedule = export_schedule(trace, groups)
+        with pytest.raises(SimulationError):
+            schedule.program_of(99)
+
+
+class TestSharedBus:
+    def test_flat_latency_no_hops(self, params):
+        bus = SharedBus(num_macros=16, params=params)
+        near = bus.transfer_latency(0, 1, 1024)
+        far = bus.transfer_latency(0, 15, 1024)
+        assert near == far  # no distance on a bus
+
+    def test_latency_components(self, params):
+        bus = SharedBus(num_macros=4, params=params)
+        latency = bus.transfer_latency(0, 1, 4000)
+        assert latency == pytest.approx(2e-9 + 4000 / 4e9)
+
+    def test_self_transfer_free(self, params):
+        bus = SharedBus(num_macros=4, params=params)
+        assert bus.transfer_latency(2, 2, 1024) == 0.0
+
+    def test_contention_scales_linearly(self, params):
+        bus = SharedBus(num_macros=8, params=params)
+        one = bus.contended_transfer_latency(1024, 1)
+        eight = bus.contended_transfer_latency(1024, 8)
+        assert eight == pytest.approx(one * 4.5)
+
+    def test_merge_serializes(self, params):
+        bus = SharedBus(num_macros=16, params=params)
+        noc = MeshNoC(num_macros=16, params=params)
+        macros = list(range(16))
+        # The bus reduction is strictly worse than the NoC tree for a
+        # large group moving per-macro slices.
+        assert bus.merge_latency(macros, 16 * 1024) > 0
+
+    def test_bus_power_cheaper_than_noc(self, params):
+        bus = SharedBus(num_macros=8, params=params)
+        noc = MeshNoC(num_macros=8, params=params)
+        assert bus.total_power() < noc.total_power()
+
+    def test_bus_loses_at_scale(self, params):
+        """The architectural argument for the NoC: many concurrent
+        producer-consumer streams serialize on a bus but spread over
+        mesh links."""
+        num_macros = 32
+        bus = SharedBus(num_macros=num_macros, params=params)
+        noc = MeshNoC(num_macros=num_macros, params=params)
+        payload = 4096
+        # 16 concurrent layer-to-layer streams.
+        bus_time = bus.contended_transfer_latency(payload, 16)
+        noc_time = noc.transfer_latency(0, 1, payload)
+        assert bus_time > noc_time * 4
+
+    def test_validation(self, params):
+        with pytest.raises(ConfigurationError):
+            SharedBus(num_macros=0, params=params)
+        bus = SharedBus(num_macros=4, params=params)
+        with pytest.raises(ConfigurationError):
+            bus.transfer_latency(0, 9, 100)
+        with pytest.raises(ConfigurationError):
+            bus.transfer_latency(0, 1, -5)
+        with pytest.raises(ConfigurationError):
+            bus.contended_transfer_latency(100, 0)

@@ -1,0 +1,39 @@
+"""Unit tests for repro.utils.rng."""
+
+from repro.utils.rng import SeedSequence, make_rng
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(42).random() == make_rng(42).random()
+
+    def test_different_seeds_diverge(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+
+class TestSeedSequence:
+    def test_same_label_same_stream(self):
+        seq = SeedSequence(seed=7)
+        a = seq.spawn("sa").random()
+        b = SeedSequence(seed=7).spawn("sa").random()
+        assert a == b
+
+    def test_different_labels_diverge(self):
+        seq = SeedSequence(seed=7)
+        assert seq.spawn("sa").random() != seq.spawn("ea").random()
+
+    def test_different_master_seeds_diverge(self):
+        a = SeedSequence(seed=1).spawn("sa").random()
+        b = SeedSequence(seed=2).spawn("sa").random()
+        assert a != b
+
+    def test_child_seed_memoized(self):
+        seq = SeedSequence(seed=7)
+        assert seq.child_seed("x") == seq.child_seed("x")
+
+    def test_adding_consumer_does_not_perturb_existing(self):
+        seq1 = SeedSequence(seed=9)
+        first = seq1.child_seed("alpha")
+        seq2 = SeedSequence(seed=9)
+        seq2.child_seed("beta")  # new consumer registered first
+        assert seq2.child_seed("alpha") == first

@@ -1,0 +1,95 @@
+"""Shape regressions: pin the published per-layer geometries.
+
+These lock the model-zoo substrate against accidental drift — the
+synthesis results are only meaningful if the workloads match the
+networks the paper (and the original architecture papers) used.
+"""
+
+import pytest
+
+from repro.nn import alexnet, msra, resnet18, vgg16
+
+VGG16_CONV_SHAPES = {
+    "conv1": (64, 224, 224),
+    "conv2": (64, 224, 224),
+    "conv3": (128, 112, 112),
+    "conv4": (128, 112, 112),
+    "conv5": (256, 56, 56),
+    "conv6": (256, 56, 56),
+    "conv7": (256, 56, 56),
+    "conv8": (512, 28, 28),
+    "conv9": (512, 28, 28),
+    "conv10": (512, 28, 28),
+    "conv11": (512, 14, 14),
+    "conv12": (512, 14, 14),
+    "conv13": (512, 14, 14),
+}
+
+
+class TestVGG16Shapes:
+    def test_all_conv_shapes(self):
+        model = vgg16()
+        for name, shape in VGG16_CONV_SHAPES.items():
+            assert model.layer(name).output_shape == shape, name
+
+    def test_classifier_features(self):
+        model = vgg16()
+        fc1 = model.layer("fc1")
+        assert fc1.in_features == 512 * 7 * 7
+        assert fc1.out_features == 4096
+
+    def test_conv3_crossbar_example(self):
+        """§IV-C's worked example hinges on conv3-class geometry: a
+        weight-duplicated early layer loads tens of KB per step."""
+        model = vgg16()
+        conv3 = model.layer("conv3")
+        # one input window: 3*3*64 values; at 64 copies and 16-bit
+        # activations that is ~72 KB per load, the paper says ~64 KB.
+        window_bytes = conv3.weight_rows * 2
+        assert 64 * window_bytes == pytest.approx(64 * 1024, rel=0.2)
+
+
+class TestAlexNetShapes:
+    def test_feature_extractor(self):
+        model = alexnet()
+        assert model.layer("conv1").output_shape == (96, 55, 55)
+        assert model.layer("conv2").output_shape == (256, 27, 27)
+        assert model.layer("conv5").output_shape == (256, 13, 13)
+
+    def test_first_fc_input(self):
+        model = alexnet()
+        assert model.layer("fc1").in_features == 256 * 6 * 6
+
+
+class TestResNet18Shapes:
+    def test_stage_resolutions(self):
+        model = resnet18()
+        assert model.layer("conv1").output_shape == (64, 112, 112)
+        assert model.layer("s1b0_conv1").output_shape == (64, 56, 56)
+        assert model.layer("s2b0_conv1").output_shape == (128, 28, 28)
+        assert model.layer("s3b0_conv1").output_shape == (256, 14, 14)
+        assert model.layer("s4b0_conv1").output_shape == (512, 7, 7)
+
+    def test_downsample_projections_exist(self):
+        model = resnet18()
+        for stage in (2, 3, 4):
+            down = model.layer(f"s{stage}b0_down")
+            assert down.kernel == 1
+            assert down.stride == 2
+
+    def test_stage1_has_no_projection(self):
+        from repro.errors import ModelError
+
+        model = resnet18()
+        with pytest.raises(ModelError):
+            model.layer("s1b0_down")
+
+
+class TestMsraShapes:
+    def test_stem(self):
+        model = msra()
+        assert model.layer("conv1").output_shape == (96, 112, 112)
+
+    def test_twenty_weighted_layers(self):
+        # 1 stem + 16 stage convs + 3 fc = 20
+        assert msra().num_weighted_layers == 20
