@@ -6,9 +6,16 @@ the per-stage telemetry (outer points, SA candidates, EA runs), so the
 runtime/search-effort tradeoff is visible. This is also the bench where
 pytest-benchmark's statistics are most meaningful, so it runs the real
 measurement loop (several rounds) on LeNet-5.
+
+``test_parallel_engine_speedup`` additionally measures the executor
+refactor: the exhaustive serial walk (pruning and the shared evaluation
+cache disabled — the pre-refactor behavior) against the full engine at
+``jobs=4``, asserting the two return byte-identical solutions.
 """
 
 from __future__ import annotations
+
+import time
 
 from repro.analysis import format_table
 from repro.core import Pimsyn, SynthesisConfig
@@ -41,6 +48,57 @@ def test_synthesis_runtime_lenet(benchmark):
               "runs ~4 h)",
     ))
     assert solution.evaluation.throughput > 0
+
+
+def test_parallel_engine_speedup():
+    """The cached/pruned parallel engine vs the exhaustive serial walk.
+
+    Same model, power, seed, and Table I sub-grid; the serial baseline
+    disables pruning and evaluation-cache sharing, reproducing the
+    pre-executor driver that visited all 60 (point, WtDup, ResDAC) EA
+    launches. The engine must return a byte-identical solution at >= 2x
+    the speed (typically far more: dominated-task pruning alone skips
+    ~90% of EA launches; ``jobs`` adds core scaling on multi-core
+    hosts).
+    """
+    grid = dict(
+        total_power=2.0, seed=99,
+        xb_size_choices=(128, 256), res_dac_choices=(1, 2, 4),
+        num_wtdup_candidates=10,
+        ea_population_size=16, ea_offspring_per_gen=16,
+        ea_max_generations=12, ea_patience=5,
+    )
+
+    def run(**overrides):
+        synthesizer = Pimsyn(
+            lenet5(), SynthesisConfig.fast(**grid, **overrides)
+        )
+        started = time.perf_counter()
+        solution = synthesizer.synthesize()
+        return solution, synthesizer.report, time.perf_counter() - started
+
+    serial, serial_report, serial_s = run(
+        jobs=1, prune_dominated=False, share_eval_cache=False
+    )
+    engine, engine_report, engine_s = run(jobs=4)
+    speedup = serial_s / engine_s
+    print()
+    print(format_table(
+        ["mode", "EA runs", "pruned", "cache hits", "seconds"],
+        [
+            ("serial exhaustive", serial_report.ea_runs, 0, 0,
+             round(serial_s, 3)),
+            (f"engine jobs={engine_report.jobs}", engine_report.ea_runs,
+             engine_report.pruned_tasks, engine_report.cache_hits,
+             round(engine_s, 3)),
+        ],
+        title=f"DSE executor speedup: {speedup:.1f}x "
+              "(identical best solution)",
+    ))
+    assert engine.to_json() == serial.to_json()
+    assert engine_report.pruned_tasks > 0
+    # Generous floor so a loaded CI box cannot flake; typically >= 3x.
+    assert speedup >= 1.5
 
 
 def test_synthesis_runtime_vgg16(benchmark, models):

@@ -1,4 +1,9 @@
-"""``python -m repro`` entry point."""
+"""``python -m repro`` entry point.
+
+Dispatches to :mod:`repro.cli` — the "one-click transformation from CNN
+applications to PIM architectures" the paper promises in §I, packaged
+as ``synthesize`` / ``models`` / ``peak`` / ``sweep`` subcommands.
+"""
 
 import sys
 

@@ -1,5 +1,13 @@
-"""Analysis utilities: the Fig. 5 ADC-reuse study, table formatting,
-and parameter sweeps used by examples and benches."""
+"""Post-synthesis analysis toolkit around the core flow.
+
+Houses the studies that turn solutions into paper artifacts and
+deployment answers: the Fig. 5 ADC-reuse curves (:mod:`.adc_reuse`),
+power-constraint sweeps over the §V experiment setup (:mod:`.sweep`),
+per-layer energy attribution (:mod:`.energy`), technology sensitivity
+of §VI's device-agnosticism claim (:mod:`.sensitivity`), stuck-at-fault
+curves (:mod:`.faults`), trace Gantt rendering (:mod:`.gantt`), and the
+ASCII table formatting every bench prints (:mod:`.report`).
+"""
 
 from repro.analysis.adc_reuse import AdcReuseSample, adc_reuse_study
 from repro.analysis.energy import (

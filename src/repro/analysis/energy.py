@@ -1,9 +1,11 @@
 """Per-layer and per-resource energy attribution.
 
-The evaluator reports chip-level energy per image; deployment questions
-("which layer should I re-architect?") need the breakdown. Energy here
-is power x occupancy: each layer's components draw their share of power
-for the time the pipeline keeps them busy within one image period.
+The evaluator reports chip-level energy per image — the quantity behind
+Table V's energy and EDP columns; deployment questions ("which layer
+should I re-architect?") need the breakdown. Energy here is power x
+occupancy: each layer's components (crossbars, ADC bank, ALUs, eDRAM —
+the Fig. 2 macro inventory) draw their share of power for the time the
+pipeline keeps them busy within one image period.
 """
 
 from __future__ import annotations

@@ -3,10 +3,15 @@
 The DSE answers "best design at power P"; sweeps answer the system-level
 questions users actually ask — how do throughput and efficiency scale
 with the power constraint, and where does adding power stop helping?
+This generalizes the §V experiment setup, where every benchmark is
+synthesized under a fixed per-model power constraint (Table V): here the
+constraint becomes the swept axis, with each point running the same
+Alg. 1 flow via :class:`repro.core.synthesizer.Pimsyn`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -41,14 +46,7 @@ def power_sweep(
     rows: List[PowerSweepRow] = []
     base = config if config is not None else SynthesisConfig.fast()
     for power in powers:
-        cfg = SynthesisConfig.fast(
-            total_power=power, seed=base.seed,
-            ratio_rram_choices=base.ratio_rram_choices,
-            res_rram_choices=base.res_rram_choices,
-            xb_size_choices=base.xb_size_choices,
-            res_dac_choices=base.res_dac_choices,
-            num_wtdup_candidates=base.num_wtdup_candidates,
-        )
+        cfg = dataclasses.replace(base, total_power=power)
         try:
             solution = Pimsyn(model, cfg).synthesize()
         except InfeasibleError:

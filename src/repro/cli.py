@@ -34,9 +34,14 @@ def _load(args) -> object:
 
 
 def _config(args, power: float) -> SynthesisConfig:
+    jobs = getattr(args, "jobs", 1)
     if getattr(args, "full", False):
-        return SynthesisConfig(total_power=power, seed=args.seed)
-    return SynthesisConfig.fast(total_power=power, seed=args.seed)
+        return SynthesisConfig(
+            total_power=power, seed=args.seed, jobs=jobs
+        )
+    return SynthesisConfig.fast(
+        total_power=power, seed=args.seed, jobs=jobs
+    )
 
 
 def cmd_models(_args) -> int:
@@ -70,8 +75,18 @@ def cmd_synthesize(args) -> int:
               f"{args.margin} = {power:.1f} W")
     config = _config(args, power)
     progress = print if args.verbose else None
-    solution = Pimsyn(model, config, progress=progress).synthesize()
+    synthesizer = Pimsyn(model, config, progress=progress)
+    solution = synthesizer.synthesize()
     print(solution.summary())
+    if args.verbose:
+        report = synthesizer.report
+        print(
+            f"  DSE: {report.outer_points} outer points, "
+            f"{report.ea_runs} EA runs ({report.pruned_tasks} pruned), "
+            f"{report.cache_hits} cache hits / "
+            f"{report.cache_misses} misses, jobs={report.jobs}, "
+            f"{report.wall_seconds:.2f} s"
+        )
     if args.chip:
         print()
         print(solution.build_accelerator().summary())
@@ -137,7 +152,9 @@ def cmd_sweep(args) -> int:
     from repro.analysis import power_sweep
 
     model = _load(args)
-    config = SynthesisConfig.fast(seed=args.seed)
+    config = SynthesisConfig.fast(
+        seed=args.seed, jobs=getattr(args, "jobs", 1)
+    )
     rows = power_sweep(model, args.powers, config=config)
     table = [
         (
@@ -178,6 +195,9 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--full", action="store_true",
                        help="use the paper's full Table I grid "
                             "(slow; default is the fast preset)")
+    synth.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the DSE (0 = one per "
+                            "CPU core; same solution as --jobs 1)")
     synth.add_argument("--seed", type=int, default=2024)
     synth.add_argument("--out", help="write the solution JSON here")
     synth.add_argument("--schedule",
@@ -192,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--model", help="zoo model name")
     group.add_argument("--json", help="path to a model JSON document")
     sweep.add_argument("--powers", type=float, nargs="+", required=True)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes per synthesis (0 = one "
+                            "per CPU core)")
     sweep.add_argument("--seed", type=int, default=2024)
     return parser
 

@@ -6,14 +6,26 @@ Stage 3 — :mod:`repro.core.macro_partition` (EA explorer, Alg. 2)
 Stage 4 — :mod:`repro.core.component_alloc` (closed form, Eq. 5/6)
 
 :mod:`repro.core.synthesizer` drives the Alg. 1 multi-loop DSE across
-:mod:`repro.core.design_space` (Table I), scoring candidates with the
-analytical model in :mod:`repro.core.evaluator` and packaging winners as
-:class:`repro.core.solution.SynthesisSolution`.
+:mod:`repro.core.design_space` (Table I), flattening it into a work
+queue that :mod:`repro.core.executor` evaluates serially or across a
+process pool (with memoization and dominated-task pruning), scoring
+candidates with the analytical model in :mod:`repro.core.evaluator` and
+packaging winners as :class:`repro.core.solution.SynthesisSolution`.
 """
 
 from repro.core.config import SynthesisConfig
 from repro.core.design_space import DesignPoint, DesignSpace
-from repro.core.evaluator import EvaluationResult, PerformanceEvaluator
+from repro.core.evaluator import (
+    EvaluationResult,
+    PerformanceEvaluator,
+    throughput_upper_bound,
+)
+from repro.core.executor import (
+    EvaluationCache,
+    EvaluationTask,
+    ExplorationEngine,
+    TaskOutcome,
+)
 from repro.core.component_alloc import ComponentAllocation, allocate_components
 from repro.core.macro_partition import (
     MacroPartition,
@@ -31,8 +43,13 @@ __all__ = [
     "SynthesisConfig",
     "DesignPoint",
     "DesignSpace",
+    "EvaluationCache",
     "EvaluationResult",
+    "EvaluationTask",
+    "ExplorationEngine",
     "PerformanceEvaluator",
+    "TaskOutcome",
+    "throughput_upper_bound",
     "ComponentAllocation",
     "allocate_components",
     "MacroPartition",

@@ -46,6 +46,21 @@ class SynthesisConfig:
         macros chip-wide.
     enable_macro_sharing:
         Inter-layer macro/ADC reuse (§IV-C1 rule b, §V-C3).
+    jobs:
+        Worker processes for the DSE executor: 1 (default) evaluates the
+        flat (point, WtDup, ResDAC) task queue in-process, ``n > 1``
+        fans it out over a ``multiprocessing`` pool, and 0 means "one per
+        CPU core". Serial and parallel runs return identical solutions
+        for a fixed seed.
+    prune_dominated:
+        Skip the EA for tasks whose analytical throughput upper bound
+        (:func:`repro.core.evaluator.throughput_upper_bound`) cannot
+        beat the incumbent. The bound is sound, so pruning never changes
+        the solution — only the telemetry (fewer EA runs).
+    share_eval_cache:
+        Share one content-keyed evaluation memo across all EA runs (per
+        worker process), so re-visited (model, hardware params, design
+        point, gene) tuples never re-run component allocation.
     seed:
         Master seed for all stochastic stages.
     """
@@ -73,7 +88,19 @@ class SynthesisConfig:
     specialized_macros: bool = True
     enable_macro_sharing: bool = True
     max_blocks_per_layer: int = 8
+    jobs: int = 1
+    prune_dominated: bool = True
+    share_eval_cache: bool = True
     seed: int = 2024
+
+    @property
+    def resolved_jobs(self) -> int:
+        """The concrete worker count (``jobs == 0`` means all cores)."""
+        if self.jobs == 0:
+            import os
+
+            return max(1, os.cpu_count() or 1)
+        return self.jobs
 
     def __post_init__(self) -> None:
         if self.total_power <= 0:
@@ -94,6 +121,10 @@ class SynthesisConfig:
                 raise ConfigurationError(f"{name} entries must be positive")
         if self.num_wtdup_candidates < 1:
             raise ConfigurationError("need at least one WtDup candidate")
+        if self.jobs < 0:
+            raise ConfigurationError(
+                "jobs must be >= 0 (0 selects one worker per CPU core)"
+            )
 
     @classmethod
     def fast(cls, total_power: float = 50.0, seed: int = 2024,

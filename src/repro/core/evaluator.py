@@ -78,6 +78,101 @@ class EvaluationResult:
         return self.throughput
 
 
+def throughput_upper_bound(
+    spec: DataflowSpec,
+    budget: PowerBudget,
+    enable_macro_sharing: bool = True,
+) -> float:
+    """Sound best-case throughput (img/s) of a stage-2 spec (pruning bound).
+
+    Used by the DSE executor to discard dominated (WtDup, ResDAC) tasks
+    before their EA launches: no macro partition / component allocation
+    can push a design past this bound, so a task whose bound cannot beat
+    the incumbent cannot change Alg. 1's outcome. Two floors are
+    combined through the :class:`LayerTiming` pipeline model:
+
+    - **structural floor** — per-layer best-case stage times that no
+      allocation can improve: the exact crossbar-bound MVM time, and
+      eDRAM load/store through the largest macro group rule c permits
+      (ADC/ALU/comm taken as zero);
+    - **power floor** — Eq. 6 says holding every (layer, component)
+      delay at ``D`` costs ``sum(P * Wl / Freq) / D`` watts, which must
+      fit in the peripheral budget minus a lower bound on the fixed
+      structural overhead (``ceil(L/2)`` macros when rule-b sharing may
+      halve the macro count, ``L`` otherwise; DAC/S&H scale with the
+      spec's exact crossbar count). Pair sharing can at best serve two
+      ADC banks for the price of one, so the ADC term is halved when
+      sharing is enabled.
+
+    Returns 0.0 when even the overhead floor exceeds the peripheral
+    budget (every partition of this spec is infeasible).
+
+    The floors are computed through the *real* model's own functions
+    (``PerformanceEvaluator`` stage times, ``fixed_overhead_power``,
+    ``layer_workloads``) evaluated at best-case arguments, so a change
+    to the power/timing model propagates into the bound instead of
+    silently unsoundening the pruning.
+    """
+    from repro.core.component_alloc import (
+        fixed_overhead_power,
+        layer_workloads,
+    )
+    from repro.hardware.crossbar import required_adc_resolution
+
+    params = spec.params
+    geometries = spec.geometries
+    evaluator = PerformanceEvaluator(spec, budget)
+    # Rule c caps the macros a layer can spread over; the largest cap
+    # bounds every group's eDRAM port count, hence load/store times.
+    max_group = max(
+        min(geo.wt_dup * geo.row_tiles, geo.crossbars)
+        for geo in geometries
+    )
+    structural = []
+    for geo in geometries:
+        load, store = evaluator._memory_times(geo, max_group)
+        structural.append(LayerTiming(
+            mvm=evaluator._mvm_time(geo),
+            adc=0.0, alu=0.0, load=load, store=store, comm=0.0,
+        ))
+    period_floor = max(timing.total for timing in structural)
+
+    # Fewest macros any partition can use: rule b shares pairs only,
+    # so ceil(L/2) with sharing, one per layer without.
+    n_layers = len(geometries)
+    min_groups = (
+        [[index // 2] for index in range(n_layers)]
+        if enable_macro_sharing
+        else [[index] for index in range(n_layers)]
+    )
+    fixed_floor = fixed_overhead_power(
+        geometries, min_groups, params, budget.xb_size, spec.res_dac
+    )
+    available = budget.peripheral_power - fixed_floor
+    if available <= 0:
+        return 0.0
+
+    adc_wl, alu_wl = layer_workloads(spec.geometries, spec.model, spec.bits)
+    adc_denom = sum(
+        params.adc_power_of(
+            required_adc_resolution(
+                min(budget.xb_size, geo.rows), budget.res_rram,
+                spec.res_dac,
+            )
+        ) * wl / params.adc_sample_rate
+        for geo, wl in zip(geometries, adc_wl)
+    )
+    alu_denom = sum(
+        params.alu_power * wl / params.alu_frequency for wl in alu_wl
+    )
+    if enable_macro_sharing:
+        adc_denom /= 2.0
+    period_floor = max(period_floor, (adc_denom + alu_denom) / available)
+    if period_floor <= 0:
+        return math.inf
+    return 1.0 / period_floor
+
+
 class PerformanceEvaluator:
     """Evaluates (MacAlloc, CompAlloc) points for one dataflow spec."""
 

@@ -1,0 +1,591 @@
+"""Parallel, cached execution engine for the Alg. 1 design-space walk.
+
+The multi-loop DSE of :mod:`repro.core.synthesizer` is embarrassingly
+parallel once flattened: every ``(outer point, WtDup, ResDAC)`` triple is
+an independent EA launch whose outcome depends only on the model, the
+config, and the master seed (all RNGs are label-derived, never shared).
+This module turns the nested loops into that flat work queue and runs it
+through a pluggable executor:
+
+- :class:`SerialExecutor` evaluates tasks in-process (``jobs=1``);
+- :class:`ProcessExecutor` fans them out over a ``multiprocessing`` pool
+  (``jobs>1``), each worker holding its own :class:`_TaskRunner`.
+
+Three properties make the engine safe to parallelize and to accelerate:
+
+1. **Determinism** — task RNGs are spawned from the master seed by a
+   content label, so a task's outcome is identical no matter which
+   worker runs it or in which order. The winner is selected by
+   ``(max fitness, min task index)``, an order-free rule.
+2. **Sound pruning** — before a task's EA launches, its analytical
+   throughput upper bound (:func:`repro.core.evaluator.
+   throughput_upper_bound`) is compared against the incumbent; tasks
+   that provably cannot win are skipped. Tasks are evaluated in
+   descending-bound order so a strong incumbent appears early.
+3. **Content-keyed memoization** — :class:`EvaluationCache` stores EA
+   fitness values under ``(model, hardware params, design point, gene)``
+   fingerprints and is shared with :class:`repro.optim.evolution.
+   EvolutionEngine`, so re-visited tuples never re-run the
+   component-allocation stage (per process; workers keep local caches).
+
+Every future scaling direction (sharding the queue across hosts, async
+backends, multi-accelerator evaluation) plugs in behind the same
+executor protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.archive import DesignArchive
+    from repro.core.synthesizer import SynthesisReport
+
+from repro.core.config import SynthesisConfig
+from repro.core.dataflow import make_spec
+from repro.core.design_space import DesignPoint, DesignSpace
+from repro.core.evaluator import throughput_upper_bound
+from repro.core.macro_partition import MacroPartition, MacroPartitionExplorer
+from repro.core.solution import SynthesisSolution
+from repro.core.weight_duplication import WeightDuplicationFilter
+from repro.errors import InfeasibleError
+from repro.hardware.params import HardwareParams
+from repro.hardware.power import PowerBudget
+from repro.nn.model import CNNModel
+from repro.utils.rng import SeedSequence
+
+ProgressCallback = Callable[[str], None]
+CandidatesOfPoint = Callable[[DesignPoint], Sequence[Tuple[int, ...]]]
+
+
+# ----------------------------------------------------------------------
+# Content fingerprints (cache keys must survive process boundaries)
+# ----------------------------------------------------------------------
+def model_fingerprint(model: CNNModel) -> str:
+    """Stable digest of everything that affects an evaluation's result."""
+    text = "|".join((
+        model.name,
+        repr(model.input_shape),
+        str(model.act_precision),
+        str(model.weight_precision),
+        repr(model.layers),
+    ))
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def params_fingerprint(params: HardwareParams) -> str:
+    """Stable digest of the hardware setup parameters."""
+    text = "|".join(
+        f"{f.name}={getattr(params, f.name)!r}" for f in fields(params)
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+class EvaluationCache:
+    """Content-keyed memo for EA fitness evaluations.
+
+    A thin mapping with hit/miss accounting. One instance is shared by
+    every :class:`MacroPartitionExplorer` a runner creates, keyed by
+    ``(context, gene)`` where the context fingerprints the (model,
+    hardware params, design point, WtDup, ResDAC) tuple — so identical
+    evaluations are recognized across EA runs, not just within one.
+    """
+
+    __slots__ = ("_store", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._store: Dict[Hashable, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        found = key in self._store
+        if found:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return found
+
+    def __getitem__(self, key: Hashable) -> float:
+        return self._store[key]
+
+    def __setitem__(self, key: Hashable, value: float) -> None:
+        self._store[key] = value
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+# ----------------------------------------------------------------------
+# The flat work queue
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvaluationTask:
+    """One EA launch: an outer design point x WtDup vector x ResDAC.
+
+    ``index`` is the task's position in Alg. 1's original loop
+    enumeration; it is the deterministic tie-breaker for equal-fitness
+    winners and keys every aggregation, so evaluation order is free.
+    """
+
+    index: int
+    point: DesignPoint
+    wt_dup: Tuple[int, ...]
+    res_dac: int
+
+    @property
+    def seed_label(self) -> str:
+        """RNG label — identical to the serial driver's historic label."""
+        return f"ea:{self.point.describe()}:{self.wt_dup}:{self.res_dac}"
+
+    def context_key(self, model_key: str, params_key: str) -> Hashable:
+        """Cache context identifying this task's evaluation function."""
+        return (
+            model_key, params_key,
+            self.point.ratio_rram, self.point.res_rram,
+            self.point.xb_size, self.point.num_crossbars,
+            self.wt_dup, self.res_dac,
+        )
+
+
+@dataclass
+class TaskOutcome:
+    """What a worker reports back for one task (kept IPC-small).
+
+    The winning gene is re-scored in the parent to materialize the full
+    :class:`SynthesisSolution`; losers only ever ship these scalars.
+    """
+
+    index: int
+    feasible: bool = False
+    fitness: float = 0.0
+    gene: Optional[Tuple[int, ...]] = None
+    throughput: float = 0.0
+    power: float = 0.0
+    tops_per_watt: float = 0.0
+    latency: float = 0.0
+    num_macros: int = 0
+    ea_evaluations: int = 0  # memo misses: fitness calls actually run
+    cache_hits: int = 0
+
+
+# ----------------------------------------------------------------------
+# Task evaluation (runs in the parent or in pool workers)
+# ----------------------------------------------------------------------
+class _TaskRunner:
+    """Evaluates filter jobs and EA tasks for one (model, config) pair.
+
+    Each worker process owns one runner; its :class:`EvaluationCache`
+    persists across every task the worker handles.
+    """
+
+    def __init__(self, model: CNNModel, config: SynthesisConfig) -> None:
+        self.model = model
+        self.config = config
+        self.seeds = SeedSequence(config.seed)
+        self.cache: Optional[EvaluationCache] = (
+            EvaluationCache() if config.share_eval_cache else None
+        )
+        self._model_key = model_fingerprint(model)
+        self._params_key = params_fingerprint(config.params)
+
+    def filter_candidates(
+        self, point: DesignPoint
+    ) -> Optional[List[Tuple[int, ...]]]:
+        """Stage 1 (Alg. 1 line 6) for one point; None when infeasible."""
+        try:
+            filter_ = WeightDuplicationFilter(
+                model=self.model,
+                xb_size=point.xb_size,
+                res_rram=point.res_rram,
+                num_crossbars=point.num_crossbars,
+                config=self.config,
+            )
+        except InfeasibleError:
+            return None
+        rng = self.seeds.spawn(f"sa:{point.describe()}")
+        return [tuple(c) for c in filter_.top_candidates(rng)]
+
+    def spec_and_budget(self, task: EvaluationTask):
+        """The stage-2 spec and Eq. 3 budget a task evaluates under."""
+        spec = make_spec(
+            self.model, task.wt_dup,
+            xb_size=task.point.xb_size,
+            res_rram=task.point.res_rram,
+            res_dac=task.res_dac,
+            params=self.config.params,
+            max_blocks_per_layer=self.config.max_blocks_per_layer,
+        )
+        budget = PowerBudget(
+            total_power=self.config.total_power,
+            ratio_rram=task.point.ratio_rram,
+            xb_size=task.point.xb_size,
+            res_rram=task.point.res_rram,
+            num_crossbars=task.point.num_crossbars,
+        )
+        return spec, budget
+
+    def make_explorer(self, task: EvaluationTask) -> MacroPartitionExplorer:
+        """Build the stage-3 explorer for a task (shared by run/score)."""
+        spec, budget = self.spec_and_budget(task)
+        return MacroPartitionExplorer(
+            spec=spec, budget=budget, res_dac=task.res_dac,
+            config=self.config, rng=self.seeds.spawn(task.seed_label),
+            cache=self.cache,
+            cache_context=task.context_key(
+                self._model_key, self._params_key
+            ),
+        )
+
+    def throughput_bound(self, task: EvaluationTask) -> float:
+        """Analytical upper bound used for dominated-task pruning."""
+        spec, budget = self.spec_and_budget(task)
+        return throughput_upper_bound(
+            spec, budget,
+            enable_macro_sharing=self.config.enable_macro_sharing,
+        )
+
+    def run_task(self, task: EvaluationTask) -> TaskOutcome:
+        """Run one EA launch end to end; never raises for infeasibility."""
+        explorer = self.make_explorer(task)
+        outcome = TaskOutcome(index=task.index)
+        try:
+            partition, _allocation, result = explorer.explore()
+        except InfeasibleError:
+            pass
+        else:
+            outcome.feasible = True
+            outcome.fitness = result.fitness
+            outcome.gene = partition.gene
+            outcome.throughput = result.throughput
+            outcome.power = result.power
+            outcome.tops_per_watt = result.tops_per_watt
+            outcome.latency = result.latency
+            outcome.num_macros = partition.num_macros
+        report = explorer.last_report
+        if report is not None:
+            outcome.ea_evaluations = report.evaluations
+            outcome.cache_hits = report.cache_hits
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# Pluggable executors
+# ----------------------------------------------------------------------
+class SerialExecutor:
+    """In-process task evaluation (``jobs=1``) with one shared cache."""
+
+    jobs = 1
+
+    def __init__(self, model: CNNModel, config: SynthesisConfig) -> None:
+        self._runner = _TaskRunner(model, config)
+
+    def map_filters(
+        self, points: Sequence[DesignPoint]
+    ) -> List[Optional[List[Tuple[int, ...]]]]:
+        return [self._runner.filter_candidates(p) for p in points]
+
+    def imap_tasks(
+        self, tasks: Iterable[EvaluationTask]
+    ) -> Iterator[TaskOutcome]:
+        for task in tasks:
+            yield self._runner.run_task(task)
+
+    def close(self) -> None:
+        pass
+
+
+_WORKER_RUNNER: Optional[_TaskRunner] = None
+
+
+def _worker_init(model: CNNModel, config: SynthesisConfig) -> None:
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = _TaskRunner(model, config)
+
+
+def _worker_filter(
+    point: DesignPoint,
+) -> Optional[List[Tuple[int, ...]]]:
+    assert _WORKER_RUNNER is not None
+    return _WORKER_RUNNER.filter_candidates(point)
+
+
+def _worker_task(task: EvaluationTask) -> TaskOutcome:
+    assert _WORKER_RUNNER is not None
+    return _WORKER_RUNNER.run_task(task)
+
+
+class ProcessExecutor:
+    """``multiprocessing.Pool`` fan-out (``jobs>1``).
+
+    Workers are primed once with (model, config) through the pool
+    initializer; tasks cross the process boundary as small frozen
+    dataclasses and come back as :class:`TaskOutcome` scalars, so IPC
+    stays negligible next to an EA launch. Results are consumed with
+    ``imap`` in submission order, preserving deterministic aggregation.
+    """
+
+    def __init__(
+        self, model: CNNModel, config: SynthesisConfig, jobs: int
+    ) -> None:
+        import multiprocessing
+
+        self.jobs = jobs
+        self._pool = multiprocessing.Pool(
+            processes=jobs,
+            initializer=_worker_init,
+            initargs=(model, config),
+        )
+
+    def map_filters(
+        self, points: Sequence[DesignPoint]
+    ) -> List[Optional[List[Tuple[int, ...]]]]:
+        return self._pool.map(_worker_filter, points)
+
+    def imap_tasks(
+        self, tasks: Iterable[EvaluationTask]
+    ) -> Iterator[TaskOutcome]:
+        return self._pool.imap(_worker_task, tasks)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+
+# ----------------------------------------------------------------------
+# The exploration engine (Alg. 1, flattened)
+# ----------------------------------------------------------------------
+class ExplorationEngine:
+    """Drives the flat task queue: enumerate, bound, prune, evaluate.
+
+    Owns everything between :class:`DesignSpace` enumeration and the
+    winning :class:`SynthesisSolution`; :class:`repro.core.synthesizer.
+    Pimsyn` is a thin façade over it. Telemetry lands in the caller's
+    :class:`SynthesisReport`.
+    """
+
+    def __init__(
+        self,
+        model: CNNModel,
+        config: SynthesisConfig,
+        report: "SynthesisReport",
+        progress: Optional[ProgressCallback] = None,
+        archive: Optional["DesignArchive"] = None,
+    ) -> None:
+        self.model = model
+        self.config = config
+        self.report = report
+        self.progress = progress
+        self.archive = archive
+        self._local_runner = _TaskRunner(model, config)
+
+    def _log(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    def _make_executor(self):
+        jobs = self.config.resolved_jobs
+        self.report.jobs = jobs
+        if jobs <= 1:
+            return SerialExecutor(self.model, self.config)
+        return ProcessExecutor(self.model, self.config, jobs)
+
+    # ------------------------------------------------------------------
+    # Queue construction
+    # ------------------------------------------------------------------
+    def _build_tasks(
+        self,
+        executor,
+        points: Sequence[DesignPoint],
+        candidates_of_point: Optional[CandidatesOfPoint],
+    ) -> List[EvaluationTask]:
+        if candidates_of_point is not None:
+            candidate_lists: List[Optional[List[Tuple[int, ...]]]] = [
+                [tuple(int(d) for d in c) for c in candidates_of_point(p)]
+                for p in points
+            ]
+        else:
+            candidate_lists = executor.map_filters(points)
+
+        tasks: List[EvaluationTask] = []
+        for point, candidates in zip(points, candidate_lists):
+            self.report.outer_points += 1
+            self._log(f"exploring {point.describe()}")
+            if candidates is None:
+                self.report.infeasible_points += 1
+                continue
+            for wt_dup in candidates:
+                self.report.candidates_tried += 1
+                for res_dac in self.config.res_dac_choices:
+                    tasks.append(EvaluationTask(
+                        index=len(tasks), point=point,
+                        wt_dup=tuple(wt_dup), res_dac=res_dac,
+                    ))
+        return tasks
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        candidates_of_point: Optional[CandidatesOfPoint] = None,
+    ) -> Optional[SynthesisSolution]:
+        """Explore the space; return the best solution or None.
+
+        ``candidates_of_point`` overrides stage 1 with a fixed
+        duplication policy (the Fig. 7 ablation hook); by default the
+        SA filter supplies each point's WtDup candidates.
+        """
+        space = DesignSpace(self.model, self.config)
+        points = list(space.outer_points())
+        if not points:
+            return None
+
+        executor = self._make_executor()
+        try:
+            tasks = self._build_tasks(
+                executor, points, candidates_of_point
+            )
+            if not tasks:
+                return None
+            incumbent = self._evaluate_queue(executor, tasks)
+        finally:
+            executor.close()
+        if incumbent is None:
+            return None
+        return self._materialize(tasks[incumbent.index], incumbent)
+
+    def _evaluate_queue(
+        self, executor, tasks: List[EvaluationTask]
+    ) -> Optional[TaskOutcome]:
+        """Evaluate tasks (descending analytical bound), track the best.
+
+        Pruning is decided lazily at dispatch time against the current
+        incumbent; because the bound is a true upper bound and ties
+        resolve to the smaller task index, a pruned task can never be
+        the winner — so serial and parallel runs (whose pruning sets may
+        differ through pool prefetch) still select identical solutions.
+        Pruning is disabled when an archive is attached: the archive's
+        purpose is recording the explored landscape, not just the
+        winner.
+        """
+        prune = self.config.prune_dominated and self.archive is None
+        if prune:
+            bounds = [
+                self._local_runner.throughput_bound(t) for t in tasks
+            ]
+            order = sorted(
+                range(len(tasks)), key=lambda i: (-bounds[i], i)
+            )
+        else:
+            bounds = []
+            order = list(range(len(tasks)))
+
+        incumbent: Optional[TaskOutcome] = None
+        wave_size = max(1, executor.jobs)
+        cursor = 0
+        while cursor < len(order):
+            # Assemble the next wave of non-dominated tasks. Waves are
+            # sized to the worker count so pruning decisions always see
+            # the results of the previous wave — with one big dispatch,
+            # pool prefetch would launch every EA before the first
+            # incumbent could rule any of them out.
+            wave: List[EvaluationTask] = []
+            while cursor < len(order) and len(wave) < wave_size:
+                position = order[cursor]
+                cursor += 1
+                task = tasks[position]
+                if prune and incumbent is not None:
+                    bound = bounds[position]
+                    if bound < incumbent.fitness or (
+                        bound == incumbent.fitness
+                        and task.index > incumbent.index
+                    ):
+                        self.report.pruned_tasks += 1
+                        continue
+                self.report.ea_runs += 1
+                wave.append(task)
+            for outcome in executor.imap_tasks(wave):
+                incumbent = self._absorb(outcome, tasks, incumbent)
+        return incumbent
+
+    def _absorb(
+        self,
+        outcome: TaskOutcome,
+        tasks: List[EvaluationTask],
+        incumbent: Optional[TaskOutcome],
+    ) -> Optional[TaskOutcome]:
+        """Fold one task outcome into the report/archive/incumbent."""
+        self.report.cache_hits += outcome.cache_hits
+        self.report.ea_evaluations += outcome.ea_evaluations
+        if not outcome.feasible:
+            return incumbent
+        self.report.best_history.append(outcome.fitness)
+        task = tasks[outcome.index]
+        if self.archive is not None:
+            from repro.core.archive import ArchiveEntry
+
+            self.archive.record(ArchiveEntry(
+                ratio_rram=task.point.ratio_rram,
+                res_rram=task.point.res_rram,
+                xb_size=task.point.xb_size,
+                res_dac=task.res_dac,
+                wt_dup=task.wt_dup,
+                throughput=outcome.throughput,
+                power=outcome.power,
+                tops_per_watt=outcome.tops_per_watt,
+                latency=outcome.latency,
+                num_macros=outcome.num_macros,
+            ))
+        if incumbent is None or outcome.fitness > incumbent.fitness or (
+            outcome.fitness == incumbent.fitness
+            and outcome.index < incumbent.index
+        ):
+            incumbent = outcome
+            self._log(
+                f"  new best: {outcome.throughput:.1f} img/s "
+                f"({outcome.tops_per_watt:.3f} TOPS/W) at "
+                f"ResDAC={task.res_dac} "
+                f"WtDup={list(task.wt_dup)[:4]}..."
+            )
+        return incumbent
+
+    def _materialize(
+        self, task: EvaluationTask, outcome: TaskOutcome
+    ) -> SynthesisSolution:
+        """Re-score the winning gene in-process into a full solution.
+
+        Scoring is deterministic, so this reproduces exactly the
+        evaluation the (possibly remote) worker reported.
+        """
+        assert outcome.gene is not None
+        explorer = self._local_runner.make_explorer(task)
+        _fitness, allocation, result = explorer.score(outcome.gene)
+        assert allocation is not None and result is not None
+        return SynthesisSolution(
+            model_name=self.model.name,
+            total_power=self.config.total_power,
+            ratio_rram=task.point.ratio_rram,
+            res_rram=task.point.res_rram,
+            xb_size=task.point.xb_size,
+            res_dac=task.res_dac,
+            wt_dup=task.wt_dup,
+            partition=MacroPartition.from_gene(outcome.gene),
+            allocation=allocation,
+            evaluation=result,
+            spec=explorer.spec,
+            budget=explorer.budget,
+        )

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, MutableMapping, Optional, Sequence, Tuple
 
 from repro.core.component_alloc import (
     ComponentAllocation,
@@ -121,7 +121,15 @@ class MacroPartition:
 
 
 class MacroPartitionExplorer:
-    """Alg. 2: evolve MacAlloc, scoring through stage 4 + the evaluator."""
+    """Alg. 2: evolve MacAlloc, scoring through stage 4 + the evaluator.
+
+    ``cache``/``cache_context`` plug the explorer into the DSE-wide
+    evaluation memo (see :mod:`repro.core.executor`): fitness values are
+    stored under ``(cache_context, gene)`` so identical (model, hardware
+    params, design point, gene) evaluations are shared across EA runs.
+    Without them the engine falls back to a private per-run memo, which
+    is the original behavior.
+    """
 
     def __init__(
         self,
@@ -130,12 +138,17 @@ class MacroPartitionExplorer:
         res_dac: int,
         config: SynthesisConfig,
         rng: random.Random,
+        cache: Optional[MutableMapping] = None,
+        cache_context: Optional[Hashable] = None,
     ) -> None:
         self.spec = spec
         self.budget = budget
         self.res_dac = res_dac
         self.config = config
         self.rng = rng
+        self.cache = cache
+        self.cache_context = cache_context
+        self.last_report = None  # EvolutionReport of the latest explore()
         self.evaluator = PerformanceEvaluator(spec, budget)
         # Rule c caps: WtDup * row-tile count, and >= 1 crossbar per macro.
         self.caps: List[int] = []
@@ -247,6 +260,7 @@ class MacroPartitionExplorer:
         feasible (e.g. the fixed overhead of even one macro per layer
         exceeds the peripheral budget).
         """
+        context = self.cache_context
         engine: EvolutionEngine[Gene] = EvolutionEngine(
             fitness=lambda gene: self.score(gene)[0],
             mutations=[self.mutate_num, self.mutate_share],
@@ -256,7 +270,13 @@ class MacroPartitionExplorer:
             offspring_per_gen=self.config.ea_offspring_per_gen,
             max_generations=self.config.ea_max_generations,
             patience=self.config.ea_patience,
+            cache=self.cache,
+            cache_key=(
+                (lambda gene: (context, gene))
+                if self.cache is not None else None
+            ),
         )
+        self.last_report = engine.report
         best_gene, best_fitness = engine.run(
             self.initial_population(self.config.ea_population_size)
         )

@@ -6,7 +6,9 @@ module closes the loop: :func:`load_solution` reconstructs a live
 solution from that JSON plus the model, by re-running the deterministic
 tail of the flow (dataflow spec, components allocation, evaluation) —
 no DSE. This is how a synthesized design ships: a small JSON artifact
-that any holder of the model can re-materialize and simulate.
+that any holder of the model can re-materialize and simulate — the
+practical complement to §I's "one-click" pitch, since the four-hour
+Alg. 1 search (§V) runs once and its winner replays in milliseconds.
 """
 
 from __future__ import annotations

@@ -16,41 +16,61 @@ The multi-loop flow::
 :class:`SynthesisSolution`. ``synthesize_with_wtdup`` pins stage 1 to a
 caller-supplied duplication strategy — the hook the Fig. 7 ablation
 (SA vs WOHO-heuristic vs no duplication) uses.
+
+Since the executor refactor, the nested loops are flattened into a work
+queue of ``(point, WtDup, ResDAC)`` tasks and driven by
+:class:`repro.core.executor.ExplorationEngine`, which adds parallel
+evaluation (``SynthesisConfig.jobs``), content-keyed memoization of EA
+fitness evaluations, and sound dominated-task pruning — all while
+returning the same best solution as the serial walk for a fixed seed.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.archive import DesignArchive
 
 from repro.core.config import SynthesisConfig
-from repro.core.dataflow import make_spec
-from repro.core.design_space import DesignPoint, DesignSpace
-from repro.core.macro_partition import MacroPartitionExplorer
+from repro.core.design_space import DesignPoint
+from repro.core.executor import ExplorationEngine
 from repro.core.solution import SynthesisSolution
-from repro.core.weight_duplication import WeightDuplicationFilter
 from repro.errors import InfeasibleError
-from repro.hardware.power import PowerBudget
 from repro.nn.model import CNNModel
-from repro.utils.rng import SeedSequence
 
 ProgressCallback = Callable[[str], None]
 
 
 @dataclass
 class SynthesisReport:
-    """Telemetry of one DSE run."""
+    """Telemetry of one DSE run.
+
+    ``ea_runs`` counts EA launches actually executed; ``pruned_tasks``
+    counts launches skipped because their analytical throughput bound
+    could not beat the incumbent. ``cache_hits`` is the evaluation-memo
+    total aggregated over all EA runs (and worker processes);
+    ``ea_evaluations`` is the number of full component-allocation
+    evaluations actually performed — equivalently, the memo misses.
+    """
 
     outer_points: int = 0
     candidates_tried: int = 0
     ea_runs: int = 0
+    pruned_tasks: int = 0
     infeasible_points: int = 0
+    ea_evaluations: int = 0
+    cache_hits: int = 0
+    jobs: int = 1
     wall_seconds: float = 0.0
     best_history: List[float] = field(default_factory=list)
+
+    @property
+    def cache_misses(self) -> int:
+        """Memo misses — every miss runs one full evaluation."""
+        return self.ea_evaluations
 
 
 class Pimsyn:
@@ -68,11 +88,6 @@ class Pimsyn:
         self.progress = progress
         self.archive = archive
         self.report = SynthesisReport()
-        self._seeds = SeedSequence(self.config.seed)
-
-    def _log(self, message: str) -> None:
-        if self.progress is not None:
-            self.progress(message)
 
     # ------------------------------------------------------------------
     # Alg. 1
@@ -84,17 +99,7 @@ class Pimsyn:
         configured space can hold the model under the power constraint.
         """
         started = time.perf_counter()
-        best: Optional[SynthesisSolution] = None
-        space = DesignSpace(self.model, self.config)
-
-        for point in space.outer_points():
-            self.report.outer_points += 1
-            self._log(f"exploring {point.describe()}")
-            candidates = self._wtdup_candidates(point)
-            solution = self._explore_candidates(point, candidates, best)
-            if solution is not None:
-                best = solution
-
+        best = self._engine().run()
         self.report.wall_seconds = time.perf_counter() - started
         if best is None:
             raise InfeasibleError(
@@ -114,14 +119,11 @@ class Pimsyn:
         on the crossbar budget). Used by the Fig. 7 comparison.
         """
         started = time.perf_counter()
-        best: Optional[SynthesisSolution] = None
-        space = DesignSpace(self.model, self.config)
-        for point in space.outer_points():
-            self.report.outer_points += 1
-            wt_dup = tuple(int(d) for d in wtdup_of_point(point))
-            solution = self._explore_candidates(point, [wt_dup], best)
-            if solution is not None:
-                best = solution
+        best = self._engine().run(
+            candidates_of_point=lambda point: [
+                tuple(int(d) for d in wtdup_of_point(point))
+            ]
+        )
         self.report.wall_seconds = time.perf_counter() - started
         if best is None:
             raise InfeasibleError(
@@ -130,101 +132,11 @@ class Pimsyn:
             )
         return best
 
-    # ------------------------------------------------------------------
-    # Inner loops (Alg. 1 lines 6-12)
-    # ------------------------------------------------------------------
-    def _wtdup_candidates(
-        self, point: DesignPoint
-    ) -> List[Tuple[int, ...]]:
-        """Stage 1 (line 6): SA filter for this outer point."""
-        try:
-            filter_ = WeightDuplicationFilter(
-                model=self.model,
-                xb_size=point.xb_size,
-                res_rram=point.res_rram,
-                num_crossbars=point.num_crossbars,
-                config=self.config,
-            )
-        except InfeasibleError:
-            self.report.infeasible_points += 1
-            return []
-        rng = self._seeds.spawn(f"sa:{point.describe()}")
-        return [tuple(c) for c in filter_.top_candidates(rng)]
-
-    def _explore_candidates(
-        self,
-        point: DesignPoint,
-        candidates: Sequence[Tuple[int, ...]],
-        incumbent: Optional[SynthesisSolution],
-    ) -> Optional[SynthesisSolution]:
-        """Lines 7-12: traverse candidates x ResDAC, run EA, keep best."""
-        best = incumbent
-        budget = PowerBudget(
-            total_power=self.config.total_power,
-            ratio_rram=point.ratio_rram,
-            xb_size=point.xb_size,
-            res_rram=point.res_rram,
-            num_crossbars=point.num_crossbars,
+    def _engine(self) -> ExplorationEngine:
+        return ExplorationEngine(
+            model=self.model,
+            config=self.config,
+            report=self.report,
+            progress=self.progress,
+            archive=self.archive,
         )
-        for wt_dup in candidates:
-            self.report.candidates_tried += 1
-            for res_dac in self.config.res_dac_choices:
-                spec = make_spec(
-                    self.model, wt_dup,
-                    xb_size=point.xb_size,
-                    res_rram=point.res_rram,
-                    res_dac=res_dac,
-                    params=self.config.params,
-                    max_blocks_per_layer=self.config.max_blocks_per_layer,
-                )
-                rng = self._seeds.spawn(
-                    f"ea:{point.describe()}:{wt_dup}:{res_dac}"
-                )
-                explorer = MacroPartitionExplorer(
-                    spec=spec, budget=budget, res_dac=res_dac,
-                    config=self.config, rng=rng,
-                )
-                self.report.ea_runs += 1
-                try:
-                    partition, allocation, result = explorer.explore()
-                except InfeasibleError:
-                    continue
-                self.report.best_history.append(result.fitness)
-                if self.archive is not None:
-                    from repro.core.archive import ArchiveEntry
-
-                    self.archive.record(ArchiveEntry(
-                        ratio_rram=point.ratio_rram,
-                        res_rram=point.res_rram,
-                        xb_size=point.xb_size,
-                        res_dac=res_dac,
-                        wt_dup=tuple(wt_dup),
-                        throughput=result.throughput,
-                        power=result.power,
-                        tops_per_watt=result.tops_per_watt,
-                        latency=result.latency,
-                        num_macros=partition.num_macros,
-                    ))
-                if best is None or (
-                    result.fitness > best.evaluation.fitness
-                ):
-                    best = SynthesisSolution(
-                        model_name=self.model.name,
-                        total_power=self.config.total_power,
-                        ratio_rram=point.ratio_rram,
-                        res_rram=point.res_rram,
-                        xb_size=point.xb_size,
-                        res_dac=res_dac,
-                        wt_dup=tuple(wt_dup),
-                        partition=partition,
-                        allocation=allocation,
-                        evaluation=result,
-                        spec=spec,
-                        budget=budget,
-                    )
-                    self._log(
-                        f"  new best: {result.throughput:.1f} img/s "
-                        f"({result.tops_per_watt:.3f} TOPS/W) at "
-                        f"ResDAC={res_dac} WtDup={list(wt_dup)[:4]}..."
-                    )
-        return best

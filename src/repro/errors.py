@@ -3,7 +3,10 @@
 All library-raised errors derive from :class:`PimsynError` so callers can
 catch everything from this package with a single ``except`` clause while
 still being able to distinguish configuration mistakes from infeasible
-synthesis problems.
+synthesis problems. :class:`InfeasibleError` is load-bearing in Alg. 1:
+design points whose Eq. 3 crossbar budget cannot hold one weight copy
+(Eq. 2), and macro partitions whose fixed overhead overruns the Eq. 5
+peripheral budget, signal it so the DSE skips them and keeps searching.
 """
 
 from __future__ import annotations

@@ -1,6 +1,7 @@
 """Graph utilities over CNN models: statistics, validation, fusion view.
 
-Tooling a synthesis user expects around the model substrate:
+Tooling a synthesis user expects around the §III input boundary (the
+CNN model is the first of PIMSYN's three user inputs):
 
 - :func:`model_report` — per-layer table (shapes, MACs, weights,
   crossbar demand at a device point) as structured rows;

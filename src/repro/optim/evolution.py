@@ -12,7 +12,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Generic, Hashable, List, Optional, Tuple, TypeVar
+from typing import (
+    Callable,
+    Generic,
+    Hashable,
+    List,
+    MutableMapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import ConfigurationError
 
@@ -21,10 +30,18 @@ Gene = TypeVar("Gene")
 
 @dataclass
 class EvolutionReport:
-    """Search telemetry for ablation benches and tests."""
+    """Search telemetry for ablation benches and tests.
+
+    ``evaluations`` counts actual fitness calls (equivalently: memo
+    misses); ``cache_hits`` counts lookups served from the memo cache
+    instead (the EA re-visits genes, and with an externally shared
+    cache whole EA runs can be replayed for free when the DSE
+    re-visits a design point).
+    """
 
     generations: int = 0
     evaluations: int = 0
+    cache_hits: int = 0
     best_fitness_history: List[float] = field(default_factory=list)
 
 
@@ -42,6 +59,16 @@ class EvolutionEngine(Generic[Gene]):
         ("the generated children always obey the defined rules").
     population_size / offspring_per_gen / max_generations:
         Standard (mu + lambda) knobs; Alg. 2's ``MaxEAIterations``.
+    cache:
+        Optional externally owned mapping used as the fitness memo. By
+        default each engine keeps a private dict; the DSE executor
+        passes one :class:`repro.core.executor.EvaluationCache` shared
+        across every EA run so re-visited (design point, gene) tuples
+        never re-run the component-allocation stage.
+    cache_key:
+        Key function for ``cache`` entries. Defaults to ``gene_key``;
+        a shared cache must use a content key that also identifies the
+        evaluation context (model, hardware params, design point).
     """
 
     def __init__(
@@ -54,6 +81,8 @@ class EvolutionEngine(Generic[Gene]):
         offspring_per_gen: int = 16,
         max_generations: int = 20,
         patience: Optional[int] = None,
+        cache: Optional[MutableMapping] = None,
+        cache_key: Optional[Callable[[Gene], Hashable]] = None,
     ) -> None:
         if population_size < 1:
             raise ConfigurationError("population_size must be >= 1")
@@ -72,11 +101,14 @@ class EvolutionEngine(Generic[Gene]):
         self.max_generations = max_generations
         self.patience = patience
         self.report = EvolutionReport()
-        self._cache: dict = {}
+        self._cache: MutableMapping = cache if cache is not None else {}
+        self._cache_key = cache_key if cache_key is not None else gene_key
 
     def _evaluate(self, gene: Gene) -> float:
-        key = self.gene_key(gene)
-        if key not in self._cache:
+        key = self._cache_key(gene)
+        if key in self._cache:
+            self.report.cache_hits += 1
+        else:
             self._cache[key] = self.fitness(gene)
             self.report.evaluations += 1
         return self._cache[key]

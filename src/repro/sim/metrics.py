@@ -1,11 +1,14 @@
 """Simulation metrics and steady-state extrapolation.
 
-The simulator executes a *window* of each layer's computation blocks
-(see :class:`repro.ir.builder.DataflowSpec`); :func:`extrapolate`
-recovers full-image metrics: each layer's block period is measured from
-its store-completion times, scaled by its true block count, and the
-slowest layer sets the steady-state image period — the same structure
-the analytical evaluator assumes, now with contention included.
+Validates §IV-B's estimation claim: "the performance of synthesized
+accelerators can be estimated by the depth of the IR-based DAG and the
+IRs' latencies". The simulator executes a *window* of each layer's
+computation blocks (see :class:`repro.ir.builder.DataflowSpec`);
+:func:`extrapolate` recovers full-image metrics: each layer's block
+period is measured from its store-completion times, scaled by its true
+block count, and the slowest layer sets the steady-state image period —
+the same structure the analytical evaluator assumes, now with resource
+contention included.
 """
 
 from __future__ import annotations

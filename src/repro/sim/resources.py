@@ -1,6 +1,8 @@
 """Hardware resource pools for the simulator.
 
-Each IR opcode executes on one class of physical resource; within a
+Each Table II IR opcode executes on one class of physical resource
+from the Fig. 2 macro inventory (crossbar PEs, the ADC bank, ALUs, the
+eDRAM ports, NoC links); within a
 layer, that resource is a *bank* whose internal parallelism is already
 folded into the IR's service time (an ADC IR converting ``vec_width``
 samples on an ``n``-ADC bank takes ``vec_width / (rate * n)``). The bank

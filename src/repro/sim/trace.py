@@ -1,8 +1,12 @@
 """Execution traces: what ran where, when.
 
+One :class:`TraceEvent` per scheduled IR records the node, its opcode,
+layer, resource bank, and start/end times — the ground truth behind
+§IV-B's claim that DAG depth and IR latencies estimate performance.
 The trace is both a debugging artifact and the substrate for the
 simulator's invariant tests (dependencies respected, no resource bank
-runs two IRs at once).
+runs two IRs at once) and for the Gantt rendering in
+:mod:`repro.analysis.gantt`.
 """
 
 from __future__ import annotations

@@ -1,9 +1,13 @@
 """Deterministic random-number management for the DSE metaheuristics.
 
-Both the SA filter and the EA explorer must be reproducible run-to-run so
-that benchmark results are stable. Every stochastic component receives an
-independent ``random.Random`` derived from one master seed through a
-simple splittable scheme.
+Both the SA filter (Alg. 1 line 6) and the EA explorer (Alg. 2) must be
+reproducible run-to-run so that benchmark results are stable. Every
+stochastic component receives an independent ``random.Random`` derived
+from one master seed and a content *label* through a splittable
+hash-based scheme — so a component's stream depends only on its label,
+never on how many other components spawned first. That independence is
+what lets the parallel DSE executor evaluate (point, WtDup, ResDAC)
+tasks in any order, on any worker, and still reproduce the serial run.
 """
 
 from __future__ import annotations

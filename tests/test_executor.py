@@ -1,0 +1,220 @@
+"""Tests for the parallel, cached DSE execution engine.
+
+The three contracts the executor refactor must keep:
+
+1. serial and parallel runs return byte-identical best solutions for a
+   fixed seed (task RNGs are label-derived, the winner rule is
+   order-free);
+2. the shared evaluation memo is accounted in :class:`SynthesisReport`
+   and actually short-circuits re-visited (design point, gene) tuples;
+3. dominated-task pruning is sound — the analytical throughput bound
+   never discards the true optimum of a small exhaustively-walked
+   space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.design_space import DesignSpace
+from repro.core.evaluator import throughput_upper_bound
+from repro.core.executor import (
+    EvaluationCache,
+    EvaluationTask,
+    ExplorationEngine,
+    _TaskRunner,
+    model_fingerprint,
+    params_fingerprint,
+)
+from repro.core.synthesizer import SynthesisReport
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.hardware.params import HardwareParams
+from repro.nn import lenet5
+
+
+def _config(**overrides) -> SynthesisConfig:
+    return SynthesisConfig.fast(total_power=2.0, seed=7, **overrides)
+
+
+def _run(model, config):
+    synthesizer = Pimsyn(model, config)
+    solution = synthesizer.synthesize()
+    return solution, synthesizer.report
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_identical(self, lenet):
+        serial, _ = _run(lenet, _config(jobs=1))
+        parallel, parallel_report = _run(lenet, _config(jobs=3))
+        assert parallel_report.jobs == 3
+        assert serial.to_json() == parallel.to_json()
+        assert serial.partition.gene == parallel.partition.gene
+        assert serial.wt_dup == parallel.wt_dup
+
+    def test_parallel_matches_exhaustive_serial(self, lenet):
+        """jobs>1 with pruning+cache == the feature-free serial walk."""
+        exhaustive, report = _run(lenet, _config(
+            jobs=1, prune_dominated=False, share_eval_cache=False,
+        ))
+        engine, _ = _run(lenet, _config(jobs=2))
+        assert report.pruned_tasks == 0
+        assert engine.to_json() == exhaustive.to_json()
+
+    def test_jobs_zero_resolves_to_cpu_count(self):
+        config = _config(jobs=0)
+        assert config.resolved_jobs >= 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _config(jobs=-1)
+
+    def test_parallel_infeasible_power_raises(self, lenet):
+        config = SynthesisConfig.fast(total_power=1e-3, seed=7, jobs=2)
+        with pytest.raises(InfeasibleError):
+            Pimsyn(lenet, config).synthesize()
+
+    def test_fixed_wtdup_parallel(self, lenet):
+        policy = lambda point: [1] * lenet.num_weighted_layers
+        serial = Pimsyn(lenet, _config(jobs=1)).synthesize_with_wtdup(
+            policy
+        )
+        parallel = Pimsyn(lenet, _config(jobs=2)).synthesize_with_wtdup(
+            policy
+        )
+        assert serial.to_json() == parallel.to_json()
+
+
+class TestCacheAccounting:
+    def test_report_counts_hits_and_misses(self, lenet):
+        _, report = _run(lenet, _config())
+        assert report.ea_evaluations > 0
+        # Misses are derived: every miss runs one full evaluation.
+        assert report.cache_misses == report.ea_evaluations
+
+    def test_duplicate_tasks_hit_the_shared_cache(self, lenet):
+        """A re-visited (point, WtDup, ResDAC) tuple replays for free."""
+        config = _config(prune_dominated=False)
+        report = SynthesisReport()
+        engine = ExplorationEngine(lenet, config, report)
+        wt_dup = (1,) * lenet.num_weighted_layers
+        solution = engine.run(
+            candidates_of_point=lambda point: [wt_dup, wt_dup]
+        )
+        assert solution is not None
+        # The duplicate candidate's EA runs re-visit every gene of the
+        # original's: at least half of all lookups must be memo hits,
+        # and no new evaluations may run for them.
+        assert report.cache_hits >= report.cache_misses
+        assert report.ea_runs == (
+            2 * report.outer_points * len(config.res_dac_choices)
+        )
+
+    def test_disabled_cache_still_counts_engine_local_memo(self, lenet):
+        _, shared = _run(lenet, _config(prune_dominated=False))
+        _, private = _run(lenet, _config(
+            prune_dominated=False, share_eval_cache=False,
+        ))
+        # Same EA trajectories either way; the shared memo can only
+        # serve extra (cross-EA) hits on top of the per-run memo.
+        assert shared.cache_hits >= private.cache_hits
+        assert shared.cache_misses <= private.cache_misses
+
+    def test_evaluation_cache_counters(self):
+        cache = EvaluationCache()
+        assert ("k" in cache) is False
+        cache["k"] = 1.0
+        assert ("k" in cache) is True
+        assert cache["k"] == 1.0
+        assert len(cache) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+
+class TestPruning:
+    def test_pruning_preserves_the_true_optimum(self, lenet):
+        """Exhaustive walk vs pruned walk over the same small space."""
+        exhaustive, ex_report = _run(lenet, _config(
+            prune_dominated=False, share_eval_cache=False,
+        ))
+        pruned, pr_report = _run(lenet, _config())
+        assert pr_report.pruned_tasks > 0
+        assert pr_report.ea_runs < ex_report.ea_runs
+        assert pruned.to_json() == exhaustive.to_json()
+
+    def test_bound_is_an_upper_bound_on_every_ea_outcome(self, lenet):
+        """No EA launch may beat its analytical throughput bound."""
+        config = _config()
+        runner = _TaskRunner(lenet, config)
+        space = DesignSpace(lenet, config)
+        wt_dup = (1,) * lenet.num_weighted_layers
+        checked = 0
+        for point in space.outer_points():
+            for res_dac in config.res_dac_choices:
+                task = EvaluationTask(
+                    index=checked, point=point, wt_dup=wt_dup,
+                    res_dac=res_dac,
+                )
+                bound = runner.throughput_bound(task)
+                outcome = runner.run_task(task)
+                if not outcome.feasible:
+                    continue
+                assert outcome.throughput <= bound
+                checked += 1
+        assert checked > 0
+
+    def test_bound_zero_when_overhead_exceeds_budget(self, lenet):
+        """Specs whose floor overhead overruns the budget bound to 0."""
+        config = _config()
+        runner = _TaskRunner(lenet, config)
+        space = DesignSpace(lenet, config)
+        point = next(space.outer_points())
+        task = EvaluationTask(
+            index=0, point=point,
+            wt_dup=(1,) * lenet.num_weighted_layers, res_dac=1,
+        )
+        explorer = runner.make_explorer(task)
+        starved = type(explorer.budget)(
+            total_power=explorer.budget.total_power,
+            ratio_rram=0.999,  # peripheral share collapses to ~nothing
+            xb_size=explorer.budget.xb_size,
+            res_rram=explorer.budget.res_rram,
+            num_crossbars=explorer.budget.num_crossbars,
+        )
+        assert throughput_upper_bound(explorer.spec, starved) == 0.0
+
+    def test_archive_disables_pruning(self, lenet):
+        from repro.core.archive import DesignArchive
+
+        archive = DesignArchive(capacity=128)
+        synthesizer = Pimsyn(lenet, _config(), archive=archive)
+        synthesizer.synthesize()
+        assert synthesizer.report.pruned_tasks == 0
+        # One archive entry per feasible EA outcome.
+        assert len(archive) == len(synthesizer.report.best_history)
+
+
+class TestFingerprints:
+    def test_model_fingerprint_sensitive_to_content(self, lenet):
+        other = lenet5()
+        assert model_fingerprint(lenet) == model_fingerprint(other)
+        renamed = lenet5()
+        renamed.name = "renamed"
+        assert model_fingerprint(renamed) != model_fingerprint(lenet)
+
+    def test_params_fingerprint_sensitive_to_content(self):
+        a = HardwareParams()
+        b = HardwareParams()
+        assert params_fingerprint(a) == params_fingerprint(b)
+
+    def test_task_context_key_distinguishes_res_dac(self, lenet):
+        config = _config()
+        space = DesignSpace(lenet, config)
+        point = next(space.outer_points())
+        wt_dup = (1,) * lenet.num_weighted_layers
+        keys = {
+            EvaluationTask(
+                index=i, point=point, wt_dup=wt_dup, res_dac=res_dac
+            ).context_key("m", "p")
+            for i, res_dac in enumerate(config.res_dac_choices)
+        }
+        assert len(keys) == len(config.res_dac_choices)

@@ -6,7 +6,7 @@ invariants that must hold for *any* network — not just the zoo.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.core.dataflow import compile_dataflow, make_spec
@@ -124,6 +124,7 @@ def test_simulator_handles_random_models(model):
     """The sim schedules any compiled DAG completely and respects
     dependencies (spot-checked through extrapolation succeeding)."""
     from repro.core.component_alloc import allocate_components
+    from repro.errors import InfeasibleError
     from repro.hardware.power import PowerBudget
     from repro.sim import SimulationEngine
 
@@ -132,9 +133,16 @@ def test_simulator_handles_random_models(model):
                      params=PARAMS, max_blocks_per_layer=2)
     budget = PowerBudget.from_constraint(5.0, 0.3, 128, 2, PARAMS)
     groups = [[i] for i in range(spec.num_layers)]
-    allocation = allocate_components(
-        spec.geometries, groups, budget, PARAMS, 4, model
-    )
+    try:
+        allocation = allocate_components(
+            spec.geometries, groups, budget, PARAMS, 4, model
+        )
+    except InfeasibleError:
+        # A rare draw can exceed the fixed 5 W test budget (e.g. a wide
+        # 1x1-conv trunk whose DAC/S&H overhead alone overruns the
+        # peripheral share); that is correct allocator behavior, not a
+        # simulator property — discard the example.
+        assume(False)
     engine = SimulationEngine(
         spec=spec, allocation=allocation, macro_groups=groups
     )
