@@ -1,0 +1,76 @@
+"""Serve layer — warm-store replay vs cold synthesis latency.
+
+The point of the persistent service (`repro.serve`) is amortization: a
+request whose content key is already in the store is answered from disk
+with zero evaluator calls. This bench measures that gap on the reduced
+LeNet-5 space — the cold path runs the full DSE once, then the same
+request is replayed against the warm store repeatedly — and asserts the
+acceptance floor of a >= 10x latency win (in practice it is orders of
+magnitude).
+"""
+
+from __future__ import annotations
+
+import shutil
+import statistics
+import tempfile
+import time
+
+from repro.analysis import format_table
+from repro.serve import JobRequest, JobScheduler, ResultStore
+
+_WARM_ROUNDS = 20
+
+
+def _request() -> JobRequest:
+    return JobRequest(model="lenet5", total_power=2.0, seed=2024)
+
+
+def test_warm_store_replay_speedup():
+    root = tempfile.mkdtemp(prefix="pimsyn-bench-store-")
+    try:
+        store = ResultStore(root)
+        with JobScheduler(store, workers=1) as scheduler:
+            started = time.perf_counter()
+            cold = scheduler.submit(_request())
+            scheduler.wait(cold.id, timeout=600)
+            cold_seconds = time.perf_counter() - started
+            assert cold.state == "done" and not cold.cache_hit
+
+            warm_seconds = []
+            for _ in range(_WARM_ROUNDS):
+                started = time.perf_counter()
+                warm = scheduler.submit(_request())
+                scheduler.wait(warm.id, timeout=600)
+                warm_seconds.append(time.perf_counter() - started)
+                assert warm.cache_hit
+
+            executed = scheduler.executed
+        warm_median = statistics.median(warm_seconds)
+        speedup = cold_seconds / warm_median
+
+        print()
+        print(format_table(
+            ["path", "latency (ms)", "evaluator calls"],
+            [
+                ("cold synthesis", f"{cold_seconds * 1e3:.2f}",
+                 cold.report["ea_evaluations"]),
+                (f"warm store hit (median of {_WARM_ROUNDS})",
+                 f"{warm_median * 1e3:.3f}", 0),
+                ("speedup", f"{speedup:.1f}x", "-"),
+            ],
+            title="serve: warm-store replay vs cold synthesis "
+                  "(LeNet-5 @ 2 W)",
+        ))
+
+        assert executed == 1, "warm replays must not re-synthesize"
+        assert speedup >= 10.0, (
+            f"warm store path only {speedup:.1f}x faster than cold "
+            "synthesis (acceptance floor is 10x)"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    test_warm_store_replay_speedup()

@@ -26,6 +26,8 @@ Package map:
 - :mod:`repro.sim` — the IR-based behavior-level simulator
 - :mod:`repro.baselines` — ISAAC/PipeLayer/PRIME/PUMA/AtomLayer/Gibbon
 - :mod:`repro.analysis` — reuse study, reports, sweeps
+- :mod:`repro.serve` — persistent synthesis service (job queue,
+  content-addressed result store, batch manifests, JSON API)
 """
 
 from repro.core.config import SynthesisConfig
@@ -38,6 +40,7 @@ from repro.errors import (
     ModelError,
     PimsynError,
     SimulationError,
+    SynthesisInterrupted,
 )
 
 __version__ = "1.0.0"
@@ -52,5 +55,6 @@ __all__ = [
     "IRError",
     "ModelError",
     "SimulationError",
+    "SynthesisInterrupted",
     "__version__",
 ]

@@ -3,12 +3,16 @@
 The paper pitches PIMSYN as "one-click transformation from CNN
 applications to PIM architectures"; the CLI is that click:
 
-- ``python -m repro models`` — list the built-in model zoo;
+- ``python -m repro models [--json]`` — list the built-in model zoo;
 - ``python -m repro synthesize --model vgg16 --power 200`` — run the
   DSE and print/save the solution;
 - ``python -m repro peak`` — the Table IV peak-efficiency comparison;
 - ``python -m repro sweep --model alexnet_cifar --powers 2 4 8`` —
-  power-constraint sweep.
+  power-constraint sweep;
+- ``python -m repro serve --store DIR`` — the persistent synthesis
+  service (job queue + content-addressed result store + JSON API);
+- ``python -m repro batch --manifest sweep.yaml --store DIR`` — run a
+  (model x power x config) manifest through the shared store.
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from typing import List, Optional
 from repro.analysis import format_table
 from repro.core import Pimsyn, SynthesisConfig
 from repro.core.design_space import DesignSpace
-from repro.errors import PimsynError
+from repro.errors import PimsynError, SynthesisInterrupted
 from repro.hardware.params import HardwareParams
 from repro.nn import zoo
 from repro.nn.onnx_io import load_model
@@ -44,17 +48,22 @@ def _config(args, power: float) -> SynthesisConfig:
     )
 
 
-def cmd_models(_args) -> int:
-    rows = []
-    from repro.nn.workload import model_macs, model_weight_count
+def cmd_models(args) -> int:
+    import json
 
-    for name in zoo.available_models():
-        model = zoo.by_name(name)
-        rows.append((
-            name, str(model.input_shape), model.num_weighted_layers,
-            f"{model_macs(model) / 1e9:.3f}",
-            f"{model_weight_count(model) / 1e6:.2f}",
-        ))
+    catalog = zoo.model_catalog()
+    if getattr(args, "json", False):
+        print(json.dumps({"models": catalog}, indent=2))
+        return 0
+    rows = [
+        (
+            entry["name"], str(tuple(entry["input_shape"])),
+            entry["weighted_layers"],
+            f"{entry['gmacs']:.3f}",
+            f"{entry['million_weights']:.2f}",
+        )
+        for entry in catalog
+    ]
     print(format_table(
         ["model", "input", "weighted layers", "GMACs", "Mweights"],
         rows, title="built-in model zoo",
@@ -173,6 +182,76 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _install_sigterm_handler() -> None:
+    """Make SIGTERM behave like Ctrl-C so the engine's graceful
+    interrupt path (pool teardown + partial-memo persistence) runs
+    under process supervisors too."""
+    import signal
+
+    def _raise_interrupt(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _raise_interrupt)
+    except ValueError:
+        pass  # not the main thread (embedded use); Ctrl-C still works
+
+
+def cmd_serve(args) -> int:
+    import threading
+
+    from repro.serve import JobScheduler, ResultStore, make_server
+
+    store = ResultStore(args.store)
+    scheduler = JobScheduler(
+        store, workers=args.workers, synth_jobs=args.jobs,
+        name="serve",
+    )
+    server = make_server(
+        args.host, args.port, scheduler, store, verbose=args.verbose
+    )
+    host, port = server.server_address[:2]
+    print(f"synthesis service on http://{host}:{port}")
+    print(f"  store: {store.root}  "
+          f"({store.stats(include_models=False).results} results)")
+    print(f"  workers: {args.workers}  DSE jobs/worker: {args.jobs}")
+    print("  POST /jobs   GET /jobs/<id>   GET /results/<key>   "
+          "GET /store/stats")
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        thread.join()
+    except KeyboardInterrupt:
+        print("\nshutting down (waiting for running jobs)...")
+    finally:
+        server.shutdown()
+        scheduler.shutdown(wait=True)
+    stats = store.stats(include_models=False)
+    print(f"store: {stats.results} results, {stats.hits} hits, "
+          f"{stats.misses} misses this session")
+    return 0
+
+
+def cmd_batch(args) -> int:
+    import json
+
+    from repro.serve import ResultStore, run_batch_file
+
+    store = ResultStore(args.store)
+    progress = print if args.verbose else None
+    report = run_batch_file(
+        args.manifest, store,
+        workers=args.workers, synth_jobs=args.jobs,
+        progress=progress,
+    )
+    print(report.to_table())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2)
+        print(f"\nbatch report written to {args.out}")
+    return 1 if report.failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,7 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("models", help="list the built-in model zoo")
+    models = sub.add_parser(
+        "models", help="list the built-in model zoo"
+    )
+    models.add_argument("--json", action="store_true",
+                        help="machine-readable output for scripted "
+                             "clients and batch manifests")
     sub.add_parser("peak", help="Table IV peak-efficiency comparison")
 
     synth = sub.add_parser("synthesize", help="run the synthesis DSE")
@@ -216,6 +300,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes per synthesis (0 = one "
                             "per CPU core)")
     sweep.add_argument("--seed", type=int, default=2024)
+
+    serve = sub.add_parser(
+        "serve", help="run the persistent synthesis service"
+    )
+    serve.add_argument("--store", default=".pimsyn-store",
+                       help="result-store directory (shared, "
+                            "content-addressed)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8173,
+                       help="TCP port (0 = pick a free one)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="concurrent jobs (worker threads)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="DSE worker processes per job (0 = one "
+                            "per CPU core)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+
+    batch = sub.add_parser(
+        "batch", help="run a (model x power x config) manifest"
+    )
+    batch.add_argument("--manifest", required=True,
+                       help="YAML or JSON manifest path")
+    batch.add_argument("--store", default=".pimsyn-store",
+                       help="result-store directory (shared with "
+                            "`repro serve`)")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="concurrent jobs (worker threads)")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="DSE worker processes per job")
+    batch.add_argument("--out", help="write the JSON batch report here")
+    batch.add_argument("--verbose", action="store_true")
     return parser
 
 
@@ -224,14 +340,25 @@ _COMMANDS = {
     "synthesize": cmd_synthesize,
     "peak": cmd_peak,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
+    "batch": cmd_batch,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _install_sigterm_handler()
     try:
         return _COMMANDS[args.command](args)
+    except SynthesisInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130  # conventional SIGINT exit status
+    except KeyboardInterrupt:
+        # Ctrl-C outside the DSE engine (e.g. while a scheduler
+        # thread owns the synthesis): exit quietly, no traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
     except PimsynError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -35,7 +35,11 @@ from repro.core.macro_partition import (
 )
 from repro.core.weight_duplication import WeightDuplicationFilter
 from repro.core.dataflow import compile_dataflow
-from repro.core.persistence import load_solution, save_solution
+from repro.core.persistence import (
+    load_solution,
+    save_solution,
+    solution_from_payload,
+)
 from repro.core.solution import SynthesisSolution
 from repro.core.synthesizer import Pimsyn
 
@@ -60,6 +64,7 @@ __all__ = [
     "compile_dataflow",
     "load_solution",
     "save_solution",
+    "solution_from_payload",
     "SynthesisSolution",
     "Pimsyn",
 ]

@@ -121,6 +121,11 @@ class SynthesisConfig:
                 raise ConfigurationError(f"{name} entries must be positive")
         if self.num_wtdup_candidates < 1:
             raise ConfigurationError("need at least one WtDup candidate")
+        if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
+            raise ConfigurationError(
+                f"jobs must be an integer, got {self.jobs!r} "
+                f"({type(self.jobs).__name__})"
+            )
         if self.jobs < 0:
             raise ConfigurationError(
                 "jobs must be >= 0 (0 selects one worker per CPU core)"

@@ -61,7 +61,7 @@ from repro.core.evaluator import throughput_upper_bound
 from repro.core.macro_partition import MacroPartition, MacroPartitionExplorer
 from repro.core.solution import SynthesisSolution
 from repro.core.weight_duplication import WeightDuplicationFilter
-from repro.errors import InfeasibleError
+from repro.errors import InfeasibleError, SynthesisInterrupted
 from repro.hardware.params import HardwareParams
 from repro.hardware.power import PowerBudget
 from repro.nn.model import CNNModel
@@ -92,6 +92,65 @@ def params_fingerprint(params: HardwareParams) -> str:
         f"{f.name}={getattr(params, f.name)!r}" for f in fields(params)
     )
     return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+#: Config fields that steer *how* the DSE runs, never *what* it returns
+#: (serial and parallel runs are identical by contract, pruning is
+#: sound, and the memo only skips re-computation). They are excluded
+#: from content keys so a request replayed with different execution
+#: knobs still maps to the same stored result.
+EXECUTION_ONLY_FIELDS = frozenset(
+    {"jobs", "prune_dominated", "share_eval_cache"}
+)
+
+
+def config_fingerprint(config: SynthesisConfig) -> str:
+    """Stable digest of every config field that can change the result.
+
+    Hardware parameters are excluded here — combine with
+    :func:`params_fingerprint` (the serve layer's job keys do exactly
+    that), keeping the keying scheme identical to the executor memo's.
+    """
+    text = "|".join(
+        f"{f.name}={getattr(config, f.name)!r}"
+        for f in fields(config)
+        if f.name not in EXECUTION_ONLY_FIELDS and f.name != "params"
+    )
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Memo persistence (cache entries must survive a JSON round trip)
+# ----------------------------------------------------------------------
+def _encode_term(value):
+    """Tuple-of-scalars -> JSON-safe nested lists (recursively)."""
+    if isinstance(value, tuple):
+        return [_encode_term(v) for v in value]
+    return value
+
+
+def _decode_term(value):
+    """Inverse of :func:`_encode_term` — lists back to hashable tuples."""
+    if isinstance(value, list):
+        return tuple(_decode_term(v) for v in value)
+    return value
+
+
+def encode_memo_entries(
+    entries: Iterable[Tuple[Hashable, float]]
+) -> List[List]:
+    """Serialize memo ``(key, fitness)`` pairs for JSON storage."""
+    return [[_encode_term(key), value] for key, value in entries]
+
+
+def decode_memo_entries(
+    payload: Iterable[Sequence],
+) -> List[Tuple[Hashable, float]]:
+    """Parse entries written by :func:`encode_memo_entries`."""
+    return [
+        (_decode_term(raw_key), float(value))
+        for raw_key, value in payload
+    ]
 
 
 class EvaluationCache:
@@ -127,6 +186,19 @@ class EvaluationCache:
 
     def __len__(self) -> int:
         return len(self._store)
+
+    def preload(self, key: Hashable, value: float) -> None:
+        """Insert a known fitness without touching the hit/miss stats.
+
+        Used to warm-start a run from a persisted memo (the serve
+        layer's result store) — first-insertion wins so a live entry is
+        never clobbered by stale data.
+        """
+        self._store.setdefault(key, value)
+
+    def items(self) -> List[Tuple[Hashable, float]]:
+        """Snapshot of every memoized ``(key, fitness)`` pair."""
+        return list(self._store.items())
 
 
 # ----------------------------------------------------------------------
@@ -192,13 +264,23 @@ class _TaskRunner:
     persists across every task the worker handles.
     """
 
-    def __init__(self, model: CNNModel, config: SynthesisConfig) -> None:
+    def __init__(
+        self,
+        model: CNNModel,
+        config: SynthesisConfig,
+        warm_memo: Optional[
+            Sequence[Tuple[Hashable, float]]
+        ] = None,
+    ) -> None:
         self.model = model
         self.config = config
         self.seeds = SeedSequence(config.seed)
         self.cache: Optional[EvaluationCache] = (
             EvaluationCache() if config.share_eval_cache else None
         )
+        if self.cache is not None and warm_memo:
+            for key, value in warm_memo:
+                self.cache.preload(key, value)
         self._model_key = model_fingerprint(model)
         self._params_key = params_fingerprint(config.params)
 
@@ -290,19 +372,29 @@ class SerialExecutor:
 
     jobs = 1
 
-    def __init__(self, model: CNNModel, config: SynthesisConfig) -> None:
-        self._runner = _TaskRunner(model, config)
+    def __init__(
+        self,
+        model: CNNModel,
+        config: SynthesisConfig,
+        warm_memo: Optional[
+            Sequence[Tuple[Hashable, float]]
+        ] = None,
+    ) -> None:
+        self.runner = _TaskRunner(model, config, warm_memo=warm_memo)
 
     def map_filters(
         self, points: Sequence[DesignPoint]
     ) -> List[Optional[List[Tuple[int, ...]]]]:
-        return [self._runner.filter_candidates(p) for p in points]
+        return [self.runner.filter_candidates(p) for p in points]
 
     def imap_tasks(
         self, tasks: Iterable[EvaluationTask]
     ) -> Iterator[TaskOutcome]:
         for task in tasks:
-            yield self._runner.run_task(task)
+            yield self.runner.run_task(task)
+
+    def terminate(self) -> None:
+        pass
 
     def close(self) -> None:
         pass
@@ -311,9 +403,20 @@ class SerialExecutor:
 _WORKER_RUNNER: Optional[_TaskRunner] = None
 
 
-def _worker_init(model: CNNModel, config: SynthesisConfig) -> None:
+def _worker_init(
+    model: CNNModel,
+    config: SynthesisConfig,
+    warm_memo: Optional[Sequence[Tuple[Hashable, float]]] = None,
+) -> None:
+    # Ctrl-C is the parent's business: it terminates the pool and
+    # persists the partial memo. Workers ignoring SIGINT is what keeps
+    # an interrupt from spraying one KeyboardInterrupt traceback per
+    # worker over the clean shutdown message.
+    import signal
+
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     global _WORKER_RUNNER
-    _WORKER_RUNNER = _TaskRunner(model, config)
+    _WORKER_RUNNER = _TaskRunner(model, config, warm_memo=warm_memo)
 
 
 def _worker_filter(
@@ -339,15 +442,22 @@ class ProcessExecutor:
     """
 
     def __init__(
-        self, model: CNNModel, config: SynthesisConfig, jobs: int
+        self,
+        model: CNNModel,
+        config: SynthesisConfig,
+        jobs: int,
+        warm_memo: Optional[
+            Sequence[Tuple[Hashable, float]]
+        ] = None,
     ) -> None:
         import multiprocessing
 
         self.jobs = jobs
+        self._terminated = False
         self._pool = multiprocessing.Pool(
             processes=jobs,
             initializer=_worker_init,
-            initargs=(model, config),
+            initargs=(model, config, warm_memo),
         )
 
     def map_filters(
@@ -360,9 +470,17 @@ class ProcessExecutor:
     ) -> Iterator[TaskOutcome]:
         return self._pool.imap(_worker_task, tasks)
 
+    def terminate(self) -> None:
+        """Stop workers immediately (Ctrl-C path) — no zombie processes."""
+        if not self._terminated:
+            self._terminated = True
+            self._pool.terminate()
+            self._pool.join()
+
     def close(self) -> None:
-        self._pool.close()
-        self._pool.join()
+        if not self._terminated:
+            self._pool.close()
+            self._pool.join()
 
 
 # ----------------------------------------------------------------------
@@ -384,13 +502,20 @@ class ExplorationEngine:
         report: "SynthesisReport",
         progress: Optional[ProgressCallback] = None,
         archive: Optional["DesignArchive"] = None,
+        warm_memo: Optional[
+            Sequence[Tuple[Hashable, float]]
+        ] = None,
     ) -> None:
         self.model = model
         self.config = config
         self.report = report
         self.progress = progress
         self.archive = archive
-        self._local_runner = _TaskRunner(model, config)
+        self._warm_memo = list(warm_memo) if warm_memo else None
+        self._local_runner = _TaskRunner(
+            model, config, warm_memo=self._warm_memo
+        )
+        self._serial_runner: Optional[_TaskRunner] = None
 
     def _log(self, message: str) -> None:
         if self.progress is not None:
@@ -400,8 +525,29 @@ class ExplorationEngine:
         jobs = self.config.resolved_jobs
         self.report.jobs = jobs
         if jobs <= 1:
-            return SerialExecutor(self.model, self.config)
-        return ProcessExecutor(self.model, self.config, jobs)
+            executor = SerialExecutor(
+                self.model, self.config, warm_memo=self._warm_memo
+            )
+            self._serial_runner = executor.runner
+            return executor
+        return ProcessExecutor(
+            self.model, self.config, jobs, warm_memo=self._warm_memo
+        )
+
+    def memo_snapshot(self) -> List[Tuple[Hashable, float]]:
+        """Every memo entry this engine holds in-process.
+
+        Merges the local runner's cache (bounds, winner re-scoring, the
+        per-winner fitness folded in by :meth:`_absorb`) with the serial
+        executor's, when one ran. Pool workers keep private caches that
+        die with the pool — a ``jobs=1`` run is the high-fidelity memo
+        donor; parallel runs still contribute every winning gene.
+        """
+        merged: Dict[Hashable, float] = {}
+        for runner in (self._local_runner, self._serial_runner):
+            if runner is not None and runner.cache is not None:
+                merged.update(runner.cache.items())
+        return list(merged.items())
 
     # ------------------------------------------------------------------
     # Queue construction
@@ -462,6 +608,19 @@ class ExplorationEngine:
             if not tasks:
                 return None
             incumbent = self._evaluate_queue(executor, tasks)
+        except KeyboardInterrupt:
+            # Ctrl-C / SIGTERM: tear the pool down cleanly (no orphaned
+            # workers, no multiprocessing traceback storm) and hand the
+            # partial memo to the caller so it can be persisted — a
+            # resubmitted job then resumes the landscape, not restarts.
+            executor.terminate()
+            self.report.interrupted = True
+            raise SynthesisInterrupted(
+                f"synthesis of {self.model.name} interrupted after "
+                f"{self.report.ea_runs} EA runs; worker pool shut down "
+                "cleanly",
+                partial_memo=self.memo_snapshot(),
+            ) from None
         finally:
             executor.close()
         if incumbent is None:
@@ -535,6 +694,17 @@ class ExplorationEngine:
             return incumbent
         self.report.best_history.append(outcome.fitness)
         task = tasks[outcome.index]
+        # Fold each task's winning (context, gene) -> fitness into the
+        # parent-side memo: with a process pool the workers' caches are
+        # unreachable, so this is what memo_snapshot() can still harvest
+        # from a parallel run.
+        cache = self._local_runner.cache
+        if cache is not None and outcome.gene is not None:
+            context = task.context_key(
+                self._local_runner._model_key,
+                self._local_runner._params_key,
+            )
+            cache.preload((context, outcome.gene), outcome.fitness)
         if self.archive is not None:
             from repro.core.archive import ArchiveEntry
 

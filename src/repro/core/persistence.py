@@ -52,7 +52,26 @@ def load_solution(
     """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.loads(handle.read())
+    return solution_from_payload(
+        payload, model, params=params,
+        max_blocks_per_layer=max_blocks_per_layer,
+    )
 
+
+def solution_from_payload(
+    payload: dict,
+    model: CNNModel,
+    params: HardwareParams = None,
+    max_blocks_per_layer: int = 8,
+) -> SynthesisSolution:
+    """The dict-level half of :func:`load_solution`.
+
+    This is the hook the serve-layer result store uses: stored results
+    embed the artifact payload (``SynthesisSolution.to_payload``), and
+    a client holding the model re-materializes the live solution from
+    it — re-running only the deterministic tail of the flow, never the
+    DSE.
+    """
     hw = params if params is not None else HardwareParams()
     expected_model = payload["model"]
     if model.name not in (expected_model, expected_model.split("@")[0]):

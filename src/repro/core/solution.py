@@ -138,8 +138,13 @@ class SynthesisSolution:
         ]
         return "\n".join(lines)
 
-    def to_json(self, indent: int = 2) -> str:
-        """Serialize the decision variables and metrics (not the model)."""
+    def to_payload(self) -> Dict:
+        """The JSON-ready artifact dict (decisions + metrics, no model).
+
+        This is the unit of currency of :mod:`repro.core.persistence`
+        and the serve-layer result store; :meth:`to_json` is its
+        serialized form.
+        """
         ev = self.evaluation
         payload = {
             "model": self.model_name,
@@ -166,7 +171,11 @@ class SynthesisSolution:
                 "edp_js": ev.edp,
             },
         }
-        return json.dumps(payload, indent=indent)
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the decision variables and metrics (not the model)."""
+        return json.dumps(self.to_payload(), indent=indent)
 
     @staticmethod
     def metrics_from_json(document: str) -> Dict:

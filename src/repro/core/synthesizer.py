@@ -65,6 +65,7 @@ class SynthesisReport:
     cache_hits: int = 0
     jobs: int = 1
     wall_seconds: float = 0.0
+    interrupted: bool = False
     best_history: List[float] = field(default_factory=list)
 
     @property
@@ -82,12 +83,15 @@ class Pimsyn:
         config: Optional[SynthesisConfig] = None,
         progress: Optional[ProgressCallback] = None,
         archive: Optional["DesignArchive"] = None,
+        warm_memo=None,
     ) -> None:
         self.model = model
         self.config = config if config is not None else SynthesisConfig()
         self.progress = progress
         self.archive = archive
+        self.warm_memo = warm_memo
         self.report = SynthesisReport()
+        self._engine_ref: Optional[ExplorationEngine] = None
 
     # ------------------------------------------------------------------
     # Alg. 1
@@ -132,11 +136,24 @@ class Pimsyn:
             )
         return best
 
+    def memo_snapshot(self):
+        """Evaluation-memo entries gathered by the last synthesis run.
+
+        The serve-layer result store persists these so identical future
+        jobs warm-start (``warm_memo=``) instead of re-evaluating; an
+        identical warm-started run performs zero fresh EA evaluations.
+        """
+        if self._engine_ref is None:
+            return []
+        return self._engine_ref.memo_snapshot()
+
     def _engine(self) -> ExplorationEngine:
-        return ExplorationEngine(
+        self._engine_ref = ExplorationEngine(
             model=self.model,
             config=self.config,
             report=self.report,
             progress=self.progress,
             archive=self.archive,
+            warm_memo=self.warm_memo,
         )
+        return self._engine_ref

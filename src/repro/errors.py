@@ -32,6 +32,21 @@ class InfeasibleError(PimsynError):
     """
 
 
+class SynthesisInterrupted(PimsynError):
+    """A synthesis run was stopped by the user (Ctrl-C / SIGTERM).
+
+    Raised by the DSE engine after it has shut its worker pool down
+    cleanly. ``partial_memo`` carries the evaluation-memo entries
+    gathered before the interrupt so callers (notably the serve-layer
+    result store) can persist them; a resubmitted identical job then
+    warm-starts from the partial landscape instead of from scratch.
+    """
+
+    def __init__(self, message: str, partial_memo=None) -> None:
+        super().__init__(message)
+        self.partial_memo = list(partial_memo) if partial_memo else []
+
+
 class SimulationError(PimsynError):
     """The behavior-level simulator hit an inconsistent state."""
 

@@ -366,3 +366,27 @@ def by_name(name: str) -> CNNModel:
 def available_models() -> List[str]:
     """Names accepted by :func:`by_name`."""
     return sorted(_REGISTRY)
+
+
+def model_catalog() -> List[dict]:
+    """Machine-readable zoo description (one dict per model).
+
+    The JSON currency of ``python -m repro models --json`` and the
+    serve API's ``GET /models`` — scripted clients use it to build
+    batch manifests without parsing the human table.
+    """
+    from repro.nn.workload import model_macs, model_weight_count
+
+    catalog = []
+    for name in available_models():
+        model = _REGISTRY[name]()
+        catalog.append({
+            "name": name,
+            "input_shape": list(model.input_shape),
+            "weighted_layers": model.num_weighted_layers,
+            "gmacs": round(model_macs(model) / 1e9, 4),
+            "million_weights": round(model_weight_count(model) / 1e6, 3),
+            "act_precision": model.act_precision,
+            "weight_precision": model.weight_precision,
+        })
+    return catalog

@@ -1,0 +1,199 @@
+"""Stdlib JSON API over the scheduler and result store.
+
+Built on ``http.server`` (no third-party web stack in the container),
+with one thread per connection so a long ``?wait=1`` poll never blocks
+other clients. Endpoints:
+
+====== ======================= =========================================
+Method Path                    Meaning
+====== ======================= =========================================
+POST   ``/jobs``               Submit a job (body: ``{"model": ...,
+                               "power": ..., "config": {...}}``).
+                               ``?wait=1`` blocks until terminal.
+GET    ``/jobs``               All job records, oldest first.
+GET    ``/jobs/<id>``          One job record.
+GET    ``/results/<key>``      Stored result document — served
+                               verbatim from disk, so repeated GETs
+                               are byte-identical.
+GET    ``/store/stats``        Store counters; ``?models=1`` adds the
+                               per-model inventory (O(store size)).
+GET    ``/models``             Machine-readable model zoo.
+GET    ``/healthz``            Liveness probe.
+====== ======================= =========================================
+
+Error mapping: malformed requests and unknown models are 400 with a
+JSON body (``PimsynError`` text), unknown ids/keys are 404, anything
+else is a 500 without a traceback leak.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import PimsynError
+from repro.nn.zoo import model_catalog
+from repro.serve.job import JobRequest
+from repro.serve.scheduler import JobScheduler
+from repro.serve.store import ResultStore
+
+MAX_BODY_BYTES = 4 * 1024 * 1024  # inline model documents stay small
+DEFAULT_WAIT_SECONDS = 300.0
+
+
+class SynthesisServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service state."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        scheduler: JobScheduler,
+        store: ResultStore,
+        verbose: bool = False,
+    ) -> None:
+        super().__init__(address, _Handler)
+        self.scheduler = scheduler
+        self.store = store
+        self.verbose = verbose
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: SynthesisServer
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self, status: int, payload: Dict[str, Any]
+    ) -> None:
+        body = json.dumps(payload, indent=2).encode("utf-8")
+        self._send_bytes(status, body)
+
+    def _send_bytes(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            self._error(400, "request body required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._error(413, "request body too large")
+            return None
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._error(400, "body must be a JSON object")
+            return None
+        return payload
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send_json(200, {"ok": True})
+            elif parts == ["models"]:
+                self._send_json(200, {"models": model_catalog()})
+            elif parts == ["store", "stats"]:
+                # Counters are O(1)-ish; the per-model inventory reads
+                # every result document, so it is opt-in (?models=1)
+                # to keep the endpoint cheap for polling monitors.
+                query = parse_qs(parsed.query)
+                with_models = query.get("models", ["0"])[0] not in (
+                    "0", "", "false"
+                )
+                self._send_json(200, self.server.store.stats(
+                    include_models=with_models
+                ).to_payload())
+            elif parts == ["jobs"]:
+                self._send_json(200, {"jobs": [
+                    r.to_payload() for r in self.server.scheduler.jobs()
+                ]})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                record = self.server.scheduler.job(parts[1])
+                if record is None:
+                    self._error(404, f"unknown job {parts[1]!r}")
+                else:
+                    self._send_json(200, record.to_payload())
+            elif len(parts) == 2 and parts[0] == "results":
+                try:
+                    data = self.server.store.get_bytes(parts[1])
+                except PimsynError as exc:
+                    self._error(400, str(exc))
+                    return
+                if data is None:
+                    self._error(404, f"no result for key {parts[1]!r}")
+                else:
+                    self._send_bytes(200, data)
+            else:
+                self._error(404, f"unknown path {parsed.path!r}")
+        except Exception as exc:  # never leak a traceback to the wire
+            self._error(500, f"internal error: {type(exc).__name__}")
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts != ["jobs"]:
+            self._error(404, f"unknown path {parsed.path!r}")
+            return
+        payload = self._read_body()
+        if payload is None:
+            return
+        try:
+            request = JobRequest.from_payload(payload)
+            record = self.server.scheduler.submit(request)
+        except PimsynError as exc:
+            self._error(400, str(exc))
+            return
+        except Exception as exc:
+            self._error(500, f"internal error: {type(exc).__name__}")
+            return
+        query = parse_qs(parsed.query)
+        if query.get("wait", ["0"])[0] not in ("0", "", "false"):
+            try:
+                timeout = float(
+                    query.get("timeout", [DEFAULT_WAIT_SECONDS])[0]
+                )
+            except ValueError:
+                self._error(400, "timeout must be a number")
+                return
+            record = self.server.scheduler.wait(
+                record.id, timeout=timeout
+            )
+        self._send_json(
+            200 if record.done else 202, record.to_payload()
+        )
+
+
+def make_server(
+    host: str,
+    port: int,
+    scheduler: JobScheduler,
+    store: ResultStore,
+    verbose: bool = False,
+) -> SynthesisServer:
+    """Bind the API server (``port=0`` picks a free port)."""
+    return SynthesisServer((host, port), scheduler, store, verbose)

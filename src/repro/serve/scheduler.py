@@ -1,0 +1,360 @@
+"""Worker pool and job queue of the synthesis service.
+
+Stdlib-only: worker *threads* drain a priority queue of jobs; each job
+runs the DSE through :class:`repro.core.synthesizer.Pimsyn`, which in
+turn fans out over processes when the job's ``jobs`` knob asks for it —
+so threads here cost nothing (the GIL is released in the pool workers)
+while keeping the scheduler state trivially shareable.
+
+The scheduler is store-first at every step:
+
+1. ``submit()`` answers identical already-stored requests immediately
+   (a *store hit* — zero evaluator calls) and coalesces duplicates of
+   an in-flight request onto the same record;
+2. a worker re-checks the store, then *claims* the key so a second
+   scheduler sharing the store directory waits for our result instead
+   of double-running it;
+3. computed results are persisted together with the run's evaluation
+   memo, so even non-identical future jobs on the same key resume a
+   warm landscape.
+
+Workers are crash-isolated: any :class:`Exception` marks that job
+``failed`` and the worker moves on. If a job surfaces
+:class:`SynthesisInterrupted`, its partial memo is persisted before
+the job is marked failed, so the work already done survives a
+resubmission. (Signals only reach the *main* thread, so a service
+Ctrl-C/SIGTERM does not interrupt in-flight worker-thread jobs —
+``shutdown(wait=True)`` lets them finish, fails everything still
+queued, and a second signal force-exits; the engine-level interrupt
+path belongs to main-thread synthesis, e.g. ``repro synthesize``.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from typing import Dict, List, Optional
+
+from repro.core.synthesizer import Pimsyn
+from repro.errors import PimsynError, SynthesisInterrupted
+from repro.serve.job import (
+    JobRecord,
+    JobRequest,
+    JobState,
+    result_payload,
+)
+from repro.serve.store import ResultStore
+
+
+class JobScheduler:
+    """FIFO + priority scheduler over a shared :class:`ResultStore`.
+
+    Parameters
+    ----------
+    store:
+        The content-addressed result store (shareable between
+        schedulers and processes).
+    workers:
+        Concurrent jobs (worker threads). Distinct from ``synth_jobs``:
+        ``workers=4, synth_jobs=2`` runs four jobs at once, each over a
+        2-process DSE pool.
+    synth_jobs:
+        ``SynthesisConfig.jobs`` for every synthesis this scheduler
+        runs (execution-only; never part of the content key).
+    name:
+        Label used in job ids and store claims.
+    stale_claim_timeout:
+        Seconds after which another scheduler's claim is presumed
+        orphaned (crashed owner) and taken over.
+    autostart:
+        Start worker threads immediately (tests pass ``False`` to
+        inspect queue order deterministically).
+    max_history:
+        Terminal job records kept in memory for ``GET /jobs/<id>``.
+        Oldest finished records are evicted past this bound so a
+        long-lived service does not grow without limit; results
+        themselves live in the store, not the history.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        workers: int = 1,
+        synth_jobs: int = 1,
+        name: str = "sched",
+        stale_claim_timeout: float = 600.0,
+        autostart: bool = True,
+        max_history: int = 10_000,
+    ) -> None:
+        if workers < 1:
+            raise PimsynError("scheduler needs at least one worker")
+        self.store = store
+        self.workers = workers
+        self.synth_jobs = synth_jobs
+        self.name = name
+        self.stale_claim_timeout = stale_claim_timeout
+        self.max_history = max_history
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._records: Dict[str, JobRecord] = {}
+        self._inflight: Dict[str, JobRecord] = {}
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self.executed = 0      # synthesis runs actually performed
+        self.store_hits = 0    # jobs answered from the store
+        self.failures = 0
+        if autostart:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._threads:
+            return
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"{self.name}-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Graceful stop: running jobs finish; still-queued jobs are
+        failed as "scheduler shut down" so every record reaches a
+        terminal state (a waiting client gets an answer, not a hang)."""
+        self._stop.set()
+        # Sentinels sort *after* every real job, so workers drain the
+        # queue (fast-failing remaining jobs) before exiting.
+        for _ in range(max(len(self._threads), 1)):
+            self._queue.put((float("inf"), next(self._seq), None))
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        self._threads = []
+        self._fail_remaining_queued()
+
+    def _fail_remaining_queued(self) -> None:
+        """Terminal-ize whatever is still queued (threads never ran,
+        or shutdown(wait=False) left items behind)."""
+        while True:
+            try:
+                _prio, _seq, job_id = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if job_id is not None:
+                record = self._records[job_id]
+                if not record.done:
+                    self._fail(record, "scheduler shut down")
+
+    def __enter__(self) -> "JobScheduler":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Submission / queries
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> JobRecord:
+        """Queue a request; returns its record (maybe already done).
+
+        Raises :class:`repro.errors.PimsynError` subclasses for a bad
+        request (unknown model, malformed config) — submission-time
+        validation, not worker-time.
+        """
+        key = request.content_key()
+        with self._lock:
+            inflight = self._inflight.get(key)
+            if inflight is not None:
+                return inflight
+            record = JobRecord(
+                id=f"{self.name}-{next(self._seq):06d}",
+                request=request,
+                key=key,
+            )
+            self._records[record.id] = record
+            self._inflight[key] = record
+        payload = self.store.get(key)
+        if payload is not None:
+            self._finish_from_store(record, payload, source="store")
+            return record
+        self._queue.put(
+            (-request.priority, next(self._seq), record.id)
+        )
+        return record
+
+    def job(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        with self._lock:
+            return sorted(
+                self._records.values(), key=lambda r: r.id
+            )
+
+    def wait(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> JobRecord:
+        """Block until the job reaches a terminal state."""
+        with self._done:
+            record = self._records[job_id]
+            self._done.wait_for(lambda: record.done, timeout=timeout)
+            return record
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job is terminal."""
+        with self._done:
+            return self._done.wait_for(
+                lambda: all(r.done for r in self._records.values()),
+                timeout=timeout,
+            )
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            _prio, _seq, job_id = self._queue.get()
+            if job_id is None:  # shutdown sentinel
+                break
+            if self._stop.is_set():
+                self._fail(self._records[job_id], "scheduler shut down")
+                continue
+            record = self._records[job_id]
+            try:
+                self._run_job(record)
+            except SynthesisInterrupted as exc:
+                # persist what the interrupted run learned, then fail
+                self.store.merge_memo(record.key, exc.partial_memo)
+                self.store.release(record.key)
+                self._fail(record, f"interrupted: {exc}")
+            except Exception as exc:  # crash isolation per job
+                self.store.release(record.key)
+                self._fail(record, f"{type(exc).__name__}: {exc}")
+
+    def _run_job(self, record: JobRecord) -> None:
+        import time as _time
+
+        with self._lock:
+            record.state = JobState.RUNNING
+            record.started_at = _time.time()
+
+        # contains() keeps this re-check (the same logical lookup
+        # submit() already counted) out of the hit/miss stats.
+        if self.store.contains(record.key):
+            payload = self.store.get(record.key)
+            if payload is not None:
+                self._finish_from_store(record, payload, source="store")
+                return
+
+        while not self.store.claim(
+            record.key, owner=self.name,
+            stale_after=self.stale_claim_timeout,
+        ):
+            # Another scheduler is computing this key: wait for it.
+            # The owner heartbeats its claim, so a fresh claim means
+            # it is alive — keep waiting however long the job takes;
+            # claim() itself breaks genuinely stale (orphaned) claims.
+            payload = self.store.wait_for(
+                record.key, timeout=self.stale_claim_timeout
+            )
+            if payload is not None:
+                self._finish_from_store(record, payload, source="peer")
+                return
+
+        heartbeat_stop = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._claim_heartbeat,
+            args=(record.key, heartbeat_stop),
+            name=f"{self.name}-heartbeat",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            model = record.request.resolve_model()
+            config = record.request.build_config(jobs=self.synth_jobs)
+            warm = self.store.load_memo(record.key)
+            synthesizer = Pimsyn(model, config, warm_memo=warm or None)
+            solution = synthesizer.synthesize()
+            payload = result_payload(
+                record.request, record.key, solution,
+                synthesizer.report,
+            )
+            self.store.put(record.key, payload)
+            self.store.merge_memo(
+                record.key, synthesizer.memo_snapshot()
+            )
+        finally:
+            heartbeat_stop.set()
+            self.store.release(record.key)
+
+        with self._done:
+            self.executed += 1
+            record.state = JobState.DONE
+            record.finished_at = _time.time()
+            record.cache_hit = False
+            record.source = "computed"
+            record.metrics = dict(payload["solution"]["metrics"])
+            record.report = dict(payload["report"])
+            self._inflight.pop(record.key, None)
+            self._trim_history_locked()
+            self._done.notify_all()
+
+    def _claim_heartbeat(
+        self, key: str, stop: threading.Event
+    ) -> None:
+        """Refresh the claim's mtime while its job computes, so peers
+        keep waiting instead of presuming us dead on long jobs."""
+        interval = max(self.stale_claim_timeout / 4.0, 0.5)
+        while not stop.wait(interval):
+            self.store.refresh_claim(key)
+
+    def _finish_from_store(
+        self, record: JobRecord, payload: dict, source: str
+    ) -> None:
+        import time as _time
+
+        with self._done:
+            self.store_hits += 1
+            record.state = JobState.DONE
+            if record.started_at is None:
+                record.started_at = _time.time()
+            record.finished_at = _time.time()
+            record.cache_hit = True
+            record.source = source
+            record.metrics = dict(payload["solution"]["metrics"])
+            record.report = dict(payload.get("report", {}))
+            self._inflight.pop(record.key, None)
+            self._trim_history_locked()
+            self._done.notify_all()
+
+    def _fail(self, record: JobRecord, error: str) -> None:
+        import time as _time
+
+        with self._done:
+            self.failures += 1
+            record.state = JobState.FAILED
+            record.finished_at = _time.time()
+            record.error = error
+            self._inflight.pop(record.key, None)
+            self._trim_history_locked()
+            self._done.notify_all()
+
+    def _trim_history_locked(self) -> None:
+        """Evict the oldest *terminal* records past ``max_history``
+        (dict order is insertion order = submission order)."""
+        if len(self._records) <= self.max_history:
+            return
+        for job_id in list(self._records):
+            if len(self._records) <= self.max_history:
+                break
+            if self._records[job_id].done:
+                del self._records[job_id]

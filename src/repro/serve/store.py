@@ -1,0 +1,347 @@
+"""Persistent content-addressed result store (JSON on disk).
+
+Layout under one root directory (safe to share between schedulers and
+between processes)::
+
+    <root>/results/<key>.json   finished job results (see
+                                :func:`repro.serve.job.result_payload`)
+    <root>/memo/<key>.json      evaluation-memo snapshots keyed by the
+                                same job content key, used to
+                                warm-start re-runs (including resuming
+                                an interrupted job)
+    <root>/claims/<key>.lock    in-flight markers so two schedulers
+                                sharing the store do not double-run an
+                                identical job
+
+Every write is atomic (temp file + ``os.replace`` in the same
+directory), so a reader never observes a torn JSON document; a result,
+once written, is immutable — rewrites of the same key are skipped
+because content-addressing makes them identical by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.archive import ArchiveEntry, DesignArchive
+from repro.core.executor import decode_memo_entries, encode_memo_entries
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class StoreStats:
+    """Aggregate view of a store (the ``GET /store/stats`` payload)."""
+
+    results: int
+    result_bytes: int
+    memo_files: int
+    memo_bytes: int
+    claims: int
+    hits: int
+    misses: int
+    puts: int
+    models: Dict[str, int]
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "results": self.results,
+            "result_bytes": self.result_bytes,
+            "memo_files": self.memo_files,
+            "memo_bytes": self.memo_bytes,
+            "claims": self.claims,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "models": dict(self.models),
+        }
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write-then-rename so concurrent readers never see partial JSON."""
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Content-addressed synthesis results + persisted evaluation memos.
+
+    Instance counters (``hits``/``misses``/``puts``) track this
+    process's traffic; the on-disk state is the shared truth. All
+    methods are thread-safe.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.memo_dir = self.root / "memo"
+        self.claims_dir = self.root / "claims"
+        for directory in (
+            self.results_dir, self.memo_dir, self.claims_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def _result_path(self, key: str) -> Path:
+        if not key or any(c in key for c in "/\\."):
+            raise ConfigurationError(f"malformed store key {key!r}")
+        return self.results_dir / f"{key}.json"
+
+    def contains(self, key: str) -> bool:
+        """Existence check that does not touch the hit/miss counters."""
+        return self._result_path(key).exists()
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The stored result document, verbatim (byte-identical)."""
+        path = self._result_path(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return data
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored result payload, parsed; None on a miss."""
+        data = self.get_bytes(key)
+        if data is None:
+            return None
+        return json.loads(data.decode("utf-8"))
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Persist a result document atomically (first write wins)."""
+        path = self._result_path(key)
+        if not path.exists():
+            _atomic_write(
+                path,
+                json.dumps(payload, indent=2).encode("utf-8"),
+            )
+        with self._lock:
+            self.puts += 1
+        return path
+
+    def keys(self) -> List[str]:
+        return sorted(p.stem for p in self.results_dir.glob("*.json"))
+
+    def wait_for(
+        self, key: str, timeout: float, poll: float = 0.02
+    ) -> Optional[Dict[str, Any]]:
+        """Block until ``key`` appears (another worker is computing it).
+
+        Gives up early when the claim disappears without a result (the
+        owner crashed or was interrupted) and at ``timeout``.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            # contains() keeps the poll out of the hit/miss accounting;
+            # only the final (counted) get() reads the document.
+            if self.contains(key):
+                return self.get(key)
+            if not self.claimed(key):
+                break
+            time.sleep(poll)
+        return self.get(key)
+
+    # ------------------------------------------------------------------
+    # Claims (cross-scheduler double-run prevention)
+    # ------------------------------------------------------------------
+    def _claim_path(self, key: str) -> Path:
+        self._result_path(key)  # key validation
+        return self.claims_dir / f"{key}.lock"
+
+    def claim(
+        self, key: str, owner: str, stale_after: float = 600.0
+    ) -> bool:
+        """Try to become the unique computer of ``key``.
+
+        ``O_CREAT | O_EXCL`` makes the claim atomic across processes.
+        A claim older than ``stale_after`` seconds belongs to a crashed
+        owner and is broken.
+        """
+        path = self._claim_path(key)
+        body = json.dumps(
+            {"owner": owner, "pid": os.getpid(), "time": time.time()}
+        ).encode("utf-8")
+        for _attempt in (0, 1):
+            try:
+                fd = os.open(
+                    path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                if self._claim_age(path) > stale_after:
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+                    continue
+                return False
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(body)
+            return True
+        return False
+
+    def refresh_claim(self, key: str) -> None:
+        """Heartbeat: bump the claim's mtime so a long-running owner
+        (jobs longer than ``stale_after``) is not presumed dead."""
+        try:
+            os.utime(self._claim_path(key))
+        except OSError:
+            pass
+
+    def release(self, key: str) -> None:
+        try:
+            os.unlink(self._claim_path(key))
+        except OSError:
+            pass
+
+    def claimed(self, key: str) -> bool:
+        return self._claim_path(key).exists()
+
+    @staticmethod
+    def _claim_age(path: Path) -> float:
+        try:
+            return time.time() - path.stat().st_mtime
+        except OSError:
+            return 0.0
+
+    # ------------------------------------------------------------------
+    # Evaluation memos (executor warm start)
+    # ------------------------------------------------------------------
+    def _memo_path(self, key: str) -> Path:
+        self._result_path(key)  # key validation
+        return self.memo_dir / f"{key}.json"
+
+    def load_memo(
+        self, key: str
+    ) -> List[Tuple[Hashable, float]]:
+        """Decoded memo entries for ``Pimsyn(warm_memo=...)``; [] if none."""
+        try:
+            raw = json.loads(self._memo_path(key).read_text("utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return []
+        return decode_memo_entries(raw.get("entries", []))
+
+    def merge_memo(
+        self,
+        key: str,
+        entries: Sequence[Tuple[Hashable, float]],
+    ) -> int:
+        """Fold new memo entries into the key's snapshot; returns size.
+
+        Read-merge-write under the store lock (threads); the write
+        itself is atomic, so a concurrent process-level merge can at
+        worst lose entries, never corrupt the file.
+        """
+        if not entries:
+            entries = []
+        with self._lock:
+            merged: Dict[str, List] = {}
+            path = self._memo_path(key)
+            try:
+                raw = json.loads(path.read_text("utf-8"))
+                existing = raw.get("entries", [])
+            except (FileNotFoundError, json.JSONDecodeError):
+                existing = []
+            for encoded_key, value in existing:
+                merged[json.dumps(encoded_key)] = [encoded_key, value]
+            for encoded_key, value in encode_memo_entries(entries):
+                merged.setdefault(
+                    json.dumps(encoded_key), [encoded_key, value]
+                )
+            if merged:
+                _atomic_write(path, json.dumps(
+                    {"schema": 1, "entries": list(merged.values())}
+                ).encode("utf-8"))
+            return len(merged)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self, include_models: bool = True) -> StoreStats:
+        """Walk the store; per-model result counts ride along.
+
+        The per-model inventory parses every result document —
+        O(store size). Pass ``include_models=False`` for the cheap
+        counters-only view (startup banners, tight polling loops).
+        """
+        result_files = list(self.results_dir.glob("*.json"))
+        memo_files = list(self.memo_dir.glob("*.json"))
+        models: Dict[str, int] = {}
+        for path in result_files if include_models else ():
+            try:
+                payload = json.loads(path.read_text("utf-8"))
+                name = str(payload["solution"]["model"])
+            except (OSError, KeyError, TypeError, json.JSONDecodeError):
+                name = "<unreadable>"
+            models[name] = models.get(name, 0) + 1
+        with self._lock:
+            hits, misses, puts = self.hits, self.misses, self.puts
+        return StoreStats(
+            results=len(result_files),
+            result_bytes=sum(p.stat().st_size for p in result_files),
+            memo_files=len(memo_files),
+            memo_bytes=sum(p.stat().st_size for p in memo_files),
+            claims=len(list(self.claims_dir.glob("*.lock"))),
+            hits=hits,
+            misses=misses,
+            puts=puts,
+            models=models,
+        )
+
+    def to_archive(self, capacity: int = 256) -> DesignArchive:
+        """Stored results as a :class:`DesignArchive`.
+
+        Reuses the analysis layer's archive format so the store's
+        contents plug straight into :func:`repro.core.archive.
+        pareto_front` and the reporting helpers.
+        """
+        archive = DesignArchive(capacity=capacity)
+        for key in self.keys():
+            payload = self.get(key)
+            if payload is None:
+                continue
+            try:
+                sol = payload["solution"]
+                point = sol["design_point"]
+                metrics = sol["metrics"]
+                archive.record(ArchiveEntry(
+                    ratio_rram=float(point["ratio_rram"]),
+                    res_rram=int(point["res_rram"]),
+                    xb_size=int(point["xb_size"]),
+                    res_dac=int(point["res_dac"]),
+                    wt_dup=tuple(int(d) for d in sol["wt_dup"]),
+                    throughput=float(metrics["throughput_img_s"]),
+                    power=float(metrics["power_w"]),
+                    tops_per_watt=float(metrics["tops_per_watt"]),
+                    latency=float(metrics["latency_s"]),
+                    num_macros=int(sol["num_macros"]),
+                ))
+            except (KeyError, TypeError, ValueError):
+                continue
+        return archive

@@ -16,6 +16,16 @@ class TestModelsCommand:
         assert "vgg16" in out and "lenet5" in out
         assert "GMACs" in out
 
+    def test_json_flag_is_machine_readable(self, capsys):
+        assert main(["models", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        entries = {e["name"]: e for e in payload["models"]}
+        assert "lenet5" in entries and "vgg16" in entries
+        lenet = entries["lenet5"]
+        assert lenet["input_shape"] == [1, 32, 32]
+        assert lenet["weighted_layers"] == 5
+        assert lenet["gmacs"] > 0
+
 
 class TestPeakCommand:
     def test_prints_table4(self, capsys):

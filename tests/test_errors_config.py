@@ -58,6 +58,21 @@ class TestSynthesisConfigValidation:
         with pytest.raises(ConfigurationError):
             SynthesisConfig(num_wtdup_candidates=0)
 
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynthesisConfig(jobs=-1)
+
+    def test_non_integer_jobs_rejected_early(self):
+        """A bad jobs value must fail here, not deep inside
+        multiprocessing.Pool at DSE time."""
+        for bad in (2.5, "2", True, None):
+            with pytest.raises(ConfigurationError):
+                SynthesisConfig(jobs=bad)
+
+    def test_jobs_zero_means_all_cores(self):
+        config = SynthesisConfig(jobs=0)
+        assert config.resolved_jobs >= 1
+
     def test_fast_preset_overridable(self):
         config = SynthesisConfig.fast(
             total_power=9.0, xb_size_choices=(512,), seed=77

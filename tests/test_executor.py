@@ -27,8 +27,16 @@ from repro.core.executor import (
     model_fingerprint,
     params_fingerprint,
 )
+from repro.core.executor import (
+    decode_memo_entries,
+    encode_memo_entries,
+)
 from repro.core.synthesizer import SynthesisReport
-from repro.errors import ConfigurationError, InfeasibleError
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    SynthesisInterrupted,
+)
 from repro.hardware.params import HardwareParams
 from repro.nn import lenet5
 
@@ -191,6 +199,101 @@ class TestPruning:
         assert synthesizer.report.pruned_tasks == 0
         # One archive entry per feasible EA outcome.
         assert len(archive) == len(synthesizer.report.best_history)
+
+
+class TestWarmMemo:
+    def test_warm_started_replay_runs_zero_evaluations(self, lenet):
+        cold = Pimsyn(lenet, _config())
+        cold_solution = cold.synthesize()
+        snapshot = cold.memo_snapshot()
+        assert cold.report.ea_evaluations > 0
+        assert len(snapshot) > 0
+
+        warm = Pimsyn(lenet, _config(), warm_memo=snapshot)
+        warm_solution = warm.synthesize()
+        assert warm_solution.to_json() == cold_solution.to_json()
+        assert warm.report.ea_evaluations == 0
+        assert warm.report.cache_hits > 0
+
+    def test_memo_entries_survive_json_round_trip(self, lenet):
+        import json
+
+        cold = Pimsyn(lenet, _config())
+        cold_solution = cold.synthesize()
+        snapshot = cold.memo_snapshot()
+        restored = decode_memo_entries(
+            json.loads(json.dumps(encode_memo_entries(snapshot)))
+        )
+        assert sorted(restored) == sorted(snapshot)
+        warm = Pimsyn(lenet, _config(), warm_memo=restored)
+        assert warm.synthesize().to_json() == cold_solution.to_json()
+        assert warm.report.ea_evaluations == 0
+
+    def test_parallel_run_still_harvests_winner_memo(self, lenet):
+        parallel = Pimsyn(lenet, _config(jobs=2))
+        parallel.synthesize()
+        # pool workers keep private caches, but every feasible task's
+        # winning (context, gene) -> fitness is folded in parent-side
+        assert len(parallel.memo_snapshot()) >= len(
+            parallel.report.best_history
+        ) > 0
+
+
+class TestInterrupt:
+    def test_interrupt_raises_cleanly_with_partial_memo(
+        self, lenet, monkeypatch
+    ):
+        from repro.core import executor as executor_mod
+
+        calls = {"n": 0}
+        original = executor_mod._TaskRunner.run_task
+
+        def interrupting(self, task):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return original(self, task)
+
+        monkeypatch.setattr(
+            executor_mod._TaskRunner, "run_task", interrupting
+        )
+        # pruning off so the walk reaches a third run_task call
+        synthesizer = Pimsyn(lenet, _config(prune_dominated=False))
+        with pytest.raises(SynthesisInterrupted) as excinfo:
+            synthesizer.synthesize()
+        assert synthesizer.report.interrupted
+        # the completed tasks' evaluations are carried for persistence
+        assert len(excinfo.value.partial_memo) > 0
+        assert isinstance(excinfo.value, Exception)
+
+    def test_interrupt_terminates_process_pool(
+        self, lenet, monkeypatch
+    ):
+        from repro.core import executor as executor_mod
+
+        terminated = {"called": False}
+        original = executor_mod.ProcessExecutor.terminate
+
+        def tracking(self):
+            terminated["called"] = True
+            original(self)
+
+        monkeypatch.setattr(
+            executor_mod.ProcessExecutor, "terminate", tracking
+        )
+
+        def interrupting(_tasks):
+            raise KeyboardInterrupt
+
+        synthesizer = Pimsyn(lenet, _config(jobs=2))
+        engine = synthesizer._engine()
+        monkeypatch.setattr(
+            engine, "_evaluate_queue",
+            lambda *_a, **_k: interrupting(None),
+        )
+        with pytest.raises(SynthesisInterrupted):
+            engine.run()
+        assert terminated["called"]
 
 
 class TestFingerprints:

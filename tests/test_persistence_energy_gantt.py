@@ -53,6 +53,28 @@ class TestPersistence:
         with pytest.raises(ConfigurationError):
             load_solution(path, lenet5())
 
+    def test_payload_round_trip_through_result_store(
+        self, solution, tmp_path
+    ):
+        """Store artifact -> solution_from_payload reproduces the
+        decisions, closing the serve-layer loop over persistence."""
+        from repro.core.persistence import solution_from_payload
+        from repro.serve import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        key = "a1" * 16
+        store.put(key, {"schema": 1, "solution": solution.to_payload()})
+        payload = store.get(key)
+        assert payload["solution"] == solution.to_payload()
+        restored = solution_from_payload(
+            payload["solution"], lenet5()
+        )
+        assert restored.wt_dup == solution.wt_dup
+        assert restored.partition.gene == solution.partition.gene
+        assert restored.evaluation.throughput == pytest.approx(
+            solution.evaluation.throughput
+        )
+
 
 class TestEnergyBreakdown:
     def test_sums_to_sane_total(self, solution):

@@ -1,0 +1,557 @@
+"""Tests for the persistent synthesis service (`repro.serve`).
+
+The load-bearing contracts:
+
+1. job content keys follow the executor memo's fingerprint scheme —
+   sensitive to everything that changes a result, blind to
+   execution-only knobs (``jobs``, pruning, cache sharing);
+2. a repeated request is served from the content-addressed store with
+   *zero* evaluator calls and a byte-identical artifact;
+3. two schedulers sharing one store directory never corrupt results
+   and never double-run an identical job;
+4. a batch manifest's results match the corresponding serial
+   ``Pimsyn.synthesize`` runs exactly, with overlap deduplicated.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core import Pimsyn, SynthesisConfig
+from repro.errors import ConfigurationError, ModelError, PimsynError
+from repro.nn import lenet5
+from repro.nn.onnx_io import model_to_json
+from repro.serve import (
+    JobRequest,
+    JobScheduler,
+    ResultStore,
+    expand_manifest,
+    make_server,
+    run_batch,
+)
+from repro.serve.job import JobState
+
+
+def _request(power=2.0, seed=7, **kwargs) -> JobRequest:
+    return JobRequest(
+        model="lenet5", total_power=power, seed=seed, **kwargs
+    )
+
+
+def _serial_solution(power=2.0, seed=7, **overrides):
+    config = SynthesisConfig.fast(
+        total_power=power, seed=seed, **overrides
+    )
+    return Pimsyn(lenet5(), config).synthesize()
+
+
+@pytest.fixture()
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "store")
+
+
+# ----------------------------------------------------------------------
+# Job model
+# ----------------------------------------------------------------------
+class TestJobContentKey:
+    def test_deterministic(self):
+        assert _request().content_key() == _request().content_key()
+
+    def test_sensitive_to_result_inputs(self):
+        base = _request().content_key()
+        assert _request(power=3.0).content_key() != base
+        assert _request(seed=8).content_key() != base
+        assert JobRequest(
+            model="alexnet_cifar", total_power=2.0, seed=7
+        ).content_key() != base
+        assert _request(
+            overrides={"enable_macro_sharing": False}
+        ).content_key() != base
+
+    def test_blind_to_execution_knobs(self):
+        base = _request().content_key()
+        assert _request(
+            overrides={"prune_dominated": False,
+                       "share_eval_cache": False}
+        ).content_key() == base
+
+    def test_scheduler_owned_knobs_rejected_as_overrides(self):
+        # 'jobs' belongs to the scheduler and 'seed' has its own
+        # field; accepting them as overrides would silently ignore or
+        # duplicate them.
+        with pytest.raises(ConfigurationError):
+            _request(overrides={"jobs": 4})
+        with pytest.raises(ConfigurationError):
+            _request(overrides={"seed": 99})
+
+    def test_json_lists_normalize_to_tuples(self):
+        native = _request(
+            overrides={"xb_size_choices": (128, 256)}
+        ).content_key()
+        from_json = _request(
+            overrides={"xb_size_choices": [128, 256]}
+        ).content_key()
+        assert native == from_json
+
+    def test_inline_model_matches_zoo_model(self):
+        document = json.loads(model_to_json(lenet5()))
+        inline = JobRequest(
+            model=document, total_power=2.0, seed=7
+        )
+        assert inline.content_key() == _request().content_key()
+
+    def test_bad_inputs_rejected_at_submission_time(self):
+        with pytest.raises(ConfigurationError):
+            JobRequest(model="lenet5", total_power=2.0, preset="warp")
+        with pytest.raises(ConfigurationError):
+            JobRequest(model="lenet5", total_power=2.0,
+                       overrides={"not_a_knob": 1})
+        with pytest.raises(ModelError):
+            JobRequest(model="nope", total_power=2.0).content_key()
+
+    def test_from_payload_validation(self):
+        with pytest.raises(ConfigurationError):
+            JobRequest.from_payload({"power": 2.0})  # no model
+        with pytest.raises(ConfigurationError):
+            JobRequest.from_payload({"model": "lenet5"})  # no power
+        with pytest.raises(ConfigurationError):
+            JobRequest.from_payload(
+                {"model": "lenet5", "power": "lots"}
+            )
+        with pytest.raises(ConfigurationError):
+            JobRequest.from_payload(
+                {"model": "lenet5", "power": 2.0, "surprise": 1}
+            )
+        with pytest.raises(ConfigurationError):
+            JobRequest.from_payload(  # non-integer seed -> 400, not 500
+                {"model": "lenet5", "power": 2.0, "seed": "abc"}
+            )
+        with pytest.raises(ConfigurationError):
+            JobRequest.from_payload({  # ambiguous alias pair
+                "model": "lenet5", "power": 2.0,
+                "config": {}, "overrides": {"ea_patience": 2},
+            })
+        request = JobRequest.from_payload({
+            "model": "lenet5", "power": 2.0, "seed": 7,
+            "config": {"enable_macro_sharing": False},
+        })
+        assert request.total_power == 2.0
+        assert request.overrides == {"enable_macro_sharing": False}
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_roundtrip_and_byte_identity(self, store):
+        payload = {"schema": 1, "solution": {"model": "x"}}
+        store.put("a" * 32, payload)
+        assert store.get("a" * 32) == payload
+        assert store.get_bytes("a" * 32) == store.get_bytes("a" * 32)
+
+    def test_first_write_wins(self, store):
+        store.put("b" * 32, {"v": 1})
+        store.put("b" * 32, {"v": 2})
+        assert store.get("b" * 32) == {"v": 1}
+
+    def test_hit_miss_accounting(self, store):
+        assert store.get("c" * 32) is None
+        store.put("c" * 32, {})
+        assert store.get("c" * 32) == {}
+        assert store.hits == 1 and store.misses == 1
+
+    def test_malformed_keys_rejected(self, store):
+        for bad in ("", "../escape", "a/b", "a.b"):
+            with pytest.raises(ConfigurationError):
+                store.get(bad)
+
+    def test_claims_are_exclusive_and_releasable(self, store):
+        key = "d" * 32
+        assert store.claim(key, owner="one")
+        assert not store.claim(key, owner="two")
+        store.release(key)
+        assert store.claim(key, owner="two")
+        store.release(key)
+
+    def test_stale_claims_are_broken(self, store):
+        key = "e" * 32
+        assert store.claim(key, owner="dead")
+        assert store.claim(key, owner="alive", stale_after=0.0)
+
+    def test_memo_merge_roundtrip(self, store):
+        key = "f" * 32
+        entries = [
+            ((("m", "p", 0.3, 2, 128, 64, (1, 2), 1), (1, 5, 9)), 2.5),
+            ((("m", "p", 0.3, 2, 128, 64, (1, 2), 1), (2, 5, 9)), 1.5),
+        ]
+        assert store.merge_memo(key, entries) == 2
+        assert sorted(store.load_memo(key)) == sorted(entries)
+        # merging again is idempotent; first value wins per key
+        more = [entries[0][:1] + (9.9,), ((("m",), (3,)), 0.5)]
+        assert store.merge_memo(key, more) == 3
+        loaded = dict(store.load_memo(key))
+        assert loaded[entries[0][0]] == 2.5
+
+    def test_stats_and_archive_reuse(self, store, tmp_path):
+        solution = _serial_solution()
+        from repro.serve import result_payload
+        from repro.core.synthesizer import SynthesisReport
+
+        store.put("9" * 32, result_payload(
+            _request(), "9" * 32, solution, SynthesisReport()
+        ))
+        stats = store.stats()
+        assert stats.results == 1
+        assert stats.models == {"lenet5": 1}
+        assert stats.result_bytes > 0
+        archive = store.to_archive()
+        assert len(archive) == 1
+        assert archive.best().throughput == pytest.approx(
+            solution.evaluation.throughput
+        )
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+class TestScheduler:
+    def test_repeat_request_is_store_hit_with_zero_evaluator_calls(
+        self, store, monkeypatch
+    ):
+        with JobScheduler(store, workers=1) as scheduler:
+            first = scheduler.submit(_request())
+            scheduler.wait(first.id, timeout=60)
+            assert first.state == JobState.DONE
+            assert not first.cache_hit
+            assert first.report["ea_evaluations"] > 0
+            assert scheduler.executed == 1
+
+            # From here on, any synthesis attempt is a test failure.
+            import repro.serve.scheduler as sched_mod
+
+            def _bomb(*_a, **_k):
+                raise AssertionError(
+                    "store hit must not invoke the synthesizer"
+                )
+
+            monkeypatch.setattr(sched_mod, "Pimsyn", _bomb)
+            second = scheduler.submit(_request())
+            scheduler.wait(second.id, timeout=60)
+            assert second.state == JobState.DONE
+            assert second.cache_hit and second.source == "store"
+            assert scheduler.executed == 1
+            assert store.hits >= 1
+            # byte-identical artifacts, matching the serial engine
+            artifact = store.get_bytes(first.key)
+            assert artifact == store.get_bytes(second.key)
+            payload = json.loads(artifact.decode())
+            assert payload["solution"] == (
+                _serial_solution().to_payload()
+            )
+
+    def test_inflight_duplicates_coalesce(self, store):
+        scheduler = JobScheduler(store, workers=1, autostart=False)
+        a = scheduler.submit(_request())
+        b = scheduler.submit(_request())
+        assert a is b
+        scheduler.start()
+        scheduler.drain(timeout=60)
+        scheduler.shutdown()
+        assert scheduler.executed == 1
+
+    def test_priority_orders_queue_fifo_within_level(self, store):
+        scheduler = JobScheduler(store, workers=1, autostart=False)
+        low1 = scheduler.submit(_request(power=2.0))
+        high = scheduler.submit(_request(power=2.5, priority=5))
+        low2 = scheduler.submit(_request(power=3.0))
+        order = [
+            scheduler._queue.get()[2] for _ in range(3)
+        ]
+        assert order == [high.id, low1.id, low2.id]
+
+    def test_shutdown_fails_queued_jobs_instead_of_orphaning(
+        self, store
+    ):
+        scheduler = JobScheduler(store, workers=1, autostart=False)
+        a = scheduler.submit(_request())
+        b = scheduler.submit(_request(power=2.5))
+        scheduler.shutdown(wait=True)
+        # every record is terminal: a waiting client gets an answer
+        assert a.state == JobState.FAILED
+        assert b.state == JobState.FAILED
+        assert "shut down" in a.error
+        assert scheduler.drain(timeout=1)
+
+    def test_history_eviction_is_bounded(self, store):
+        with JobScheduler(
+            store, workers=1, max_history=2
+        ) as scheduler:
+            records = [
+                scheduler.submit(_request(power=2.0 + 0.5 * i))
+                for i in range(4)
+            ]
+            scheduler.drain(timeout=120)
+            assert len(scheduler.jobs()) == 2
+            # newest records survive; oldest were evicted
+            assert scheduler.job(records[-1].id) is not None
+            assert scheduler.job(records[0].id) is None
+
+    def test_failed_job_is_isolated(self, store):
+        with JobScheduler(store, workers=1) as scheduler:
+            bad = scheduler.submit(_request(power=1e-4))  # infeasible
+            good = scheduler.submit(_request())
+            scheduler.drain(timeout=120)
+            assert bad.state == JobState.FAILED
+            assert "InfeasibleError" in bad.error
+            assert good.state == JobState.DONE
+            assert scheduler.failures == 1
+            # the failed key left no claim behind
+            assert not store.claimed(bad.key)
+
+    def test_two_schedulers_share_one_store_without_double_running(
+        self, store
+    ):
+        request = _request(power=2.5)
+        with JobScheduler(store, workers=2, name="a") as a, \
+                JobScheduler(store, workers=2, name="b") as b:
+            record_a = a.submit(request)
+            record_b = b.submit(_request(power=2.5))
+            a.wait(record_a.id, timeout=120)
+            b.wait(record_b.id, timeout=120)
+            assert record_a.state == JobState.DONE
+            assert record_b.state == JobState.DONE
+            assert a.executed + b.executed == 1
+        # one uncorrupted result both agree on
+        assert record_a.key == record_b.key
+        payload = store.get(record_a.key)
+        assert payload["solution"]["metrics"]["throughput_img_s"] > 0
+
+    def test_interrupted_job_persists_partial_memo(
+        self, store, monkeypatch
+    ):
+        from repro.core import executor as executor_mod
+
+        calls = {"n": 0}
+        original = executor_mod._TaskRunner.run_task
+
+        def _interrupting(self, task):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return original(self, task)
+
+        monkeypatch.setattr(
+            executor_mod._TaskRunner, "run_task", _interrupting
+        )
+        with JobScheduler(store, workers=1) as scheduler:
+            # pruning off (execution-only: same content key) so the
+            # walk reaches a third run_task call to interrupt
+            record = scheduler.submit(_request(
+                overrides={"prune_dominated": False}
+            ))
+            scheduler.wait(record.id, timeout=60)
+            assert record.state == JobState.FAILED
+            assert "interrupted" in record.error
+            assert not store.claimed(record.key)
+        # the two completed tasks' evaluations survived to disk
+        assert len(store.load_memo(record.key)) > 0
+
+
+# ----------------------------------------------------------------------
+# Batch manifests
+# ----------------------------------------------------------------------
+class TestBatch:
+    def test_expand_validates(self):
+        with pytest.raises(ConfigurationError):
+            expand_manifest({})
+        with pytest.raises(ConfigurationError):
+            expand_manifest({"models": ["lenet5"]})
+        with pytest.raises(ConfigurationError):
+            expand_manifest({
+                "models": ["lenet5"], "powers": [2.0], "oops": 1,
+            })
+        with pytest.raises(ConfigurationError):
+            expand_manifest(  # scalar, not a list: no per-char jobs
+                {"models": "lenet5", "powers": [2.0]}
+            )
+        with pytest.raises(ConfigurationError):
+            expand_manifest({
+                "models": ["lenet5"], "powers": [2.0], "seed": "auto",
+            })
+        requests = expand_manifest({
+            "models": ["lenet5"], "powers": [2.0, 3.0],
+            "configs": [{}, {"enable_macro_sharing": False}],
+            "seed": 7,
+            "jobs": [{"model": "lenet5", "power": 4.0}],
+        })
+        assert len(requests) == 5
+
+    def test_overlapping_manifest_matches_serial_runs(self, store):
+        # >= 6 jobs, 3 unique keys: the dedup + store path must return
+        # exactly what one-shot serial synthesis returns, per job.
+        manifest = {
+            "models": ["lenet5"],
+            "powers": [2.0, 2.5, 3.0],
+            # execution-only knob: both configs map to the same keys
+            "configs": [{}, {"share_eval_cache": False}],
+            "seed": 7,
+        }
+        report = run_batch(manifest, store, workers=2)
+        assert report.requested == 6
+        assert report.unique == 3
+        assert report.executed == 3
+        assert report.failures == 0
+        assert len(report.rows) == 6
+        for row in report.rows:
+            serial = _serial_solution(power=row.total_power)
+            assert row.throughput == pytest.approx(
+                serial.evaluation.throughput
+            )
+            stored = store.get(row.key)
+            assert stored["solution"] == serial.to_payload()
+
+    def test_second_batch_run_is_all_store_hits(self, store):
+        manifest = {
+            "models": ["lenet5"], "powers": [2.0, 2.5], "seed": 7,
+        }
+        first = run_batch(manifest, store)
+        second = run_batch(manifest, store)
+        assert first.executed == 2
+        assert second.executed == 0
+        assert second.store_hits == 2
+        assert [r.throughput for r in first.rows] == [
+            r.throughput for r in second.rows
+        ]
+
+    def test_yaml_manifest(self, store, tmp_path):
+        yaml = pytest.importorskip("yaml")
+        path = tmp_path / "sweep.yaml"
+        path.write_text(yaml.safe_dump({
+            "models": ["lenet5"], "powers": [2.0], "seed": 7,
+        }))
+        from repro.serve import run_batch_file
+
+        report = run_batch_file(path, store)
+        assert report.requested == 1
+        assert report.rows[0].state == JobState.DONE
+
+    def test_batch_cli_round_trip(self, store, tmp_path, capsys):
+        from repro.cli import main
+
+        manifest = tmp_path / "m.json"
+        manifest.write_text(json.dumps({
+            "models": ["lenet5"], "powers": [2.0], "seed": 7,
+        }))
+        out = tmp_path / "report.json"
+        assert main([
+            "batch", "--manifest", str(manifest),
+            "--store", str(store.root), "--out", str(out),
+        ]) == 0
+        assert "batch: 1 jobs" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["requested"] == 1
+        assert payload["rows"][0]["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# HTTP API
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def service(store):
+    scheduler = JobScheduler(store, workers=2, name="api")
+    server = make_server("127.0.0.1", 0, scheduler, store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server, scheduler, store
+    finally:
+        server.shutdown()
+        scheduler.shutdown(wait=True)
+
+
+def _get(server, path):
+    port = server.server_address[1]
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}"
+    ) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+def _post(server, body, query="?wait=1"):
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/jobs{query}",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.status, json.loads(response.read().decode())
+
+
+class TestApi:
+    def test_submit_wait_fetch_roundtrip(self, service):
+        server, scheduler, store = service
+        status, record = _post(
+            server, {"model": "lenet5", "power": 2.0, "seed": 7}
+        )
+        assert status == 200
+        assert record["state"] == "done"
+        assert record["cache_hit"] is False
+        assert record["metrics"]["throughput_img_s"] > 0
+
+        status, again = _post(
+            server, {"model": "lenet5", "power": 2.0, "seed": 7}
+        )
+        assert again["cache_hit"] is True
+        assert again["key"] == record["key"]
+
+        status, fetched = _get(server, f"/jobs/{record['id']}")
+        assert status == 200 and fetched["state"] == "done"
+
+        port = server.server_address[1]
+        url = f"http://127.0.0.1:{port}/results/{record['key']}"
+        with urllib.request.urlopen(url) as response:
+            first = response.read()
+        with urllib.request.urlopen(url) as response:
+            assert response.read() == first  # byte-identical
+        assert json.loads(first.decode())["solution"]["model"] == (
+            "lenet5"
+        )
+
+    def test_stats_models_health(self, service):
+        server, _scheduler, _store = service
+        status, health = _get(server, "/healthz")
+        assert status == 200 and health == {"ok": True}
+        status, stats = _get(server, "/store/stats")
+        assert status == 200 and "results" in stats
+        status, models = _get(server, "/models")
+        names = [entry["name"] for entry in models["models"]]
+        assert "lenet5" in names and "vgg16" in names
+
+    def test_error_mapping(self, service):
+        server, _scheduler, _store = service
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server, {"model": "nope", "power": 2.0})
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(server, {"model": "lenet5"})
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/jobs/unknown-id")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/results/" + "0" * 32)
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server, "/nowhere")
+        assert err.value.code == 404
+
+
+def test_pimsyn_error_is_base_of_serve_errors():
+    """Serve-layer rejections reuse the package error hierarchy."""
+    assert issubclass(ConfigurationError, PimsynError)
