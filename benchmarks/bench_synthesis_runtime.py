@@ -11,15 +11,24 @@ measurement loop (several rounds) on LeNet-5.
 refactor: the exhaustive serial walk (pruning and the shared evaluation
 cache disabled — the pre-refactor behavior) against the full engine at
 ``jobs=4``, asserting the two return byte-identical solutions.
+
+``test_batched_vs_scalar_eval_speedup`` measures the numpy population
+evaluator against the gene-at-a-time oracle on the EA hot path and
+publishes the speedup into the benchmark JSON (``extra_info``), so CI
+bench artifacts track the batching win over time.
 """
 
 from __future__ import annotations
 
+import random
 import time
 
 from repro.analysis import format_table
 from repro.core import Pimsyn, SynthesisConfig
-from repro.nn import lenet5
+from repro.core.dataflow import make_spec
+from repro.core.macro_partition import MacroPartitionExplorer
+from repro.hardware.power import PowerBudget
+from repro.nn import lenet5, zoo
 
 from conftest import pimsyn_power_for, synthesize_cached
 
@@ -99,6 +108,90 @@ def test_parallel_engine_speedup():
     assert engine_report.pruned_tasks > 0
     # Generous floor so a loaded CI box cannot flake; typically >= 3x.
     assert speedup >= 1.5
+
+
+def test_batched_vs_scalar_eval_speedup(benchmark):
+    """Numpy population scoring vs the scalar oracle (the EA hot path).
+
+    A VGG13 stage-3 landscape: 256 rule-valid genes scored once through
+    ``score_population`` (what every EA generation now runs) and once
+    through the gene-at-a-time ``score`` chain. The batched engine must
+    be >= 2x faster — in practice it is far more — while returning
+    numerically identical fitness values. Results (plus a full EA-run
+    comparison with default Alg. 2 knobs) land in the benchmark JSON's
+    ``extra_info`` as the tracked batched-vs-scalar speedup numbers.
+    """
+    model = zoo.vgg13()
+    config = SynthesisConfig(total_power=120.0)
+    n = model.num_weighted_layers
+    spec = make_spec(
+        model, [2] * n, xb_size=128, res_rram=2, res_dac=1,
+        params=config.params,
+        max_blocks_per_layer=config.max_blocks_per_layer,
+    )
+    budget = PowerBudget(
+        total_power=120.0, ratio_rram=0.3, xb_size=128, res_rram=2,
+        num_crossbars=4096,
+    )
+
+    def make_explorer(batch):
+        return MacroPartitionExplorer(
+            spec=spec, budget=budget, res_dac=1, config=config,
+            rng=random.Random(5), batch_eval=batch,
+        )
+
+    explorer = make_explorer(True)
+    rng = random.Random(1)
+    genes = explorer.initial_population(16)
+    while len(genes) < 256:
+        parent = rng.choice(genes)
+        operator = rng.choice(
+            [explorer.mutate_num, explorer.mutate_share]
+        )
+        genes.append(operator(parent, rng))
+
+    started = time.perf_counter()
+    scalar_scores = [explorer.score(g)[0] for g in genes]
+    scalar_s = time.perf_counter() - started
+
+    batched_scores = benchmark(explorer.score_population, genes)
+    batched_s = benchmark.stats.stats.min
+    population_speedup = scalar_s / batched_s
+    assert batched_scores == scalar_scores
+
+    # Full EA launches (default Alg. 2 knobs), engine on vs off.
+    ea_seconds = {}
+    for batch in (True, False):
+        ea = make_explorer(batch)
+        started = time.perf_counter()
+        _partition, _allocation, result = ea.explore()
+        ea_seconds[batch] = time.perf_counter() - started
+        ea_throughput = result.throughput
+    ea_speedup = ea_seconds[False] / ea_seconds[True]
+
+    benchmark.extra_info["population_size"] = len(genes)
+    benchmark.extra_info["scalar_seconds"] = round(scalar_s, 6)
+    benchmark.extra_info["batched_seconds"] = round(batched_s, 6)
+    benchmark.extra_info["batched_speedup"] = round(
+        population_speedup, 2
+    )
+    benchmark.extra_info["ea_run_speedup"] = round(ea_speedup, 2)
+    print()
+    print(format_table(
+        ["path", "seconds", "speedup"],
+        [
+            ("scalar score() x 256", round(scalar_s, 4), "1.0x"),
+            ("score_population(256)", round(batched_s, 4),
+             f"{population_speedup:.1f}x"),
+            ("EA explore() scalar", round(ea_seconds[False], 4), "1.0x"),
+            ("EA explore() batched", round(ea_seconds[True], 4),
+             f"{ea_speedup:.1f}x"),
+        ],
+        title=f"batched vs scalar evaluation (VGG13 landscape; EA best "
+              f"{ea_throughput:.1f} img/s identical in both modes)",
+    ))
+    # Generous floor so a loaded CI box cannot flake; typically >= 20x.
+    assert population_speedup >= 2.0
 
 
 def test_synthesis_runtime_vgg16(benchmark, models):

@@ -39,12 +39,15 @@ def _load(args) -> object:
 
 def _config(args, power: float) -> SynthesisConfig:
     jobs = getattr(args, "jobs", 1)
+    batch_eval = not getattr(args, "scalar_eval", False)
     if getattr(args, "full", False):
         return SynthesisConfig(
-            total_power=power, seed=args.seed, jobs=jobs
+            total_power=power, seed=args.seed, jobs=jobs,
+            batch_eval=batch_eval,
         )
     return SynthesisConfig.fast(
-        total_power=power, seed=args.seed, jobs=jobs
+        total_power=power, seed=args.seed, jobs=jobs,
+        batch_eval=batch_eval,
     )
 
 
@@ -162,7 +165,8 @@ def cmd_sweep(args) -> int:
 
     model = _load(args)
     config = SynthesisConfig.fast(
-        seed=args.seed, jobs=getattr(args, "jobs", 1)
+        seed=args.seed, jobs=getattr(args, "jobs", 1),
+        batch_eval=not getattr(args, "scalar_eval", False),
     )
     rows = power_sweep(model, args.powers, config=config)
     table = [
@@ -282,6 +286,10 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the DSE (0 = one per "
                             "CPU core; same solution as --jobs 1)")
+    synth.add_argument("--scalar-eval", action="store_true",
+                       help="score EA populations gene-by-gene instead "
+                            "of through the numpy batch engine (same "
+                            "solution, slower; mainly for debugging)")
     synth.add_argument("--seed", type=int, default=2024)
     synth.add_argument("--out", help="write the solution JSON here")
     synth.add_argument("--schedule",
@@ -299,6 +307,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes per synthesis (0 = one "
                             "per CPU core)")
+    sweep.add_argument("--scalar-eval", action="store_true",
+                       help="disable the numpy batch evaluator "
+                            "(same results, slower)")
     sweep.add_argument("--seed", type=int, default=2024)
 
     serve = sub.add_parser(

@@ -13,6 +13,10 @@ candidates with the analytical model in :mod:`repro.core.evaluator` and
 packaging winners as :class:`repro.core.solution.SynthesisSolution`.
 """
 
+from repro.core.batch_eval import (
+    BatchEvaluation,
+    BatchPerformanceEvaluator,
+)
 from repro.core.config import SynthesisConfig
 from repro.core.design_space import DesignPoint, DesignSpace
 from repro.core.evaluator import (
@@ -44,6 +48,8 @@ from repro.core.solution import SynthesisSolution
 from repro.core.synthesizer import Pimsyn
 
 __all__ = [
+    "BatchEvaluation",
+    "BatchPerformanceEvaluator",
     "SynthesisConfig",
     "DesignPoint",
     "DesignSpace",

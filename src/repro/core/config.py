@@ -61,6 +61,21 @@ class SynthesisConfig:
         Share one content-keyed evaluation memo across all EA runs (per
         worker process), so re-visited (model, hardware params, design
         point, gene) tuples never re-run component allocation.
+    batch_eval:
+        Score whole EA populations through the numpy engine of
+        :mod:`repro.core.batch_eval` (one vector op per pipeline stage
+        instead of one Python call per gene). The batched engine
+        replicates the scalar oracle's operation order, so results are
+        identical for a fixed seed — this knob only changes speed.
+        ``False`` falls back to gene-at-a-time evaluation (also the
+        automatic fallback when numpy is unavailable).
+    sa_proposal_batch:
+        Neighbor proposals the stage-1 SA filter draws and scores per
+        batch (its Eq. 4 energies vectorize the same way). ``1``
+        reproduces the classic one-proposal-per-step chain exactly;
+        larger batches draw each round's proposals from the round's
+        entry state, which changes the (still deterministic) walk —
+        the value therefore participates in result content keys.
     seed:
         Master seed for all stochastic stages.
     """
@@ -91,6 +106,8 @@ class SynthesisConfig:
     jobs: int = 1
     prune_dominated: bool = True
     share_eval_cache: bool = True
+    batch_eval: bool = True
+    sa_proposal_batch: int = 8
     seed: int = 2024
 
     @property
@@ -129,6 +146,19 @@ class SynthesisConfig:
         if self.jobs < 0:
             raise ConfigurationError(
                 "jobs must be >= 0 (0 selects one worker per CPU core)"
+            )
+        if not isinstance(self.batch_eval, bool):
+            raise ConfigurationError(
+                f"batch_eval must be a bool, got {self.batch_eval!r}"
+            )
+        if (
+            not isinstance(self.sa_proposal_batch, int)
+            or isinstance(self.sa_proposal_batch, bool)
+            or self.sa_proposal_batch < 1
+        ):
+            raise ConfigurationError(
+                "sa_proposal_batch must be an integer >= 1, got "
+                f"{self.sa_proposal_batch!r}"
             )
 
     @classmethod

@@ -27,6 +27,13 @@ Three properties make the engine safe to parallelize and to accelerate:
    fingerprints and is shared with :class:`repro.optim.evolution.
    EvolutionEngine`, so re-visited tuples never re-run the
    component-allocation stage (per process; workers keep local caches).
+4. **Batched population scoring** — every explorer a runner builds
+   inherits ``config.batch_eval``, so each EA launch scores whole
+   generations through the numpy engine of
+   :mod:`repro.core.batch_eval`. The engine is bit-identical to the
+   scalar oracle, which is why ``batch_eval`` sits in
+   :data:`EXECUTION_ONLY_FIELDS`; serial and multiprocessing paths both
+   benefit because the batching happens inside the worker-side runner.
 
 Every future scaling direction (sharding the queue across hosts, async
 backends, multi-accelerator evaluation) plugs in behind the same
@@ -96,11 +103,15 @@ def params_fingerprint(params: HardwareParams) -> str:
 
 #: Config fields that steer *how* the DSE runs, never *what* it returns
 #: (serial and parallel runs are identical by contract, pruning is
-#: sound, and the memo only skips re-computation). They are excluded
-#: from content keys so a request replayed with different execution
-#: knobs still maps to the same stored result.
+#: sound, the memo only skips re-computation, and the batched evaluator
+#: reproduces the scalar oracle's arithmetic bit for bit). They are
+#: excluded from content keys so a request replayed with different
+#: execution knobs still maps to the same stored result.
+#: ``sa_proposal_batch`` is deliberately *not* here: rounds larger than
+#: one change the SA walk (see :class:`repro.optim.annealing.
+#: SimulatedAnnealer`), so it is result content.
 EXECUTION_ONLY_FIELDS = frozenset(
-    {"jobs", "prune_dominated", "share_eval_cache"}
+    {"jobs", "prune_dominated", "share_eval_cache", "batch_eval"}
 )
 
 
@@ -321,7 +332,13 @@ class _TaskRunner:
         return spec, budget
 
     def make_explorer(self, task: EvaluationTask) -> MacroPartitionExplorer:
-        """Build the stage-3 explorer for a task (shared by run/score)."""
+        """Build the stage-3 explorer for a task (shared by run/score).
+
+        The explorer inherits ``config.batch_eval``, so every EA launch
+        this worker runs scores whole populations through the numpy
+        engine — the serial executor and each pool worker batch their
+        task queues' evaluations identically.
+        """
         spec, budget = self.spec_and_budget(task)
         return MacroPartitionExplorer(
             spec=spec, budget=budget, res_dac=task.res_dac,
@@ -330,7 +347,20 @@ class _TaskRunner:
             cache_context=task.context_key(
                 self._model_key, self._params_key
             ),
+            batch_eval=self.config.batch_eval,
         )
+
+    def score_population(
+        self, task: EvaluationTask, genes: Sequence[Tuple[int, ...]]
+    ) -> List[float]:
+        """Batch-score a gene population under a task's context.
+
+        One vectorized pass over the whole queue of genes; values are
+        identical to scoring each gene through the task's explorer.
+        Used by analysis tooling and the differential test suite to
+        probe a task's fitness landscape without launching its EA.
+        """
+        return self.make_explorer(task).score_population(genes)
 
     def throughput_bound(self, task: EvaluationTask) -> float:
         """Analytical upper bound used for dominated-task pruning."""

@@ -24,6 +24,10 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, MutableMapping, Optional, Sequence, Tuple
 
+from repro.core.batch_eval import (
+    BatchPerformanceEvaluator,
+    numpy_available,
+)
 from repro.core.component_alloc import (
     ComponentAllocation,
     allocate_components,
@@ -129,6 +133,14 @@ class MacroPartitionExplorer:
     params, design point, gene) evaluations are shared across EA runs.
     Without them the engine falls back to a private per-run memo, which
     is the original behavior.
+
+    ``batch_eval`` selects the population-scoring engine: ``True`` runs
+    whole EA generations through the numpy evaluator of
+    :mod:`repro.core.batch_eval` (bit-identical metrics, one vector op
+    per stage instead of one Python call per gene), ``False`` keeps the
+    gene-at-a-time oracle, and ``None`` (default) follows
+    ``config.batch_eval``. Either way :meth:`score` remains the scalar
+    reference for individual genes (winner materialization, tests).
     """
 
     def __init__(
@@ -140,6 +152,7 @@ class MacroPartitionExplorer:
         rng: random.Random,
         cache: Optional[MutableMapping] = None,
         cache_context: Optional[Hashable] = None,
+        batch_eval: Optional[bool] = None,
     ) -> None:
         self.spec = spec
         self.budget = budget
@@ -148,6 +161,10 @@ class MacroPartitionExplorer:
         self.rng = rng
         self.cache = cache
         self.cache_context = cache_context
+        if batch_eval is None:
+            batch_eval = config.batch_eval
+        self.batch_eval = bool(batch_eval) and numpy_available()
+        self._batch_evaluator: Optional[BatchPerformanceEvaluator] = None
         self.last_report = None  # EvolutionReport of the latest explore()
         self.evaluator = PerformanceEvaluator(spec, budget)
         # Rule c caps: WtDup * row-tile count, and >= 1 crossbar per macro.
@@ -186,6 +203,32 @@ class MacroPartitionExplorer:
             partition.macro_groups, allocation
         )
         return result.fitness, allocation, result
+
+    def score_population(self, genes: Sequence[Gene]) -> List[float]:
+        """Fitness of every gene in one vectorized pass.
+
+        Numerically identical to calling :meth:`score` per gene (the
+        batched engine replicates the scalar operation order); used by
+        the EA as its generation-level ``batch_fitness`` hook. With
+        ``batch_eval`` off (or numpy unavailable) it degrades to the
+        scalar loop, so callers get the same values either way.
+        """
+        if not self.batch_eval:
+            return [self.score(gene)[0] for gene in genes]
+        return self.batch_evaluator.fitness_of(genes)
+
+    @property
+    def batch_evaluator(self) -> BatchPerformanceEvaluator:
+        """The lazily built numpy engine for this (spec, budget, DAC)."""
+        if self._batch_evaluator is None:
+            self._batch_evaluator = BatchPerformanceEvaluator(
+                self.spec,
+                self.budget,
+                self.res_dac,
+                enable_macro_sharing=self.config.enable_macro_sharing,
+                identical_macros=not self.config.specialized_macros,
+            )
+        return self._batch_evaluator
 
     # ------------------------------------------------------------------
     # Population initialization
@@ -274,6 +317,9 @@ class MacroPartitionExplorer:
             cache_key=(
                 (lambda gene: (context, gene))
                 if self.cache is not None else None
+            ),
+            batch_fitness=(
+                self.score_population if self.batch_eval else None
             ),
         )
         self.last_report = engine.report

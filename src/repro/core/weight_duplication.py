@@ -23,6 +23,11 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
 from repro.core.config import SynthesisConfig
 from repro.errors import InfeasibleError
 from repro.hardware.crossbar import crossbar_set_size
@@ -101,6 +106,40 @@ class WeightDuplicationFilter:
         ]
         return stdev(steps) + self.config.sa_alpha * stdev(volumes)
 
+    def batch_energy(self, states: Sequence[Sequence[int]]) -> List[float]:
+        """Eq. 4 for a whole proposal round, vectorized over states.
+
+        Cross-layer reductions accumulate in layer order (the same
+        left-to-right sums :func:`repro.utils.mathutils.stdev` runs),
+        so each value is bit-identical to :meth:`energy` on that state
+        — the SA walk cannot depend on which backend scored it.
+        """
+        if _np is None:
+            return [self.energy(state) for state in states]
+        dup = _np.asarray(states, dtype=_np.float64)
+        steps = _np.array(self.out_positions, dtype=_np.float64) / dup
+        volumes = dup * _np.array(
+            self.volume_units, dtype=_np.float64
+        )
+        energies = self._batch_stdev(steps)
+        energies = energies + self.config.sa_alpha * self._batch_stdev(
+            volumes
+        )
+        return [float(e) for e in energies]
+
+    @staticmethod
+    def _batch_stdev(values: "_np.ndarray") -> "_np.ndarray":
+        """Population stdev over the layer axis, ordered like ``stdev``."""
+        count = values.shape[1]
+        acc = _np.zeros(values.shape[0], dtype=_np.float64)
+        for layer in range(count):
+            acc = acc + values[:, layer]
+        mu = acc / count
+        spread = _np.zeros(values.shape[0], dtype=_np.float64)
+        for layer in range(count):
+            spread = spread + (values[:, layer] - mu) ** 2
+        return _np.sqrt(spread / count)
+
     # ------------------------------------------------------------------
     # Initial state: greedy balanced fill
     # ------------------------------------------------------------------
@@ -174,6 +213,8 @@ class WeightDuplicationFilter:
             state_key=lambda state: state,
             rng=rng,
             schedule=schedule,
+            batch_energy=self.batch_energy,
+            proposal_batch=self.config.sa_proposal_batch,
         )
         ranked = annealer.run(
             self.initial_state(), top_k=self.config.num_wtdup_candidates

@@ -5,6 +5,13 @@ single best state — it selects "30 weight duplication candidates with the
 lowest energy-function values" that later stages traverse. The engine
 therefore maintains a bounded archive of the best *distinct* states seen
 anywhere along the walk.
+
+Neighbor proposals can be drawn and scored in *rounds*
+(``proposal_batch``), with the round's energies supplied by a single
+``batch_energy`` call — the hook the WtDup filter uses to run Eq. 4 as
+vectorized numpy instead of one Python evaluation per proposal. A
+``proposal_batch`` of 1 is exactly the classic chain; see the class
+docstring for the larger-round semantics.
 """
 
 from __future__ import annotations
@@ -12,7 +19,16 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Callable, Generic, Hashable, List, Tuple, TypeVar
+from typing import (
+    Callable,
+    Generic,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.errors import ConfigurationError
 
@@ -68,6 +84,22 @@ class SimulatedAnnealer(Generic[State]):
     rng:
         Source of randomness; pass a seeded ``random.Random`` for
         reproducible searches.
+    batch_energy:
+        Optional population-level energy: maps a state sequence to the
+        values ``energy`` would return state by state (the WtDup filter
+        supplies a numpy-vectorized Eq. 4 here). Used to score each
+        round's neighbor proposals in one call.
+    proposal_batch:
+        Neighbor proposals drawn and scored per round. ``1`` (default)
+        reproduces the classic chain exactly — one proposal, one
+        Metropolis decision, identical RNG stream. With ``b > 1`` a
+        round draws ``b`` proposals from the round's entry state, scores
+        them together, then walks them in draw order with sequential
+        Metropolis acceptance against the evolving current state. The
+        walk differs from the one-at-a-time chain (later proposals in a
+        round are "stale" when an earlier one is accepted) but stays
+        fully deterministic under a fixed seed and independent of the
+        energy backend.
     """
 
     def __init__(
@@ -77,13 +109,34 @@ class SimulatedAnnealer(Generic[State]):
         state_key: Callable[[State], Hashable],
         rng: random.Random,
         schedule: AnnealingSchedule = AnnealingSchedule(),
+        batch_energy: Optional[
+            Callable[[Sequence[State]], Sequence[float]]
+        ] = None,
+        proposal_batch: int = 1,
     ) -> None:
+        if proposal_batch < 1:
+            raise ConfigurationError("proposal_batch must be >= 1")
         self.energy = energy
         self.neighbor = neighbor
         self.state_key = state_key
         self.rng = rng
         self.schedule = schedule
+        self.batch_energy = batch_energy
+        self.proposal_batch = proposal_batch
         self.evaluations = 0
+
+    def _energies(self, states: List[State]) -> List[float]:
+        """Score a proposal round, batched when a backend is wired."""
+        self.evaluations += len(states)
+        if self.batch_energy is not None and len(states) > 1:
+            values = list(self.batch_energy(states))
+            if len(values) != len(states):
+                raise ConfigurationError(
+                    f"batch_energy returned {len(values)} values for "
+                    f"{len(states)} states"
+                )
+            return [float(v) for v in values]
+        return [self.energy(state) for state in states]
 
     def run(self, initial: State, top_k: int = 1) -> List[Tuple[State, float]]:
         """Anneal from ``initial``; return the best ``top_k`` distinct states.
@@ -99,26 +152,36 @@ class SimulatedAnnealer(Generic[State]):
         archive: dict = {self.state_key(current): (current, current_energy)}
 
         for temperature in self.schedule.temperatures():
-            for _ in range(self.schedule.steps_per_temp):
-                candidate = self.neighbor(current, self.rng)
-                candidate_energy = self.energy(candidate)
-                self.evaluations += 1
-                delta = candidate_energy - current_energy
-                if delta <= 0 or self.rng.random() < math.exp(
-                    -delta / temperature
+            remaining = self.schedule.steps_per_temp
+            while remaining > 0:
+                round_size = min(self.proposal_batch, remaining)
+                remaining -= round_size
+                proposals = [
+                    self.neighbor(current, self.rng)
+                    for _ in range(round_size)
+                ]
+                energies = self._energies(proposals)
+                for candidate, candidate_energy in zip(
+                    proposals, energies
                 ):
-                    current, current_energy = candidate, candidate_energy
-                    key = self.state_key(current)
-                    best = archive.get(key)
-                    if best is None or current_energy < best[1]:
-                        archive[key] = (current, current_energy)
-                        # Keep the archive bounded: drop the worst states
-                        # once it is far larger than needed.
-                        if len(archive) > 4 * top_k + 64:
-                            survivors = sorted(
-                                archive.items(), key=lambda kv: kv[1][1]
-                            )[: 2 * top_k]
-                            archive = dict(survivors)
+                    delta = candidate_energy - current_energy
+                    if delta <= 0 or self.rng.random() < math.exp(
+                        -delta / temperature
+                    ):
+                        current = candidate
+                        current_energy = candidate_energy
+                        key = self.state_key(current)
+                        best = archive.get(key)
+                        if best is None or current_energy < best[1]:
+                            archive[key] = (current, current_energy)
+                            # Keep the archive bounded: drop the worst
+                            # states once it is far larger than needed.
+                            if len(archive) > 4 * top_k + 64:
+                                survivors = sorted(
+                                    archive.items(),
+                                    key=lambda kv: kv[1][1],
+                                )[: 2 * top_k]
+                                archive = dict(survivors)
 
         ranked = sorted(archive.values(), key=lambda pair: pair[1])
         return ranked[:top_k]

@@ -14,11 +14,13 @@ import random
 from dataclasses import dataclass, field
 from typing import (
     Callable,
+    Dict,
     Generic,
     Hashable,
     List,
     MutableMapping,
     Optional,
+    Sequence,
     Tuple,
     TypeVar,
 )
@@ -69,6 +71,16 @@ class EvolutionEngine(Generic[Gene]):
         Key function for ``cache`` entries. Defaults to ``gene_key``;
         a shared cache must use a content key that also identifies the
         evaluation context (model, hardware params, design point).
+    batch_fitness:
+        Optional population-level fitness: maps a gene sequence to the
+        same values ``fitness`` would return gene by gene. When set,
+        whole generations (the initial population and each
+        generation's offspring) are scored in one call — the numpy
+        engine of :mod:`repro.core.batch_eval` plugs in here. The memo
+        is consulted first, so cached genes are never re-evaluated and
+        hit/miss accounting matches the scalar path exactly. Because
+        evaluation consumes no randomness, batched and scalar runs walk
+        identical RNG streams and return identical results.
     """
 
     def __init__(
@@ -83,6 +95,9 @@ class EvolutionEngine(Generic[Gene]):
         patience: Optional[int] = None,
         cache: Optional[MutableMapping] = None,
         cache_key: Optional[Callable[[Gene], Hashable]] = None,
+        batch_fitness: Optional[
+            Callable[[Sequence[Gene]], Sequence[float]]
+        ] = None,
     ) -> None:
         if population_size < 1:
             raise ConfigurationError("population_size must be >= 1")
@@ -100,6 +115,7 @@ class EvolutionEngine(Generic[Gene]):
         self.offspring_per_gen = offspring_per_gen
         self.max_generations = max_generations
         self.patience = patience
+        self.batch_fitness = batch_fitness
         self.report = EvolutionReport()
         self._cache: MutableMapping = cache if cache is not None else {}
         self._cache_key = cache_key if cache_key is not None else gene_key
@@ -112,6 +128,54 @@ class EvolutionEngine(Generic[Gene]):
             self._cache[key] = self.fitness(gene)
             self.report.evaluations += 1
         return self._cache[key]
+
+    def _evaluate_batch(self, genes: List[Gene]) -> List[float]:
+        """Score ``genes`` through the memo, batching the misses.
+
+        Cached genes are served from the memo (and counted as hits);
+        only the distinct uncached genes reach ``batch_fitness``.
+        In-batch duplicates are resolved after the fresh values land,
+        so they probe the memo as hits — exactly the accounting the
+        gene-at-a-time path produces for the same sequence.
+        """
+        if self.batch_fitness is None or len(genes) <= 1:
+            return [self._evaluate(gene) for gene in genes]
+        keys = [self._cache_key(gene) for gene in genes]
+        values: List[Optional[float]] = [None] * len(genes)
+        pending: Dict[Hashable, int] = {}
+        miss_genes: List[Gene] = []
+        duplicates: List[int] = []
+        for position, (gene, key) in enumerate(zip(genes, keys)):
+            if key in pending:
+                duplicates.append(position)
+            elif key in self._cache:
+                self.report.cache_hits += 1
+                values[position] = self._cache[key]
+            else:
+                pending[key] = position
+                miss_genes.append(gene)
+        if miss_genes:
+            fresh = list(self.batch_fitness(miss_genes))
+            if len(fresh) != len(miss_genes):
+                raise ConfigurationError(
+                    f"batch_fitness returned {len(fresh)} values for "
+                    f"{len(miss_genes)} genes"
+                )
+            for (key, position), value in zip(pending.items(), fresh):
+                self._cache[key] = value
+                values[position] = self._cache[key]
+                self.report.evaluations += 1
+        for position in duplicates:
+            # The first occurrence has been inserted by now, so this
+            # membership probe registers as a cache hit — as it would
+            # have in the sequential flow.
+            key = keys[position]
+            if key in self._cache:
+                self.report.cache_hits += 1
+                values[position] = self._cache[key]
+            else:  # pragma: no cover - pending keys are always inserted
+                values[position] = self._evaluate(genes[position])
+        return values  # type: ignore[return-value]
 
     def _select_parent(self, population: List[Tuple[Gene, float]]) -> Gene:
         """Fitness-proportionate selection with a floor for non-positive
@@ -147,16 +211,22 @@ class EvolutionEngine(Generic[Gene]):
         """Alg. 2: evolve from ``initial_population``; return the best gene."""
         if not initial_population:
             raise ConfigurationError("initial population must be non-empty")
-        population = [
-            (gene, self._evaluate(gene)) for gene in initial_population
-        ]
+        population = list(zip(
+            initial_population,
+            self._evaluate_batch(list(initial_population)),
+        ))
         population.sort(key=lambda pair: pair[1], reverse=True)
         population = population[: self.population_size]
 
         best_gene, best_fit = population[0]
         stale = 0
         for _generation in range(self.max_generations):
-            children: List[Tuple[Gene, float]] = []
+            # Generate the whole brood first: selection only reads the
+            # parent population and evaluation consumes no randomness,
+            # so deferring fitness to one batched call preserves the
+            # exact RNG stream (and results) of child-at-a-time
+            # evaluation.
+            brood: List[Gene] = []
             seen = {self.gene_key(g) for g, _ in population}
             for _ in range(self.offspring_per_gen):
                 parent = self._select_parent(population)
@@ -166,7 +236,10 @@ class EvolutionEngine(Generic[Gene]):
                 if key in seen:
                     continue
                 seen.add(key)
-                children.append((child, self._evaluate(child)))
+                brood.append(child)
+            children: List[Tuple[Gene, float]] = list(zip(
+                brood, self._evaluate_batch(brood)
+            ))
 
             population.extend(children)
             population.sort(key=lambda pair: pair[1], reverse=True)

@@ -1,0 +1,162 @@
+"""Compute (and regenerate) the golden paper-artifact fixtures.
+
+The JSON files next to this script snapshot the repo's three headline
+paper artifacts at the deterministic reduced-scale settings the test
+suite can afford:
+
+- ``table4_peak_efficiency.json`` — Table IV: peak TOPS/W of the
+  synthesized design vs the five manual baselines (full grid search,
+  no DSE involved);
+- ``fig5_adc_reuse.json`` — Fig. 5: inter-layer ADC reuse delay
+  penalty and converter savings vs layer distance on VGG13;
+- ``fig7_weight_duplication.json`` — Fig. 7: SA-filtered weight
+  duplication vs the WOHO heuristic and no duplication, synthesized on
+  the CIFAR-scale AlexNet with the ``fast()`` preset (the ImageNet
+  version of this figure lives in ``benchmarks/``; the golden uses the
+  reduced model so the regression suite stays fast).
+
+``tests/test_golden_regression.py`` recomputes each artifact with the
+functions below and diffs it against the committed snapshot, so any
+drift in the analytical model, the DSE, or the batched evaluator that
+moves a paper number is caught at test time.
+
+Regenerate (only when a change is *supposed* to move the numbers)::
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+and commit the refreshed JSON together with the change that moved it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+SEED = 2024
+FIG5_DISTANCES = (1, 2, 3, 4, 5, 6, 8)
+FIG7_MODEL = "alexnet_cifar"
+FIG7_MARGIN = 2.0
+
+
+def compute_table4() -> Dict:
+    """Table IV: measured peak TOPS/W, PIMSYN vs manual baselines."""
+    from repro.baselines import (
+        atomlayer_design,
+        isaac_design,
+        pipelayer_design,
+        prime_design,
+        puma_design,
+    )
+    from repro.hardware.params import HardwareParams
+    from repro.hardware.peak import best_matched_peak
+
+    params = HardwareParams()
+    best = best_matched_peak(params)
+    rows = {"pimsyn": best.tops_per_watt}
+    for design_fn in (pipelayer_design, isaac_design, prime_design,
+                      puma_design, atomlayer_design):
+        design = design_fn()
+        rows[design.name] = design.peak_point(params).tops_per_watt
+    return {
+        "artifact": "table4_peak_efficiency",
+        "pimsyn_config": {
+            "xb_size": best.xb_size,
+            "res_rram": best.res_rram,
+            "res_dac": best.res_dac,
+        },
+        "tops_per_watt": rows,
+    }
+
+
+def compute_fig5() -> Dict:
+    """Fig. 5: ADC-reuse delay penalty / savings vs layer distance."""
+    from repro.analysis import adc_reuse_study
+    from repro.nn import zoo
+
+    model = zoo.vgg13()
+    samples = adc_reuse_study(
+        model,
+        total_power=120.0,
+        wt_dup=[1] * model.num_weighted_layers,
+        distances=FIG5_DISTANCES,
+    )
+    return {
+        "artifact": "fig5_adc_reuse",
+        "model": model.name,
+        "total_power": 120.0,
+        "samples": [
+            {
+                "distance": s.distance,
+                "delay_penalty": s.delay_penalty,
+                "adcs_saved": s.adcs_saved,
+                "pairs_measured": s.pairs_measured,
+            }
+            for s in samples
+        ],
+    }
+
+
+def compute_fig7() -> Dict:
+    """Fig. 7: weight-duplication policies on the CIFAR AlexNet."""
+    from repro.baselines.heuristics import woho_proportional_wtdup
+    from repro.core import Pimsyn, SynthesisConfig
+    from repro.core.design_space import DesignSpace
+    from repro.nn import zoo
+
+    model = zoo.by_name(FIG7_MODEL)
+    power = DesignSpace(
+        model, SynthesisConfig.fast(1.0)
+    ).minimum_feasible_power(margin=FIG7_MARGIN)
+    metrics = {}
+    for policy in ("sa", "woho", "none"):
+        synthesizer = Pimsyn(model, SynthesisConfig.fast(
+            total_power=power, seed=SEED,
+        ))
+        if policy == "sa":
+            solution = synthesizer.synthesize()
+        elif policy == "woho":
+            solution = synthesizer.synthesize_with_wtdup(
+                lambda point: woho_proportional_wtdup(
+                    model, point.xb_size, point.res_rram,
+                    point.num_crossbars,
+                )
+            )
+        else:
+            solution = synthesizer.synthesize_with_wtdup(
+                lambda point: [1] * model.num_weighted_layers
+            )
+        evaluation = solution.evaluation
+        metrics[policy] = {
+            "throughput": evaluation.throughput,
+            "tops_per_watt": evaluation.tops_per_watt,
+            "wt_dup": list(solution.wt_dup),
+        }
+    return {
+        "artifact": "fig7_weight_duplication",
+        "model": model.name,
+        "total_power": power,
+        "seed": SEED,
+        "policies": metrics,
+    }
+
+
+ARTIFACTS = {
+    "table4_peak_efficiency.json": compute_table4,
+    "fig5_adc_reuse.json": compute_fig5,
+    "fig7_weight_duplication.json": compute_fig7,
+}
+
+
+def main() -> None:
+    for filename, compute in ARTIFACTS.items():
+        path = os.path.join(GOLDEN_DIR, filename)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(compute(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

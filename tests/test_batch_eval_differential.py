@@ -1,0 +1,191 @@
+"""Differential suite: the batched evaluator vs the scalar oracle.
+
+The numpy engine of :mod:`repro.core.batch_eval` claims bit-level
+fidelity to the scalar evaluation chain (``MacroPartition.from_gene``
+-> ``allocate_components`` -> ``PerformanceEvaluator.evaluate``). This
+suite pins that claim across the entire model zoo and a grid of power
+budgets (spanning infeasible, tight and generous regimes), for both
+macro-sharing settings and both macro-specialization modes — and then
+end to end: full synthesis must select the *identical* solution with
+``SynthesisConfig.batch_eval`` on or off.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.dataflow import make_spec
+from repro.core.macro_partition import MacroPartitionExplorer
+from repro.hardware.power import PowerBudget
+from repro.nn import zoo
+
+RELTOL = 1e-9
+POWER_GRID = (0.5, 2.0, 8.0, 50.0, 200.0)
+METRIC_FIELDS = (
+    "period", "latency", "throughput", "tops", "power",
+    "tops_per_watt", "energy_per_image", "edp",
+)
+
+
+def _explorer(model, power, sharing=True, specialized=True,
+              res_dac=1, seed=1):
+    """A stage-3 explorer over a ones-WtDup spec for ``model``."""
+    config = SynthesisConfig.fast(total_power=power)
+    config.enable_macro_sharing = sharing
+    config.specialized_macros = specialized
+    n = model.num_weighted_layers
+    spec = make_spec(
+        model, [1] * n, xb_size=128, res_rram=2, res_dac=res_dac,
+        params=config.params,
+        max_blocks_per_layer=config.max_blocks_per_layer,
+    )
+    budget = PowerBudget(
+        total_power=power, ratio_rram=0.3, xb_size=128, res_rram=2,
+        num_crossbars=4096,
+    )
+    return MacroPartitionExplorer(
+        spec=spec, budget=budget, res_dac=res_dac, config=config,
+        rng=random.Random(seed),
+    )
+
+
+def _population(explorer, size=24, seed=2):
+    """Seed genes plus a random mutation walk (all rule-valid)."""
+    genes = explorer.initial_population(min(size, 8))
+    rng = random.Random(seed)
+    while len(genes) < size:
+        parent = rng.choice(genes)
+        operator = rng.choice(
+            [explorer.mutate_num, explorer.mutate_share]
+        )
+        genes.append(operator(parent, rng))
+    return genes
+
+
+def _assert_close(scalar, batched, label):
+    assert math.isclose(
+        scalar, batched, rel_tol=RELTOL, abs_tol=RELTOL
+    ), f"{label}: scalar={scalar!r} batched={batched!r}"
+
+
+class TestZooDifferential:
+    """Every zoo model x power grid: metrics agree within 1e-9."""
+
+    @pytest.mark.parametrize("name", zoo.available_models())
+    def test_all_metrics_match_scalar_oracle(self, name):
+        model = zoo.by_name(name)
+        feasible_seen = 0
+        infeasible_seen = 0
+        for power in POWER_GRID:
+            explorer = _explorer(model, power)
+            genes = _population(explorer)
+            batch = explorer.batch_evaluator.evaluate_population(genes)
+            for k, gene in enumerate(genes):
+                fitness, allocation, result = explorer.score(gene)
+                _assert_close(
+                    fitness, float(batch.fitness[k]),
+                    f"{name}@{power}W gene {k} fitness",
+                )
+                if allocation is None:
+                    infeasible_seen += 1
+                    assert not bool(batch.feasible[k])
+                    continue
+                feasible_seen += 1
+                assert bool(batch.feasible[k])
+                for field in METRIC_FIELDS:
+                    _assert_close(
+                        getattr(result, field),
+                        float(getattr(batch, field)[k]),
+                        f"{name}@{power}W gene {k} {field}",
+                    )
+                assert result.bottleneck_layer == int(
+                    batch.bottleneck_layer[k]
+                )
+        # The grid must actually exercise both regimes.
+        assert feasible_seen > 0
+        assert infeasible_seen > 0
+
+    @pytest.mark.parametrize("sharing,specialized", [
+        (True, False), (False, True), (False, False),
+    ])
+    def test_mode_flags_match_scalar_oracle(self, sharing, specialized):
+        """Identical-macro and no-sharing variants stay differential."""
+        for name in ("lenet5", "vgg13", "resnet18_cifar"):
+            model = zoo.by_name(name)
+            explorer = _explorer(
+                model, 8.0, sharing=sharing, specialized=specialized
+            )
+            genes = _population(explorer)
+            batched = explorer.score_population(genes)
+            for gene, value in zip(genes, batched):
+                _assert_close(
+                    explorer.score(gene)[0], value,
+                    f"{name} sharing={sharing} "
+                    f"specialized={specialized}",
+                )
+
+    def test_score_population_scalar_fallback(self):
+        """batch_eval=False degrades score_population to the scalar
+        loop with identical values (the --scalar-eval path)."""
+        explorer = _explorer(zoo.by_name("lenet5"), 2.0)
+        genes = _population(explorer, size=8)
+        batched = explorer.score_population(genes)
+        explorer.batch_eval = False
+        assert explorer.score_population(genes) == batched
+
+    def test_res_dac_variants(self):
+        """ResDAC changes bit-serial depth; both engines must track."""
+        model = zoo.by_name("alexnet_cifar")
+        for res_dac in (1, 2, 4):
+            explorer = _explorer(model, 8.0, res_dac=res_dac)
+            genes = _population(explorer, size=12)
+            batched = explorer.score_population(genes)
+            for gene, value in zip(genes, batched):
+                _assert_close(
+                    explorer.score(gene)[0], value,
+                    f"res_dac={res_dac}",
+                )
+
+
+class TestFullSynthesisIdentity:
+    """batch_eval on/off is an execution knob: results are identical."""
+
+    @pytest.mark.parametrize("name,power", [
+        ("lenet5", 2.0), ("alexnet_cifar", 8.0),
+    ])
+    def test_identical_solution_and_telemetry(self, name, power):
+        model = zoo.by_name(name)
+        runs = {}
+        reports = {}
+        for batch in (True, False):
+            synthesizer = Pimsyn(model, SynthesisConfig.fast(
+                total_power=power, seed=7, batch_eval=batch,
+            ))
+            runs[batch] = synthesizer.synthesize().to_json()
+            reports[batch] = synthesizer.report
+        assert runs[True] == runs[False]
+        # Even the search telemetry matches: the batched engine walks
+        # the same RNG stream and consults the same memo.
+        assert (
+            reports[True].ea_evaluations == reports[False].ea_evaluations
+        )
+        assert reports[True].cache_hits == reports[False].cache_hits
+        assert reports[True].ea_runs == reports[False].ea_runs
+
+    def test_identical_across_jobs_and_batch(self):
+        """The 2x2 (jobs, batch_eval) grid returns one solution."""
+        outputs = set()
+        for jobs in (1, 2):
+            for batch in (True, False):
+                solution = Pimsyn(zoo.by_name("lenet5"), (
+                    SynthesisConfig.fast(
+                        total_power=2.0, seed=11, jobs=jobs,
+                        batch_eval=batch,
+                    )
+                )).synthesize()
+                outputs.add(solution.to_json())
+        assert len(outputs) == 1

@@ -1,0 +1,182 @@
+"""Hypothesis invariants of the batched population evaluator.
+
+Four algebraic properties the numpy engine must satisfy for *any*
+rule-valid gene population (not just the ones the differential suite
+samples):
+
+- permuting a population permutes the scores and nothing else;
+- a batch of one equals the scalar ``score()``;
+- duplicated genes receive identical fitness;
+- genes already in the evaluation memo are never re-evaluated by the
+  EA's batched path.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SynthesisConfig
+from repro.core.dataflow import make_spec
+from repro.core.macro_partition import (
+    MacroPartitionExplorer,
+    encode_gene,
+)
+from repro.hardware.power import PowerBudget
+from repro.nn import lenet5
+from repro.optim.evolution import EvolutionEngine
+
+
+def _make_explorer(sharing=True):
+    model = lenet5()
+    config = SynthesisConfig.fast(total_power=2.0)
+    config.enable_macro_sharing = sharing
+    n = model.num_weighted_layers
+    spec = make_spec(
+        model, [1] * n, xb_size=128, res_rram=2, res_dac=1,
+        params=config.params,
+        max_blocks_per_layer=config.max_blocks_per_layer,
+    )
+    budget = PowerBudget(
+        total_power=2.0, ratio_rram=0.3, xb_size=128, res_rram=2,
+        num_crossbars=2048,
+    )
+    return MacroPartitionExplorer(
+        spec=spec, budget=budget, res_dac=1, config=config,
+        rng=random.Random(0),
+    )
+
+
+EXPLORER = _make_explorer()
+CAPS = list(EXPLORER.caps)
+
+
+@st.composite
+def valid_genes(draw):
+    """Rule-valid genes: capped counts, pairs-only sharing (rule b)."""
+    owners = []
+    counts = []
+    paired = set()
+    for index, cap in enumerate(CAPS):
+        counts.append(draw(st.integers(min_value=1, max_value=cap)))
+        candidates = [
+            j for j in range(index)
+            if owners[j] == j and j not in paired
+        ]
+        if candidates and draw(st.booleans()):
+            partner = draw(st.sampled_from(candidates))
+            owners.append(partner)
+            paired.add(partner)
+        else:
+            owners.append(index)
+    return encode_gene(owners, counts)
+
+
+@st.composite
+def populations(draw):
+    return draw(
+        st.lists(valid_genes(), min_size=1, max_size=12)
+    )
+
+
+class TestBatchInvariants:
+    @given(genes=populations(), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_permutes_scores(self, genes, seed):
+        scores = EXPLORER.score_population(genes)
+        order = list(range(len(genes)))
+        random.Random(seed).shuffle(order)
+        permuted = EXPLORER.score_population(
+            [genes[i] for i in order]
+        )
+        assert permuted == [scores[i] for i in order]
+
+    @given(gene=valid_genes())
+    @settings(max_examples=25, deadline=None)
+    def test_batch_of_one_equals_scalar_score(self, gene):
+        assert EXPLORER.score_population([gene]) == [
+            EXPLORER.score(gene)[0]
+        ]
+        batch = EXPLORER.batch_evaluator.evaluate_population([gene])
+        fitness, allocation, result = EXPLORER.score(gene)
+        assert bool(batch.feasible[0]) == (allocation is not None)
+        if result is not None:
+            assert float(batch.period[0]) == result.period
+            assert float(batch.latency[0]) == result.latency
+            assert float(batch.power[0]) == result.power
+
+    @given(gene=valid_genes(), copies=st.integers(2, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_duplicated_genes_get_identical_fitness(self, gene, copies):
+        scores = EXPLORER.score_population([gene] * copies)
+        assert len(set(scores)) == 1
+
+    @given(genes=populations())
+    @settings(max_examples=25, deadline=None)
+    def test_memo_hits_are_never_reevaluated(self, genes):
+        """Cached genes must not reach batch_fitness; fresh genes must
+        reach it exactly once each, duplicates collapsed."""
+        cached = genes[: len(genes) // 2]
+        cache = {}
+        sentinels = {}
+        for i, gene in enumerate(cached):
+            cache.setdefault(gene, float(i))
+            sentinels.setdefault(gene, float(i))
+        batch_evaluated = []
+        scalar_evaluated = []
+
+        def batch_fitness(batch):
+            batch_evaluated.extend(batch)
+            return EXPLORER.score_population(list(batch))
+
+        def fitness(gene):
+            scalar_evaluated.append(gene)
+            return EXPLORER.score(gene)[0]
+
+        engine = EvolutionEngine(
+            fitness=fitness,
+            mutations=[EXPLORER.mutate_num],
+            gene_key=lambda gene: gene,
+            rng=random.Random(0),
+            cache=cache,
+            batch_fitness=batch_fitness,
+        )
+        values = engine._evaluate_batch(list(genes))
+        assert len(values) == len(genes)
+        evaluated = batch_evaluated + scalar_evaluated
+        cached_set = set(cached)
+        # Memo hits never reach either evaluation path, and no gene is
+        # evaluated twice (in-batch duplicates collapse to one call).
+        assert not (set(evaluated) & cached_set)
+        assert len(evaluated) == len(set(evaluated))
+        assert set(evaluated) == {
+            g for g in genes if g not in cached_set
+        }
+        for gene, value in zip(genes, values):
+            assert value == cache[gene]
+        # Cached entries kept their sentinel values: no re-evaluation.
+        for gene, sentinel in sentinels.items():
+            assert cache[gene] == sentinel
+
+
+class TestEngineEquivalence:
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_and_scalar_ea_runs_are_identical(self, seed):
+        """Same seed, same initial population -> same EA outcome and
+        telemetry with and without the batched engine."""
+        outcomes = {}
+        for batch in (True, False):
+            explorer = _make_explorer()
+            explorer.batch_eval = batch
+            explorer.rng = random.Random(seed)
+            partition, _allocation, result = explorer.explore()
+            outcomes[batch] = (
+                partition.gene,
+                result.throughput,
+                explorer.last_report.evaluations,
+                explorer.last_report.cache_hits,
+                explorer.last_report.generations,
+            )
+        assert outcomes[True] == outcomes[False]

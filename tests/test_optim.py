@@ -69,6 +69,77 @@ class TestSimulatedAnnealer:
         with pytest.raises(ConfigurationError):
             self._quadratic_annealer().run(0, top_k=0)
 
+    def test_proposal_batch_one_matches_legacy_chain(self):
+        """b=1 is the classic chain: adding a batch energy backend (or
+        none) must not change the walk for a fixed seed."""
+        plain = self._quadratic_annealer(seed=4).run(0, top_k=4)
+        batched = SimulatedAnnealer(
+            energy=lambda x: (x - 17) ** 2,
+            neighbor=lambda x, rng: x + rng.choice((-1, 1)),
+            state_key=lambda x: x,
+            rng=random.Random(4),
+            schedule=AnnealingSchedule(
+                initial_temperature=10.0, min_temperature=0.01,
+                cooling_rate=0.9, steps_per_temp=30,
+            ),
+            batch_energy=lambda states: [(x - 17) ** 2 for x in states],
+            proposal_batch=1,
+        )
+        assert batched.run(0, top_k=4) == plain
+
+    def test_proposal_batch_backend_independent(self):
+        """With b>1 the walk differs from the classic chain but must be
+        identical whichever backend scores a round."""
+
+        def make(batch_energy):
+            return SimulatedAnnealer(
+                energy=lambda x: (x - 17) ** 2,
+                neighbor=lambda x, rng: x + rng.choice((-1, 1)),
+                state_key=lambda x: x,
+                rng=random.Random(8),
+                schedule=AnnealingSchedule(
+                    initial_temperature=10.0, min_temperature=0.01,
+                    cooling_rate=0.9, steps_per_temp=30,
+                ),
+                batch_energy=batch_energy,
+                proposal_batch=6,
+            )
+
+        scalar_backend = make(None)
+        vector_backend = make(
+            lambda states: [(x - 17) ** 2 for x in states]
+        )
+        assert scalar_backend.run(0, top_k=5) == vector_backend.run(
+            0, top_k=5
+        )
+        assert scalar_backend.evaluations == vector_backend.evaluations
+
+    def test_proposal_batch_counts_evaluations(self):
+        annealer = SimulatedAnnealer(
+            energy=lambda x: float(x * x),
+            neighbor=lambda x, rng: x + rng.choice((-1, 1)),
+            state_key=lambda x: x,
+            rng=random.Random(1),
+            schedule=AnnealingSchedule(
+                initial_temperature=1.0, min_temperature=0.5,
+                cooling_rate=0.5, steps_per_temp=7,
+            ),
+            proposal_batch=3,  # 7 steps/temp -> rounds of 3, 3, 1
+        )
+        annealer.run(5, top_k=1)
+        # Initial + one per step over the 2-rung ladder (1.0, 0.5).
+        assert annealer.evaluations == 1 + 2 * 7
+
+    def test_proposal_batch_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealer(
+                energy=lambda x: 0.0,
+                neighbor=lambda x, rng: x,
+                state_key=lambda x: x,
+                rng=random.Random(0),
+                proposal_batch=0,
+            )
+
     def test_always_returns_at_least_initial(self):
         annealer = SimulatedAnnealer(
             energy=lambda x: 0.0,
@@ -162,6 +233,40 @@ class TestEvolutionEngine:
         )
         best, fit = engine.run([tuple([0] * 6)])
         assert fit > -100.0  # still improves despite negative scores
+
+    def test_select_parent_rank_floor_sequence_pinned(self):
+        """Determinism regression for the non-positive-fitness path.
+
+        When any fitness is <= 0 the selector falls back to rank
+        weighting; the exact parent sequence under a fixed seed is
+        pinned here so evaluator refactors (e.g. the batched engine)
+        cannot silently drift the EA's walk. The weights are rank-based
+        (ties broken by position), so 'b' (rank 5) is the likeliest and
+        'a' (rank 1) the rarest pick.
+        """
+        engine = self._onemax_engine()
+        engine.rng = random.Random(2024)
+        population = [
+            ("a", -5.0), ("b", 0.0), ("c", -1.0), ("d", -3.0),
+            ("e", -1.0),
+        ]
+        picks = [engine._select_parent(population) for _ in range(20)]
+        assert picks == [
+            "c", "d", "b", "e", "c", "d", "b", "b", "e", "c",
+            "c", "d", "e", "b", "d", "c", "d", "e", "b", "e",
+        ]
+
+    def test_select_parent_rank_floor_seed_reproducible(self):
+        """Two engines with the same seed select identical parents."""
+        population = [("a", -2.0), ("b", -4.0), ("c", 0.0), ("d", -1.0)]
+        sequences = []
+        for _ in range(2):
+            engine = self._onemax_engine()
+            engine.rng = random.Random(99)
+            sequences.append(
+                [engine._select_parent(population) for _ in range(50)]
+            )
+        assert sequences[0] == sequences[1]
 
     def test_validation(self):
         with pytest.raises(ConfigurationError):
