@@ -1,0 +1,63 @@
+"""Pareto-front synthesis bench: front quality into the CI artifact.
+
+Runs the multi-objective mode (``synthesize_pareto``) on the CIFAR
+VGG8 at the bench-wide power floor (``pimsyn_power_for``: feasibility
+floor x 2 — the same derivation, though independently computed, as the
+golden fixture's ``PARETO_MARGIN``) and publishes the front's size and
+dominated hypervolume into the
+pytest-benchmark JSON (``extra_info``), so CI tracks the trade-off
+surface the NSGA-II layer recovers the same way it tracks the batched
+evaluator's speedup. A shrinking hypervolume at fixed settings means
+the search got worse, even if every test still passes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import Pimsyn, SynthesisConfig
+from repro.nn import zoo
+
+from conftest import pimsyn_power_for
+
+_SEED = 2024
+
+
+def run_pareto():
+    model = zoo.by_name("vgg8")
+    power = pimsyn_power_for(model)
+    config = SynthesisConfig.fast(total_power=power, seed=_SEED)
+    config.pareto = True
+    synthesizer = Pimsyn(model, config)
+    return synthesizer, synthesizer.synthesize_pareto()
+
+
+def test_pareto_front_vgg8(benchmark):
+    synthesizer, front = benchmark.pedantic(
+        run_pareto, rounds=1, iterations=1
+    )
+    report = synthesizer.report
+    print()
+    print(front.front_table())
+    print(format_table(
+        ["metric", "value"],
+        [
+            ("front points", len(front)),
+            ("hypervolume (nadir ref)", round(front.hypervolume(), 6)),
+            ("EA runs", report.ea_runs),
+            ("NSGA-II runs", report.nsga_runs),
+            ("evaluations", report.ea_evaluations),
+            ("cache hits", report.cache_hits),
+            ("wall seconds", round(report.wall_seconds, 3)),
+        ],
+        title="pareto synthesis telemetry (vgg8)",
+    ))
+    assert len(front) >= 2
+    best = front.best("throughput")
+    frugal = front.best("energy_per_image")
+    assert frugal.energy_per_image < best.energy_per_image or (
+        len(front) == 1
+    )
+    benchmark.extra_info["front_size"] = len(front)
+    benchmark.extra_info["hypervolume"] = front.hypervolume()
+    benchmark.extra_info["nsga_runs"] = report.nsga_runs
+    benchmark.extra_info["best_throughput"] = best.throughput

@@ -21,7 +21,7 @@ Package map:
 - :mod:`repro.nn` — CNN substrate (layers, zoo, ONNX-like JSON I/O)
 - :mod:`repro.hardware` — component library, crossbar math, NoC, chip
 - :mod:`repro.ir` — Table II IRs and the dataflow DAG
-- :mod:`repro.optim` — SA and EA engines
+- :mod:`repro.optim` — SA, EA and NSGA-II engines + dominance helpers
 - :mod:`repro.core` — the four synthesis stages and the Alg. 1 DSE
 - :mod:`repro.sim` — the IR-based behavior-level simulator
 - :mod:`repro.baselines` — ISAAC/PipeLayer/PRIME/PUMA/AtomLayer/Gibbon
@@ -31,6 +31,7 @@ Package map:
 """
 
 from repro.core.config import SynthesisConfig
+from repro.core.pareto import ParetoPoint, ParetoSolutionSet
 from repro.core.solution import SynthesisSolution
 from repro.core.synthesizer import Pimsyn
 from repro.errors import (
@@ -46,6 +47,8 @@ from repro.errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ParetoPoint",
+    "ParetoSolutionSet",
     "Pimsyn",
     "SynthesisConfig",
     "SynthesisSolution",

@@ -16,7 +16,12 @@ from repro.analysis.energy import (
     layer_energy_breakdown,
 )
 from repro.analysis.gantt import render_gantt
-from repro.analysis.report import format_table, normalize_series
+from repro.analysis.report import (
+    format_pareto_front,
+    format_table,
+    normalize_series,
+    pareto_front_csv,
+)
 from repro.analysis.sweep import PowerSweepRow, power_sweep
 
 __all__ = [
@@ -26,8 +31,10 @@ __all__ = [
     "dominant_resource",
     "layer_energy_breakdown",
     "render_gantt",
+    "format_pareto_front",
     "format_table",
     "normalize_series",
+    "pareto_front_csv",
     "PowerSweepRow",
     "power_sweep",
 ]

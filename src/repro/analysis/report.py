@@ -59,3 +59,52 @@ def normalize_series(
     if base == 0:
         raise ValueError("cannot normalize to zero")
     return [v / base for v in values]
+
+
+#: Column order of the pareto front views (table and CSV): decision
+#: variables first, then every serialized metric in a fixed order.
+_FRONT_COLUMNS = (
+    ("ratio_rram", "RatioRram"),
+    ("res_rram", "ResRram"),
+    ("xb_size", "XbSize"),
+    ("res_dac", "ResDAC"),
+    ("num_macros", "macros"),
+    ("throughput", "img/s"),
+    ("energy_per_image", "J/img"),
+    ("power", "W"),
+    ("tops_per_watt", "TOPS/W"),
+    ("latency", "latency (s)"),
+)
+
+
+def format_pareto_front(front) -> str:
+    """Aligned ASCII view of a :class:`repro.core.pareto.
+    ParetoSolutionSet` — the ``repro synthesize --pareto`` output."""
+    rows = [
+        tuple(getattr(point, name) for name, _header in _FRONT_COLUMNS)
+        for point in front.points
+    ]
+    title = (
+        f"pareto front - {front.model_name} @ "
+        f"{front.total_power:.1f} W "
+        f"({len(front.points)} points; objectives: "
+        f"{', '.join(front.objectives)})"
+    )
+    return format_table(
+        [header for _name, header in _FRONT_COLUMNS], rows, title=title
+    )
+
+
+def pareto_front_csv(front) -> str:
+    """The front as CSV with full-precision floats (``repr`` round
+    trips), one row per point — the machine-readable twin of
+    :func:`format_pareto_front` for spreadsheets and plotting."""
+    lines = [",".join(name for name, _header in _FRONT_COLUMNS)]
+    for point in front.points:
+        cells = []
+        for name, _header in _FRONT_COLUMNS:
+            value = getattr(point, name)
+            cells.append(repr(value) if isinstance(value, float)
+                         else str(value))
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

@@ -40,14 +40,19 @@ def _load(args) -> object:
 def _config(args, power: float) -> SynthesisConfig:
     jobs = getattr(args, "jobs", 1)
     batch_eval = not getattr(args, "scalar_eval", False)
+    extras = {}
+    if getattr(args, "pareto", False):
+        extras["pareto"] = True
+    if getattr(args, "objectives", None):
+        extras["objectives"] = tuple(args.objectives)
     if getattr(args, "full", False):
         return SynthesisConfig(
             total_power=power, seed=args.seed, jobs=jobs,
-            batch_eval=batch_eval,
+            batch_eval=batch_eval, **extras,
         )
     return SynthesisConfig.fast(
         total_power=power, seed=args.seed, jobs=jobs,
-        batch_eval=batch_eval,
+        batch_eval=batch_eval, **extras,
     )
 
 
@@ -86,15 +91,31 @@ def cmd_synthesize(args) -> int:
         print(f"no --power given; using feasibility floor x "
               f"{args.margin} = {power:.1f} W")
     config = _config(args, power)
+    if getattr(args, "front_csv", None) and not config.pareto:
+        print("--front-csv requires --pareto", file=sys.stderr)
+        return 2
     progress = print if args.verbose else None
     synthesizer = Pimsyn(model, config, progress=progress)
-    solution = synthesizer.synthesize()
+    front = None
+    if config.pareto:
+        front = synthesizer.synthesize_pareto()
+        solution = front.solution
+        print(front.front_table())
+        print()
+        print("best point (first objective):")
+    else:
+        solution = synthesizer.synthesize()
     print(solution.summary())
     if args.verbose:
         report = synthesizer.report
+        nsga = (
+            f"{report.nsga_runs} NSGA-II runs, " if report.nsga_runs
+            else ""
+        )
         print(
             f"  DSE: {report.outer_points} outer points, "
             f"{report.ea_runs} EA runs ({report.pruned_tasks} pruned), "
+            f"{nsga}"
             f"{report.cache_hits} cache hits / "
             f"{report.cache_misses} misses, jobs={report.jobs}, "
             f"{report.wall_seconds:.2f} s"
@@ -103,9 +124,16 @@ def cmd_synthesize(args) -> int:
         print()
         print(solution.build_accelerator().summary())
     if args.out:
+        document = front.to_json() if front is not None \
+            else solution.to_json()
         with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(solution.to_json())
-        print(f"\nsolution written to {args.out}")
+            handle.write(document)
+        artifact = "front" if front is not None else "solution"
+        print(f"\n{artifact} written to {args.out}")
+    if getattr(args, "front_csv", None) and front is not None:
+        with open(args.front_csv, "w", encoding="utf-8") as handle:
+            handle.write(front.to_csv())
+        print(f"front CSV written to {args.front_csv}")
     if args.schedule:
         from repro.sim import SimulationEngine
         from repro.sim.schedule import export_schedule
@@ -290,6 +318,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="score EA populations gene-by-gene instead "
                             "of through the numpy batch engine (same "
                             "solution, slower; mainly for debugging)")
+    synth.add_argument("--pareto", action="store_true",
+                       help="multi-objective mode: print the Pareto "
+                            "front over --objectives instead of a "
+                            "single best design")
+    synth.add_argument("--objectives", nargs="+", metavar="METRIC",
+                       help="pareto objectives (default: throughput "
+                            "energy_per_image num_macros); see "
+                            "repro.core.config.OBJECTIVE_SENSES")
+    synth.add_argument("--front-csv",
+                       help="write the Pareto front as CSV here "
+                            "(requires --pareto)")
     synth.add_argument("--seed", type=int, default=2024)
     synth.add_argument("--out", help="write the solution JSON here")
     synth.add_argument("--schedule",

@@ -37,6 +37,7 @@ from repro.core.macro_partition import (
     decode_gene,
     encode_gene,
 )
+from repro.core.pareto import ParetoPoint, ParetoSolutionSet, merge_fronts
 from repro.core.weight_duplication import WeightDuplicationFilter
 from repro.core.dataflow import compile_dataflow
 from repro.core.persistence import (
@@ -66,6 +67,9 @@ __all__ = [
     "MacroPartitionExplorer",
     "decode_gene",
     "encode_gene",
+    "ParetoPoint",
+    "ParetoSolutionSet",
+    "merge_fronts",
     "WeightDuplicationFilter",
     "compile_dataflow",
     "load_solution",

@@ -14,6 +14,14 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.optim.dominance import dominates, non_dominated_indices
+
+__all__ = [
+    "ArchiveEntry",
+    "DesignArchive",
+    "dominates",
+    "pareto_front",
+]
 
 
 @dataclass(frozen=True)
@@ -65,21 +73,6 @@ class DesignArchive:
         return list(self.entries)
 
 
-def dominates(
-    a: Sequence[float], b: Sequence[float]
-) -> bool:
-    """True when objective vector ``a`` Pareto-dominates ``b``.
-
-    All objectives are maximized; flip signs for minimized metrics
-    before calling.
-    """
-    if len(a) != len(b):
-        raise ConfigurationError("objective vectors differ in length")
-    return all(x >= y for x, y in zip(a, b)) and any(
-        x > y for x, y in zip(a, b)
-    )
-
-
 def pareto_front(
     entries: Sequence[ArchiveEntry],
     objectives: Tuple[Callable[[ArchiveEntry], float], ...] = (
@@ -90,20 +83,15 @@ def pareto_front(
     """Non-dominated subset under the given (maximized) objectives.
 
     Default objectives: maximize throughput, minimize power — the
-    trade-off Eq. 2/Eq. 5 couple through the constraint.
+    trade-off Eq. 2/Eq. 5 couple through the constraint. Dominance is
+    the strict shared definition of :mod:`repro.optim.dominance`:
+    equal objective vectors never evict each other (they deduplicate
+    below instead).
     """
     if not entries:
         return []
     vectors = [tuple(obj(e) for obj in objectives) for e in entries]
-    front: List[ArchiveEntry] = []
-    for index, entry in enumerate(entries):
-        if any(
-            dominates(vectors[other], vectors[index])
-            for other in range(len(entries))
-            if other != index
-        ):
-            continue
-        front.append(entry)
+    front = [entries[i] for i in non_dominated_indices(vectors)]
     # Deduplicate identical objective points, keep deterministic order.
     seen = set()
     unique = []

@@ -89,6 +89,7 @@ class BatchEvaluation:
     energy_per_image: "object"
     edp: "object"
     bottleneck_layer: "object"  # (P,) int ndarray (-1 when infeasible)
+    num_macros: "object"  # (P,) int ndarray (0 when infeasible)
 
     def __len__(self) -> int:
         return int(self.fitness.shape[0])
@@ -578,6 +579,7 @@ class BatchPerformanceEvaluator:
                 tops=empty, power=empty, tops_per_watt=empty,
                 energy_per_image=empty, edp=empty,
                 bottleneck_layer=np.zeros(0, dtype=np.int64),
+                num_macros=np.zeros(0, dtype=np.int64),
             )
         genes_arr = np.asarray(genes, dtype=np.int64)
         if genes_arr.ndim != 2 or genes_arr.shape[1] != self.num_layers:
@@ -621,6 +623,7 @@ class BatchPerformanceEvaluator:
             energy_per_image=_mask(energy),
             edp=_mask(edp),
             bottleneck_layer=np.where(feasible, bottleneck, -1),
+            num_macros=np.where(feasible, total_macros, 0),
         )
 
     def fitness_of(self, genes: Sequence[Gene]) -> List[float]:

@@ -20,6 +20,49 @@ from repro.hardware.params import (
     XBSIZE_CHOICES,
 )
 
+#: Metrics the multi-objective (pareto) mode can optimize, mapped to
+#: their sense: ``+1`` maximized as-is, ``-1`` negated so the shared
+#: dominance helpers (which maximize every component) minimize them.
+#: Names match :class:`repro.core.evaluator.EvaluationResult` fields,
+#: plus ``num_macros`` (the partition's macro count — the area/cost
+#: proxy Table I's grid prices in macro periphery).
+OBJECTIVE_SENSES = {
+    "throughput": 1,
+    "tops_per_watt": 1,
+    "tops": 1,
+    "energy_per_image": -1,
+    "num_macros": -1,
+    "power": -1,
+    "latency": -1,
+    "edp": -1,
+}
+
+#: Default pareto objective set: the trade-off surface the ROADMAP
+#: names — speed vs energy vs macro/area cost.
+DEFAULT_OBJECTIVES = ("throughput", "energy_per_image", "num_macros")
+
+
+def objective_vector(metrics, objectives) -> Tuple[float, ...]:
+    """Sense-adjusted (maximized) objective vector from a metric map.
+
+    The one place metric values become dominance coordinates: minimized
+    metrics are negated, everything else passes through bit-unchanged.
+    Both the scalar and the batched scoring paths funnel through here,
+    which is what makes their fronts identical, not merely close.
+    """
+    return tuple(
+        float(metrics[name]) if OBJECTIVE_SENSES[name] > 0
+        else -float(metrics[name])
+        for name in objectives
+    )
+
+
+def infeasible_objective_vector(objectives) -> Tuple[float, ...]:
+    """The vector assigned to infeasible genes: dominated by every
+    feasible vector (all metrics are finite), never dominating a twin
+    (equal vectors tie under strict dominance)."""
+    return tuple(float("-inf") for _ in objectives)
+
 
 @dataclass
 class SynthesisConfig:
@@ -76,6 +119,19 @@ class SynthesisConfig:
         larger batches draw each round's proposals from the round's
         entry state, which changes the (still deterministic) walk —
         the value therefore participates in result content keys.
+    pareto:
+        Multi-objective synthesis mode: :meth:`repro.core.synthesizer.
+        Pimsyn.synthesize_pareto` runs NSGA-II per DSE task and merges
+        the per-task fronts into one global Pareto front over
+        ``objectives``. The flag participates in result content keys
+        (a front is a different artifact than a single solution); the
+        serve layer routes on it.
+    objectives:
+        The (ordered) metrics pareto mode trades off — names from
+        :data:`OBJECTIVE_SENSES`, minimized metrics negated
+        internally. At least two distinct objectives are required
+        (one-objective fronts degenerate to the scalar EA — use
+        ``synthesize()``).
     seed:
         Master seed for all stochastic stages.
     """
@@ -108,6 +164,8 @@ class SynthesisConfig:
     share_eval_cache: bool = True
     batch_eval: bool = True
     sa_proposal_batch: int = 8
+    pareto: bool = False
+    objectives: Tuple[str, ...] = DEFAULT_OBJECTIVES
     seed: int = 2024
 
     @property
@@ -160,6 +218,27 @@ class SynthesisConfig:
                 "sa_proposal_batch must be an integer >= 1, got "
                 f"{self.sa_proposal_batch!r}"
             )
+        if not isinstance(self.pareto, bool):
+            raise ConfigurationError(
+                f"pareto must be a bool, got {self.pareto!r}"
+            )
+        objectives = tuple(self.objectives)
+        if len(objectives) < 2:
+            raise ConfigurationError(
+                "objectives needs at least two metrics (a one-metric "
+                "front is the scalar EA; use synthesize())"
+            )
+        if len(set(objectives)) != len(objectives):
+            raise ConfigurationError(
+                f"objectives has duplicates: {objectives}"
+            )
+        unknown = [o for o in objectives if o not in OBJECTIVE_SENSES]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown objectives {unknown}; valid: "
+                f"{sorted(OBJECTIVE_SENSES)}"
+            )
+        self.objectives = objectives
 
     @classmethod
     def fast(cls, total_power: float = 50.0, seed: int = 2024,

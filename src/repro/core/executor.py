@@ -43,7 +43,7 @@ executor protocol.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field as dc_field, fields
 from typing import (
     TYPE_CHECKING,
     Callable,
@@ -66,6 +66,7 @@ from repro.core.dataflow import make_spec
 from repro.core.design_space import DesignPoint, DesignSpace
 from repro.core.evaluator import throughput_upper_bound
 from repro.core.macro_partition import MacroPartition, MacroPartitionExplorer
+from repro.core.pareto import ParetoPoint, ParetoSolutionSet, merge_fronts
 from repro.core.solution import SynthesisSolution
 from repro.core.weight_duplication import WeightDuplicationFilter
 from repro.errors import InfeasibleError, SynthesisInterrupted
@@ -150,18 +151,30 @@ def _decode_term(value):
 def encode_memo_entries(
     entries: Iterable[Tuple[Hashable, float]]
 ) -> List[List]:
-    """Serialize memo ``(key, fitness)`` pairs for JSON storage."""
-    return [[_encode_term(key), value] for key, value in entries]
+    """Serialize memo ``(key, value)`` pairs for JSON storage.
+
+    Values are scalar fitness floats (the EA memo) or objective-vector
+    tuples (the pareto memo); both survive the JSON round trip.
+    """
+    return [
+        [_encode_term(key), _encode_term(value)]
+        for key, value in entries
+    ]
 
 
 def decode_memo_entries(
     payload: Iterable[Sequence],
 ) -> List[Tuple[Hashable, float]]:
     """Parse entries written by :func:`encode_memo_entries`."""
-    return [
-        (_decode_term(raw_key), float(value))
-        for raw_key, value in payload
-    ]
+    entries = []
+    for raw_key, raw_value in payload:
+        value = _decode_term(raw_value)
+        if isinstance(value, tuple):
+            value = tuple(float(v) for v in value)
+        else:
+            value = float(value)
+        entries.append((_decode_term(raw_key), value))
+    return entries
 
 
 class EvaluationCache:
@@ -234,6 +247,15 @@ class EvaluationTask:
         """RNG label — identical to the serial driver's historic label."""
         return f"ea:{self.point.describe()}:{self.wt_dup}:{self.res_dac}"
 
+    @property
+    def pareto_seed_label(self) -> str:
+        """RNG label of this task's NSGA-II launch (pareto mode) —
+        disjoint from the EA's so both searches stay independent and
+        order-free."""
+        return (
+            f"nsga:{self.point.describe()}:{self.wt_dup}:{self.res_dac}"
+        )
+
     def context_key(self, model_key: str, params_key: str) -> Hashable:
         """Cache context identifying this task's evaluation function."""
         return (
@@ -242,6 +264,29 @@ class EvaluationTask:
             self.point.xb_size, self.point.num_crossbars,
             self.wt_dup, self.res_dac,
         )
+
+
+@dataclass(frozen=True)
+class ParetoTaskItem:
+    """One NSGA-II launch: a task, the objective set, and an optional
+    warm-start gene (the task's scalar-EA winner, when phase 1 found
+    one) injected into the initial population so the front always
+    contains a point at least as good in the first objective as the
+    single-objective result."""
+
+    task: EvaluationTask
+    objectives: Tuple[str, ...]
+    inject: Optional[Tuple[int, ...]] = None
+
+
+@dataclass
+class ParetoTaskOutcome:
+    """A worker's report for one NSGA-II launch (IPC-small scalars)."""
+
+    index: int
+    points: List[ParetoPoint] = dc_field(default_factory=list)
+    evaluations: int = 0
+    cache_hits: int = 0
 
 
 @dataclass
@@ -362,6 +407,83 @@ class _TaskRunner:
         """
         return self.make_explorer(task).score_population(genes)
 
+    def run_pareto_task(self, item: ParetoTaskItem) -> ParetoTaskOutcome:
+        """Run one NSGA-II launch; returns the task's local front.
+
+        The engine shares the runner's evaluation memo under
+        pareto-specific keys (the objective set joins the context), so
+        scalar fitness floats and vector tuples never collide, while
+        re-visited (design point, gene, objectives) evaluations are
+        free. Front genes are re-scored through the scalar oracle to
+        materialize full metrics — deterministic, and bit-identical to
+        what the batched engine computed during the search.
+        """
+        import math
+
+        from repro.optim.nsga import NSGA2Engine
+
+        task = item.task
+        objectives = item.objectives
+        explorer = self.make_explorer(task)
+        context = task.context_key(self._model_key, self._params_key)
+        engine: NSGA2Engine = NSGA2Engine(
+            objectives=lambda gene: explorer.score_objectives(
+                gene, objectives
+            ),
+            mutations=[explorer.mutate_num, explorer.mutate_share],
+            gene_key=lambda gene: gene,
+            rng=self.seeds.spawn(task.pareto_seed_label),
+            population_size=self.config.ea_population_size,
+            offspring_per_gen=self.config.ea_offspring_per_gen,
+            max_generations=self.config.ea_max_generations,
+            cache=self.cache,
+            cache_key=(
+                (lambda gene: ("pareto", objectives, context, gene))
+                if self.cache is not None else None
+            ),
+            batch_objectives=(
+                (lambda genes: explorer.score_population_objectives(
+                    genes, objectives
+                ))
+                if explorer.batch_eval else None
+            ),
+        )
+        population = explorer.initial_population(
+            self.config.ea_population_size
+        )
+        if item.inject is not None:
+            population = [tuple(item.inject)] + population
+        front = engine.run(population)
+
+        outcome = ParetoTaskOutcome(
+            index=task.index,
+            evaluations=engine.report.evaluations,
+            cache_hits=engine.report.cache_hits,
+        )
+        for gene, vector in front:
+            if any(math.isinf(value) for value in vector):
+                continue  # the all -inf sentinel: no feasible gene
+            _fitness, allocation, result = explorer.score(gene)
+            if allocation is None or result is None:
+                continue  # pragma: no cover - finite vectors are feasible
+            outcome.points.append(ParetoPoint(
+                ratio_rram=task.point.ratio_rram,
+                res_rram=task.point.res_rram,
+                xb_size=task.point.xb_size,
+                res_dac=task.res_dac,
+                num_crossbars=task.point.num_crossbars,
+                wt_dup=task.wt_dup,
+                gene=tuple(gene),
+                throughput=result.throughput,
+                power=result.power,
+                tops_per_watt=result.tops_per_watt,
+                latency=result.latency,
+                energy_per_image=result.energy_per_image,
+                num_macros=MacroPartition.from_gene(gene).num_macros,
+                task_index=task.index,
+            ))
+        return outcome
+
     def throughput_bound(self, task: EvaluationTask) -> float:
         """Analytical upper bound used for dominated-task pruning."""
         spec, budget = self.spec_and_budget(task)
@@ -423,6 +545,12 @@ class SerialExecutor:
         for task in tasks:
             yield self.runner.run_task(task)
 
+    def imap_pareto(
+        self, items: Iterable[ParetoTaskItem]
+    ) -> Iterator[ParetoTaskOutcome]:
+        for item in items:
+            yield self.runner.run_pareto_task(item)
+
     def terminate(self) -> None:
         pass
 
@@ -459,6 +587,11 @@ def _worker_filter(
 def _worker_task(task: EvaluationTask) -> TaskOutcome:
     assert _WORKER_RUNNER is not None
     return _WORKER_RUNNER.run_task(task)
+
+
+def _worker_pareto(item: ParetoTaskItem) -> ParetoTaskOutcome:
+    assert _WORKER_RUNNER is not None
+    return _WORKER_RUNNER.run_pareto_task(item)
 
 
 class ProcessExecutor:
@@ -499,6 +632,11 @@ class ProcessExecutor:
         self, tasks: Iterable[EvaluationTask]
     ) -> Iterator[TaskOutcome]:
         return self._pool.imap(_worker_task, tasks)
+
+    def imap_pareto(
+        self, items: Iterable[ParetoTaskItem]
+    ) -> Iterator[ParetoTaskOutcome]:
+        return self._pool.imap(_worker_pareto, items)
 
     def terminate(self) -> None:
         """Stop workers immediately (Ctrl-C path) — no zombie processes."""
@@ -657,8 +795,135 @@ class ExplorationEngine:
             return None
         return self._materialize(tasks[incumbent.index], incumbent)
 
+    def run_pareto(
+        self,
+        objectives: Optional[Sequence[str]] = None,
+    ) -> Optional[ParetoSolutionSet]:
+        """Multi-objective exploration: one global Pareto front.
+
+        Two phases over the same flat task queue:
+
+        1. the scalar EA of :meth:`run`, un-pruned so every task's
+           winner gene is known deterministically (pruning cannot
+           change the *best* solution, but it can change which losers
+           get evaluated — and pareto mode needs them all);
+        2. one NSGA-II launch per task (same executor fan-out, RNG
+           labels disjoint from the EA's), warm-started with the
+           task's phase-1 winner, producing a local front that the
+           parent merges under the shared strict dominance into the
+           global front.
+
+        Returns None when no task produced a feasible point. The
+        returned set's ``solution`` is the front's best point in the
+        first objective, re-materialized in-process.
+        """
+        objectives = tuple(
+            objectives if objectives is not None
+            else self.config.objectives
+        )
+        space = DesignSpace(self.model, self.config)
+        points = list(space.outer_points())
+        if not points:
+            return None
+
+        executor = self._make_executor()
+        try:
+            tasks = self._build_tasks(executor, points, None)
+            if not tasks:
+                return None
+            winners: Dict[int, Tuple[int, ...]] = {}
+            self._evaluate_queue(
+                executor, tasks, prune=False, winners=winners
+            )
+            front_points = self._evaluate_pareto_queue(
+                executor, tasks, objectives, winners
+            )
+        except KeyboardInterrupt:
+            executor.terminate()
+            self.report.interrupted = True
+            raise SynthesisInterrupted(
+                f"pareto synthesis of {self.model.name} interrupted "
+                f"after {self.report.ea_runs} EA and "
+                f"{self.report.nsga_runs} NSGA-II runs; worker pool "
+                "shut down cleanly",
+                partial_memo=self.memo_snapshot(),
+            ) from None
+        finally:
+            executor.close()
+        if not front_points:
+            return None
+
+        merged = merge_fronts(front_points, objectives)
+        best = merged[0]  # canonical order: first objective descending
+        solution = self._materialize_gene(tasks[best.task_index], best.gene)
+        return ParetoSolutionSet(
+            model_name=self.model.name,
+            total_power=self.config.total_power,
+            objectives=objectives,
+            points=merged,
+            solution=solution,
+        )
+
+    def _evaluate_pareto_queue(
+        self,
+        executor,
+        tasks: List[EvaluationTask],
+        objectives: Tuple[str, ...],
+        winners: Dict[int, Tuple[int, ...]],
+    ) -> List[ParetoPoint]:
+        """Phase 2: NSGA-II over every task; collect the local fronts.
+
+        No pruning — a task dominated on throughput can still own the
+        energy- or macro-frugal end of the global front. Outcomes are
+        consumed in submission order, so the collected point list (and
+        everything downstream) is independent of the worker count.
+        """
+        items = [
+            ParetoTaskItem(
+                task=task, objectives=objectives,
+                inject=winners.get(task.index),
+            )
+            for task in tasks
+        ]
+        collected: List[ParetoPoint] = []
+        for outcome in executor.imap_pareto(items):
+            self.report.nsga_runs += 1
+            self.report.cache_hits += outcome.cache_hits
+            self.report.ea_evaluations += outcome.evaluations
+            collected.extend(outcome.points)
+            if self.archive is not None:
+                for point in outcome.points:
+                    self.archive.record(point.to_archive_entry())
+        return collected
+
+    def _materialize_gene(
+        self, task: EvaluationTask, gene: Tuple[int, ...]
+    ) -> SynthesisSolution:
+        """Re-score one (task, gene) in-process into a full solution."""
+        explorer = self._local_runner.make_explorer(task)
+        _fitness, allocation, result = explorer.score(gene)
+        assert allocation is not None and result is not None
+        return SynthesisSolution(
+            model_name=self.model.name,
+            total_power=self.config.total_power,
+            ratio_rram=task.point.ratio_rram,
+            res_rram=task.point.res_rram,
+            xb_size=task.point.xb_size,
+            res_dac=task.res_dac,
+            wt_dup=task.wt_dup,
+            partition=MacroPartition.from_gene(gene),
+            allocation=allocation,
+            evaluation=result,
+            spec=explorer.spec,
+            budget=explorer.budget,
+        )
+
     def _evaluate_queue(
-        self, executor, tasks: List[EvaluationTask]
+        self,
+        executor,
+        tasks: List[EvaluationTask],
+        prune: Optional[bool] = None,
+        winners: Optional[Dict[int, Tuple[int, ...]]] = None,
     ) -> Optional[TaskOutcome]:
         """Evaluate tasks (descending analytical bound), track the best.
 
@@ -667,11 +932,15 @@ class ExplorationEngine:
         resolve to the smaller task index, a pruned task can never be
         the winner — so serial and parallel runs (whose pruning sets may
         differ through pool prefetch) still select identical solutions.
-        Pruning is disabled when an archive is attached: the archive's
+        Pruning is disabled when an archive is attached (the archive's
         purpose is recording the explored landscape, not just the
-        winner.
+        winner) and in pareto mode, which passes ``prune=False`` so the
+        set of per-task winner genes (collected into ``winners``) is
+        identical whatever the worker count — the NSGA-II warm starts
+        must not depend on pool prefetch timing.
         """
-        prune = self.config.prune_dominated and self.archive is None
+        if prune is None:
+            prune = self.config.prune_dominated and self.archive is None
         if prune:
             bounds = [
                 self._local_runner.throughput_bound(t) for t in tasks
@@ -709,6 +978,12 @@ class ExplorationEngine:
                 wave.append(task)
             for outcome in executor.imap_tasks(wave):
                 incumbent = self._absorb(outcome, tasks, incumbent)
+                if (
+                    winners is not None
+                    and outcome.feasible
+                    and outcome.gene is not None
+                ):
+                    winners[outcome.index] = outcome.gene
         return incumbent
 
     def _absorb(
@@ -772,20 +1047,4 @@ class ExplorationEngine:
         evaluation the (possibly remote) worker reported.
         """
         assert outcome.gene is not None
-        explorer = self._local_runner.make_explorer(task)
-        _fitness, allocation, result = explorer.score(outcome.gene)
-        assert allocation is not None and result is not None
-        return SynthesisSolution(
-            model_name=self.model.name,
-            total_power=self.config.total_power,
-            ratio_rram=task.point.ratio_rram,
-            res_rram=task.point.res_rram,
-            xb_size=task.point.xb_size,
-            res_dac=task.res_dac,
-            wt_dup=task.wt_dup,
-            partition=MacroPartition.from_gene(outcome.gene),
-            allocation=allocation,
-            evaluation=result,
-            spec=explorer.spec,
-            budget=explorer.budget,
-        )
+        return self._materialize_gene(task, outcome.gene)

@@ -32,7 +32,11 @@ from repro.core.component_alloc import (
     ComponentAllocation,
     allocate_components,
 )
-from repro.core.config import SynthesisConfig
+from repro.core.config import (
+    SynthesisConfig,
+    infeasible_objective_vector,
+    objective_vector,
+)
 from repro.core.evaluator import EvaluationResult, PerformanceEvaluator
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.hardware.power import PowerBudget
@@ -216,6 +220,68 @@ class MacroPartitionExplorer:
         if not self.batch_eval:
             return [self.score(gene)[0] for gene in genes]
         return self.batch_evaluator.fitness_of(genes)
+
+    # ------------------------------------------------------------------
+    # Vector objectives (the NSGA-II / pareto-mode scoring path)
+    # ------------------------------------------------------------------
+    def score_objectives(
+        self, gene: Gene, objectives: Optional[Sequence[str]] = None
+    ) -> Tuple[float, ...]:
+        """Sense-adjusted objective vector of one gene (scalar oracle).
+
+        Metric names come from :data:`repro.core.config.
+        OBJECTIVE_SENSES`; ``num_macros`` reads the decoded partition,
+        everything else the :class:`EvaluationResult`. Infeasible genes
+        get the all ``-inf`` sentinel — dominated by every feasible
+        vector, tying (never dominating) other infeasible ones.
+        """
+        if objectives is None:
+            objectives = self.config.objectives
+        _fitness, allocation, result = self.score(gene)
+        if allocation is None or result is None:
+            return infeasible_objective_vector(objectives)
+        metrics = {
+            name: (
+                MacroPartition.from_gene(gene).num_macros
+                if name == "num_macros" else getattr(result, name)
+            )
+            for name in objectives
+        }
+        return objective_vector(metrics, objectives)
+
+    def score_population_objectives(
+        self,
+        genes: Sequence[Gene],
+        objectives: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[float, ...]]:
+        """Objective vectors of every gene in one vectorized pass.
+
+        The multi-objective analog of :meth:`score_population`: the
+        batched engine's metric arrays (bit-identical to the scalar
+        oracle) feed the same :func:`repro.core.config.
+        objective_vector` adapter the scalar path uses, so batched and
+        scalar runs produce identical vectors — and therefore identical
+        NSGA-II walks and fronts. Degrades to the scalar loop when
+        ``batch_eval`` is off or numpy is unavailable.
+        """
+        if objectives is None:
+            objectives = self.config.objectives
+        if not self.batch_eval:
+            return [
+                self.score_objectives(gene, objectives) for gene in genes
+            ]
+        batch = self.batch_evaluator.evaluate_population(genes)
+        vectors: List[Tuple[float, ...]] = []
+        for position in range(len(genes)):
+            if not bool(batch.feasible[position]):
+                vectors.append(infeasible_objective_vector(objectives))
+                continue
+            metrics = {
+                name: float(getattr(batch, name)[position])
+                for name in objectives
+            }
+            vectors.append(objective_vector(metrics, objectives))
+        return vectors
 
     @property
     def batch_evaluator(self) -> BatchPerformanceEvaluator:

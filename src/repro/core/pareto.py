@@ -1,0 +1,304 @@
+"""Pareto-front solution sets: the multi-objective synthesis artifact.
+
+Single-objective synthesis returns one
+:class:`repro.core.solution.SynthesisSolution`; pareto mode returns a
+:class:`ParetoSolutionSet` — the global non-dominated trade-off surface
+over :attr:`repro.core.config.SynthesisConfig.objectives`, merged from
+per-task NSGA-II fronts by :mod:`repro.core.executor`. Each
+:class:`ParetoPoint` carries the full decision record (design point,
+WtDup, gene) plus every scalar metric, so any point can be
+re-materialized into a complete solution, re-verified against the
+scalar :class:`repro.core.evaluator.PerformanceEvaluator`, or exported
+into the :class:`repro.core.archive.DesignArchive` toolchain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.archive import ArchiveEntry
+from repro.core.config import OBJECTIVE_SENSES, objective_vector
+from repro.core.solution import SynthesisSolution
+from repro.errors import ConfigurationError
+from repro.optim.dominance import hypervolume as _hypervolume
+from repro.optim.dominance import non_dominated_indices
+
+#: Metric columns every point serializes (superset of any objective set).
+_METRIC_FIELDS = (
+    "throughput", "power", "tops_per_watt", "latency",
+    "energy_per_image", "num_macros",
+)
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated design: decisions + metrics, JSON-stable."""
+
+    ratio_rram: float
+    res_rram: int
+    xb_size: int
+    res_dac: int
+    num_crossbars: int
+    wt_dup: Tuple[int, ...]
+    gene: Tuple[int, ...]
+    throughput: float
+    power: float
+    tops_per_watt: float
+    latency: float
+    energy_per_image: float
+    num_macros: int
+    task_index: int = -1
+
+    def metrics(self) -> Dict[str, float]:
+        """Every serialized metric, by objective-registry name."""
+        return {name: getattr(self, name) for name in _METRIC_FIELDS}
+
+    def objective_vector(
+        self, objectives: Sequence[str]
+    ) -> Tuple[float, ...]:
+        """Sense-adjusted coordinates for the shared dominance helpers."""
+        return objective_vector(self.metrics(), objectives)
+
+    def reevaluate(self, model, config):
+        """Re-run the scalar oracle on this point's exact decisions.
+
+        Rebuilds the stage-2 spec and Eq. 3 budget from the recorded
+        design point (the same construction the DSE's task runner
+        uses) and scores the recorded gene through a fresh
+        :class:`repro.core.macro_partition.MacroPartitionExplorer` —
+        an independent witness that a stored front point's metrics are
+        reproducible. Returns the :class:`repro.core.evaluator.
+        EvaluationResult`; raises :class:`repro.errors.InfeasibleError`
+        if the point does not check out (a corrupt artifact).
+        """
+        import random
+
+        from repro.core.dataflow import make_spec
+        from repro.core.macro_partition import MacroPartitionExplorer
+        from repro.errors import InfeasibleError
+        from repro.hardware.power import PowerBudget
+
+        spec = make_spec(
+            model, self.wt_dup,
+            xb_size=self.xb_size, res_rram=self.res_rram,
+            res_dac=self.res_dac, params=config.params,
+            max_blocks_per_layer=config.max_blocks_per_layer,
+        )
+        budget = PowerBudget(
+            total_power=config.total_power,
+            ratio_rram=self.ratio_rram, xb_size=self.xb_size,
+            res_rram=self.res_rram, num_crossbars=self.num_crossbars,
+        )
+        explorer = MacroPartitionExplorer(
+            spec=spec, budget=budget, res_dac=self.res_dac,
+            config=config, rng=random.Random(0),
+        )
+        _fitness, allocation, result = explorer.score(self.gene)
+        if allocation is None or result is None:
+            raise InfeasibleError(
+                "pareto point does not re-evaluate as feasible"
+            )
+        return result
+
+    def to_archive_entry(self) -> ArchiveEntry:
+        """Bridge into the archive/post-hoc analysis toolchain."""
+        return ArchiveEntry(
+            ratio_rram=self.ratio_rram, res_rram=self.res_rram,
+            xb_size=self.xb_size, res_dac=self.res_dac,
+            wt_dup=self.wt_dup, throughput=self.throughput,
+            power=self.power, tops_per_watt=self.tops_per_watt,
+            latency=self.latency, num_macros=self.num_macros,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "design_point": {
+                "ratio_rram": self.ratio_rram,
+                "res_rram": self.res_rram,
+                "xb_size": self.xb_size,
+                "res_dac": self.res_dac,
+                "num_crossbars": self.num_crossbars,
+            },
+            "wt_dup": list(self.wt_dup),
+            "gene": list(self.gene),
+            "task_index": self.task_index,
+            "metrics": {
+                "throughput_img_s": self.throughput,
+                "power_w": self.power,
+                "tops_per_watt": self.tops_per_watt,
+                "latency_s": self.latency,
+                "energy_per_image_j": self.energy_per_image,
+                "num_macros": self.num_macros,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "ParetoPoint":
+        point = payload["design_point"]
+        metrics = payload["metrics"]
+        return cls(
+            ratio_rram=float(point["ratio_rram"]),
+            res_rram=int(point["res_rram"]),
+            xb_size=int(point["xb_size"]),
+            res_dac=int(point["res_dac"]),
+            num_crossbars=int(point.get("num_crossbars", 0)),
+            wt_dup=tuple(int(d) for d in payload["wt_dup"]),
+            gene=tuple(int(g) for g in payload["gene"]),
+            task_index=int(payload.get("task_index", -1)),
+            throughput=float(metrics["throughput_img_s"]),
+            power=float(metrics["power_w"]),
+            tops_per_watt=float(metrics["tops_per_watt"]),
+            latency=float(metrics["latency_s"]),
+            energy_per_image=float(metrics["energy_per_image_j"]),
+            num_macros=int(metrics["num_macros"]),
+        )
+
+
+def merge_fronts(
+    points: Sequence[ParetoPoint], objectives: Sequence[str]
+) -> List[ParetoPoint]:
+    """Non-dominated merge of (per-task) front points into one front.
+
+    Applies the shared strict dominance over the sense-adjusted
+    vectors, deduplicates identical objective vectors by keeping the
+    lowest ``(task_index, gene)`` witness, and sorts by the first
+    objective's adjusted value descending (ties: remaining objectives,
+    then the witness key) — a canonical order that is independent of
+    the arrival order of the per-task fronts, hence of ``jobs``.
+    """
+    vectors = [p.objective_vector(objectives) for p in points]
+    survivors = non_dominated_indices(vectors)
+    best_witness: Dict[Tuple[float, ...], int] = {}
+    for index in survivors:
+        vector = vectors[index]
+        held = best_witness.get(vector)
+        if held is None or (
+            (points[index].task_index, points[index].gene)
+            < (points[held].task_index, points[held].gene)
+        ):
+            best_witness[vector] = index
+    merged = sorted(
+        best_witness.values(),
+        key=lambda i: (
+            tuple(-value for value in vectors[i]),
+            points[i].task_index, points[i].gene,
+        ),
+    )
+    return [points[i] for i in merged]
+
+
+@dataclass
+class ParetoSolutionSet:
+    """The multi-objective synthesis result: one global Pareto front.
+
+    ``points`` are non-dominated under ``objectives`` and sorted by
+    the first objective (best first). ``solution`` is the front's
+    best-throughput point materialized into a full
+    :class:`SynthesisSolution` — by construction it matches what the
+    single-objective ``synthesize()`` returns for the same request.
+    """
+
+    model_name: str
+    total_power: float
+    objectives: Tuple[str, ...]
+    points: List[ParetoPoint] = field(default_factory=list)
+    solution: Optional[SynthesisSolution] = None
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def best(self, objective: str = "throughput") -> ParetoPoint:
+        """The front's best point under one metric (its native sense)."""
+        if not self.points:
+            raise ConfigurationError("pareto front is empty")
+        if objective not in OBJECTIVE_SENSES:
+            raise ConfigurationError(
+                f"unknown objective {objective!r}; valid: "
+                f"{sorted(OBJECTIVE_SENSES)}"
+            )
+        sense = OBJECTIVE_SENSES[objective]
+        return max(
+            self.points, key=lambda p: sense * getattr(p, objective)
+        )
+
+    def objective_vectors(self) -> List[Tuple[float, ...]]:
+        return [p.objective_vector(self.objectives) for p in self.points]
+
+    def hypervolume(
+        self, reference: Optional[Sequence[float]] = None
+    ) -> float:
+        """Dominated hypervolume of the front (sense-adjusted space).
+
+        Without an explicit ``reference`` the nadir of the front itself
+        is used (componentwise worst, nudged strictly below), making
+        the value self-contained — comparable across runs of the same
+        request, which is all the bench artifact needs.
+        """
+        vectors = self.objective_vectors()
+        if not vectors:
+            return 0.0
+        if reference is None:
+            nadir = [
+                min(vector[axis] for vector in vectors)
+                for axis in range(len(self.objectives))
+            ]
+            reference = [
+                value - max(1e-12, abs(value) * 1e-9) for value in nadir
+            ]
+        return _hypervolume(vectors, tuple(reference))
+
+    # ------------------------------------------------------------------
+    # Presentation / serialization
+    # ------------------------------------------------------------------
+    def front_table(self) -> str:
+        """Aligned ASCII table of the front (the CLI's --pareto view)."""
+        from repro.analysis.report import format_pareto_front
+
+        return format_pareto_front(self)
+
+    def to_csv(self) -> str:
+        """The front as CSV (one row per point, stable column order)."""
+        from repro.analysis.report import pareto_front_csv
+
+        return pareto_front_csv(self)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-ready artifact: the serve layer's ``front`` document."""
+        return {
+            "schema": 1,
+            "model": self.model_name,
+            "total_power": self.total_power,
+            "objectives": list(self.objectives),
+            "points": [p.to_payload() for p in self.points],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_payload(), indent=indent)
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Dict[str, Any],
+        solution: Optional[SynthesisSolution] = None,
+    ) -> "ParetoSolutionSet":
+        """Inverse of :meth:`to_payload` (the store round trip).
+
+        ``solution`` optionally re-attaches a materialized best
+        solution (e.g. via :func:`repro.core.persistence.
+        solution_from_payload` from the result document's ``solution``
+        key); the front itself round-trips without it.
+        """
+        return cls(
+            model_name=str(payload["model"]),
+            total_power=float(payload["total_power"]),
+            objectives=tuple(str(o) for o in payload["objectives"]),
+            points=[
+                ParetoPoint.from_payload(p) for p in payload["points"]
+            ],
+            solution=solution,
+        )

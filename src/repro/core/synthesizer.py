@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.archive import DesignArchive
+    from repro.core.pareto import ParetoSolutionSet
 
 from repro.core.config import SynthesisConfig
 from repro.core.design_space import DesignPoint
@@ -59,6 +60,7 @@ class SynthesisReport:
     outer_points: int = 0
     candidates_tried: int = 0
     ea_runs: int = 0
+    nsga_runs: int = 0
     pruned_tasks: int = 0
     infeasible_points: int = 0
     ea_evaluations: int = 0
@@ -111,6 +113,31 @@ class Pimsyn:
                 f"{self.config.total_power} W in the configured space"
             )
         return best
+
+    def synthesize_pareto(self) -> "ParetoSolutionSet":
+        """Multi-objective DSE: the global Pareto front over
+        ``config.objectives`` instead of a single best design.
+
+        Runs the same flat task queue as :meth:`synthesize` (un-pruned),
+        then one NSGA-II launch per task through the same memoized
+        batch-fitness path, merging the local fronts under the shared
+        strict dominance. The returned set's ``solution`` is the
+        front's best point in the first objective materialized as a
+        full :class:`SynthesisSolution`; with the default objectives
+        its metrics match :meth:`synthesize`'s winner exactly.
+
+        Raises :class:`InfeasibleError` when no design point in the
+        configured space can hold the model under the power constraint.
+        """
+        started = time.perf_counter()
+        front = self._engine().run_pareto(self.config.objectives)
+        self.report.wall_seconds = time.perf_counter() - started
+        if front is None:
+            raise InfeasibleError(
+                f"no feasible design for {self.model.name} at "
+                f"{self.config.total_power} W in the configured space"
+            )
+        return front
 
     def synthesize_with_wtdup(
         self,

@@ -42,6 +42,7 @@ from repro.nn.zoo import (
     msra,
     resnet18,
     resnet18_cifar,
+    vgg8,
     vgg13,
     vgg16,
     vgg16_cifar,
@@ -71,6 +72,7 @@ __all__ = [
     "msra",
     "resnet18",
     "resnet18_cifar",
+    "vgg8",
     "vgg13",
     "vgg16",
     "vgg16_cifar",

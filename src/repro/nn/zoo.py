@@ -300,6 +300,18 @@ def alexnet_cifar() -> CNNModel:
     return build_model("alexnet_cifar", spec, (3, 32, 32))
 
 
+def vgg8() -> CNNModel:
+    """CIFAR-scale VGG8: four conv stages (the last two doubled) and a
+    compact two-layer classifier — 8 weighted layers in total. Small
+    enough for golden fixtures of whole-DSE artifacts (the Pareto-front
+    snapshot), large enough that its front has real trade-offs."""
+    spec: List[SpecEntry] = []
+    for out_ch, convs in ((64, 1), (128, 1), (256, 2), (512, 2)):
+        spec.extend(_vgg_block(out_ch, convs))
+    spec += [("flatten",), ("fc", 256), ("relu",), ("fc", 10)]
+    return build_model("vgg8", spec, (3, 32, 32))
+
+
 def vgg16_cifar() -> CNNModel:
     """CIFAR-scale VGG16 (32x32 input, compact classifier head)."""
     spec: List[SpecEntry] = []
@@ -349,6 +361,7 @@ _REGISTRY = {
     "resnet18": resnet18,
     "lenet5": lenet5,
     "alexnet_cifar": alexnet_cifar,
+    "vgg8": vgg8,
     "vgg16_cifar": vgg16_cifar,
     "resnet18_cifar": resnet18_cifar,
 }

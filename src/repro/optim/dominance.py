@@ -1,0 +1,167 @@
+"""Pareto-dominance primitives shared across the optimization stack.
+
+Multi-objective synthesis needs one agreed-upon notion of dominance in
+three places: the NSGA-II engine (:mod:`repro.optim.nsga`), the DSE
+archive's post-hoc front extraction (:mod:`repro.core.archive`), and
+the global front merge of :mod:`repro.core.executor`'s pareto mode.
+This module is that single source of truth. Everything here treats
+objective vectors as **maximized** — callers flip the sign of minimized
+metrics before comparing (the convention the archive established).
+
+``dominates`` is *strict* Pareto dominance: ``a`` must be at least as
+good everywhere and strictly better somewhere, so a vector never
+dominates itself (equal vectors coexist on a front instead of evicting
+one another — the regression pinned by the archive test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Vector = Tuple[float, ...]
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` strictly Pareto-dominates ``b``.
+
+    All objectives are maximized; flip signs for minimized metrics
+    before calling. ``dominates(a, a)`` is always False: equal vectors
+    tie, they do not dominate each other.
+    """
+    if len(a) != len(b):
+        raise ConfigurationError("objective vectors differ in length")
+    return all(x >= y for x, y in zip(a, b)) and any(
+        x > y for x, y in zip(a, b)
+    )
+
+
+def non_dominated_indices(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated members of ``vectors`` (in order).
+
+    Duplicated vectors are all kept (none dominates its twin);
+    deduplication is a presentation concern left to callers.
+    """
+    keep: List[int] = []
+    for index in range(len(vectors)):
+        if not any(
+            dominates(vectors[other], vectors[index])
+            for other in range(len(vectors))
+            if other != index
+        ):
+            keep.append(index)
+    return keep
+
+
+def fast_non_dominated_sort(
+    vectors: Sequence[Sequence[float]],
+) -> List[List[int]]:
+    """NSGA-II's fast non-dominated sort.
+
+    Returns fronts as index lists: front 0 is the non-dominated set,
+    front 1 is non-dominated once front 0 is removed, and so on. The
+    fronts partition ``range(len(vectors))``; within a front, indices
+    stay in input order (deterministic for a deterministic input).
+    """
+    n = len(vectors)
+    dominated_by: List[List[int]] = [[] for _ in range(n)]
+    domination_count = [0] * n
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(vectors[i], vectors[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(vectors[j], vectors[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+    fronts: List[List[int]] = []
+    current = [i for i in range(n) if domination_count[i] == 0]
+    while current:
+        fronts.append(current)
+        upcoming: List[int] = []
+        for i in current:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    upcoming.append(j)
+        upcoming.sort()
+        current = upcoming
+    return fronts
+
+
+def crowding_distances(
+    vectors: Sequence[Sequence[float]], front: Sequence[int]
+) -> Dict[int, float]:
+    """NSGA-II crowding distance of each member of one front.
+
+    Boundary points of every objective get ``inf`` (they anchor the
+    front's extent and must survive truncation); interior points sum
+    the normalized side lengths of their hyper-cuboid neighbors. A
+    front whose members all share a value in some objective contributes
+    zero for that objective (no division by a zero range).
+    """
+    distances: Dict[int, float] = {i: 0.0 for i in front}
+    if len(front) <= 2:
+        return {i: float("inf") for i in front}
+    n_objectives = len(vectors[front[0]])
+    for axis in range(n_objectives):
+        ordered = sorted(front, key=lambda i: vectors[i][axis])
+        low = vectors[ordered[0]][axis]
+        high = vectors[ordered[-1]][axis]
+        distances[ordered[0]] = float("inf")
+        distances[ordered[-1]] = float("inf")
+        span = high - low
+        if span <= 0 or span != span or span == float("inf"):
+            continue  # degenerate axis: identical or non-finite extent
+        for position in range(1, len(ordered) - 1):
+            index = ordered[position]
+            if distances[index] == float("inf"):
+                continue
+            gap = (
+                vectors[ordered[position + 1]][axis]
+                - vectors[ordered[position - 1]][axis]
+            )
+            distances[index] += gap / span
+    return distances
+
+
+def hypervolume(
+    vectors: Sequence[Sequence[float]],
+    reference: Sequence[float],
+) -> float:
+    """Exact hypervolume dominated by ``vectors`` w.r.t. ``reference``.
+
+    Maximization convention: the volume between the reference point
+    (componentwise below the front) and the front's attainment surface.
+    Implemented by slicing the first objective (HSO) with the 1-D base
+    case, exact and deterministic — fronts at DSE scale are small, so
+    the exponential worst case is irrelevant. Points not strictly above
+    the reference in every objective contribute nothing.
+    """
+    if not vectors:
+        return 0.0
+    dims = len(reference)
+    points = [
+        tuple(float(v) for v in vec)
+        for vec in vectors
+        if len(vec) == dims and all(v > r for v, r in zip(vec, reference))
+    ]
+    if not points:
+        return 0.0
+    if dims == 1:
+        return max(p[0] for p in points) - float(reference[0])
+    # Slice along objective 0: between consecutive first-coordinate
+    # levels, the dominated region's cross-section is the hypervolume
+    # of the surviving points projected onto the remaining objectives.
+    levels = sorted({p[0] for p in points}, reverse=True)
+    ref_rest = tuple(float(r) for r in reference[1:])
+    total = 0.0
+    lower_bound = float(reference[0])
+    for position, level in enumerate(levels):
+        below = levels[position + 1] if position + 1 < len(levels) \
+            else lower_bound
+        thickness = level - below
+        slab = [p[1:] for p in points if p[0] >= level]
+        total += thickness * hypervolume(slab, ref_rest)
+    return total

@@ -269,7 +269,7 @@ class JobRecord:
 
 
 def result_payload(
-    request: JobRequest, key: str, solution, report
+    request: JobRequest, key: str, solution, report, front=None
 ) -> Dict[str, Any]:
     """The store's result document for one computed job.
 
@@ -277,8 +277,17 @@ def result_payload(
     a store hit returns byte-identical decision variables and metrics,
     and :func:`repro.core.persistence.solution_from_payload` can
     re-materialize the live solution client-side.
+
+    Pareto jobs additionally embed the full front under ``"front"``
+    (see :meth:`repro.core.pareto.ParetoSolutionSet.to_payload`), with
+    ``"solution"`` still carrying the front's best point — so every
+    store consumer that only understands single solutions (metrics
+    summaries, :meth:`repro.serve.store.ResultStore.to_archive`) keeps
+    working unchanged, while front-aware clients round-trip the whole
+    trade-off surface via :meth:`~repro.core.pareto.ParetoSolutionSet.
+    from_payload`.
     """
-    return {
+    payload = {
         "schema": 1,
         "key": key,
         "request": request.describe(),
@@ -287,6 +296,7 @@ def result_payload(
             "outer_points": report.outer_points,
             "candidates_tried": report.candidates_tried,
             "ea_runs": report.ea_runs,
+            "nsga_runs": report.nsga_runs,
             "pruned_tasks": report.pruned_tasks,
             "ea_evaluations": report.ea_evaluations,
             "cache_hits": report.cache_hits,
@@ -294,3 +304,6 @@ def result_payload(
             "wall_seconds": report.wall_seconds,
         },
     }
+    if front is not None:
+        payload["front"] = front.to_payload()
+    return payload

@@ -283,10 +283,18 @@ class JobScheduler:
             config = record.request.build_config(jobs=self.synth_jobs)
             warm = self.store.load_memo(record.key)
             synthesizer = Pimsyn(model, config, warm_memo=warm or None)
-            solution = synthesizer.synthesize()
+            if config.pareto:
+                # Multi-objective request: the stored document carries
+                # the whole front; "solution" stays the front's best
+                # point so solution-only consumers are unaffected.
+                front = synthesizer.synthesize_pareto()
+                solution = front.solution
+            else:
+                front = None
+                solution = synthesizer.synthesize()
             payload = result_payload(
                 record.request, record.key, solution,
-                synthesizer.report,
+                synthesizer.report, front=front,
             )
             self.store.put(record.key, payload)
             self.store.merge_memo(

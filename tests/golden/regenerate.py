@@ -13,7 +13,13 @@ suite can afford:
   duplication vs the WOHO heuristic and no duplication, synthesized on
   the CIFAR-scale AlexNet with the ``fast()`` preset (the ImageNet
   version of this figure lives in ``benchmarks/``; the golden uses the
-  reduced model so the regression suite stays fast).
+  reduced model so the regression suite stays fast);
+- ``pareto_front_vgg8.json`` — the multi-objective mode's artifact:
+  the full ``synthesize_pareto()`` front (throughput vs
+  energy-per-image vs macro count) of the CIFAR-scale VGG8 under the
+  ``fast()`` preset, plus its hypervolume — any drift in the NSGA-II
+  engine, the vector-objective glue, or the front merge moves this
+  snapshot.
 
 ``tests/test_golden_regression.py`` recomputes each artifact with the
 functions below and diffs it against the committed snapshot, so any
@@ -38,6 +44,8 @@ SEED = 2024
 FIG5_DISTANCES = (1, 2, 3, 4, 5, 6, 8)
 FIG7_MODEL = "alexnet_cifar"
 FIG7_MARGIN = 2.0
+PARETO_MODEL = "vgg8"
+PARETO_MARGIN = 2.0
 
 
 def compute_table4() -> Dict:
@@ -142,10 +150,38 @@ def compute_fig7() -> Dict:
     }
 
 
+def compute_pareto_front() -> Dict:
+    """The vgg8 Pareto front: the multi-objective layer's golden."""
+    from repro.core import Pimsyn, SynthesisConfig
+    from repro.core.design_space import DesignSpace
+    from repro.nn import zoo
+
+    model = zoo.by_name(PARETO_MODEL)
+    power = DesignSpace(
+        model, SynthesisConfig.fast(1.0)
+    ).minimum_feasible_power(margin=PARETO_MARGIN)
+    config = SynthesisConfig.fast(total_power=power, seed=SEED)
+    config.pareto = True
+    synthesizer = Pimsyn(model, config)
+    front = synthesizer.synthesize_pareto()
+    return {
+        "artifact": "pareto_front_vgg8",
+        "model": model.name,
+        "total_power": power,
+        "seed": SEED,
+        "objectives": list(front.objectives),
+        "front_size": len(front),
+        "hypervolume": front.hypervolume(),
+        "points": front.to_payload()["points"],
+        "best_throughput": front.best("throughput").throughput,
+    }
+
+
 ARTIFACTS = {
     "table4_peak_efficiency.json": compute_table4,
     "fig5_adc_reuse.json": compute_fig5,
     "fig7_weight_duplication.json": compute_fig7,
+    "pareto_front_vgg8.json": compute_pareto_front,
 }
 
 

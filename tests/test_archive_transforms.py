@@ -40,6 +40,52 @@ class TestDominance:
         with pytest.raises(ConfigurationError):
             dominates((1.0,), (1.0, 2.0))
 
+    def test_equal_vectors_never_dominate(self):
+        """Regression: equal objective vectors must tie, not evict.
+
+        A helper where ``dominates(a, a)`` is True makes every
+        duplicated design point knock *itself* (and its twin) off the
+        front. The helper is now the shared strict implementation in
+        :mod:`repro.optim.dominance`; this pin keeps it that way.
+        """
+        for vector in ((0.0, 0.0), (1.5, -2.0), (3.0, 3.0, 3.0)):
+            assert dominates(vector, vector) is False
+        # Twins coexist through front extraction (then dedup to one).
+        twins = [_entry(10.0, 2.0), _entry(10.0, 2.0)]
+        front = pareto_front(twins)
+        assert len(front) == 1
+        assert front[0].throughput == 10.0
+
+    def test_shared_helper_is_the_archive_helper(self):
+        from repro.optim import dominance
+
+        assert dominates is dominance.dominates
+
+    def test_store_export_path_unaffected(self, tmp_path):
+        """serve/store.py's ``to_archive`` -> ``pareto_front`` chain
+        must survive duplicated (equal-vector) stored results."""
+        from repro.serve.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        solution = {
+            "design_point": {
+                "ratio_rram": 0.3, "res_rram": 2, "xb_size": 128,
+                "res_dac": 1,
+            },
+            "wt_dup": [1, 1], "num_macros": 3,
+            "metrics": {
+                "throughput_img_s": 100.0, "power_w": 2.0,
+                "tops_per_watt": 0.05, "latency_s": 0.01,
+            },
+            "model": "toy",
+        }
+        for key in ("a" * 32, "b" * 32):  # two identical results
+            store.put(key, {"schema": 1, "solution": solution})
+        archive = store.to_archive()
+        assert len(archive) == 2
+        front = pareto_front(archive.entries)
+        assert len(front) == 1  # deduplicated, not annihilated
+
 
 class TestParetoFront:
     def test_extracts_non_dominated(self):

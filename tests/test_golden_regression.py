@@ -97,3 +97,34 @@ class TestGoldenShapes:
         assert sa["throughput"] >= woho["throughput"] * 0.999
         assert sa["throughput"] > none["throughput"] * 5
         assert sa["tops_per_watt"] > none["tops_per_watt"] * 5
+
+    def test_pareto_front_is_a_real_trade_off_surface(self):
+        """The snapshot must encode an actual front: multiple mutually
+        non-dominated points spanning a throughput/energy trade-off,
+        with the best-throughput point consistent with its own row."""
+        from repro.optim.dominance import dominates
+
+        golden = _load("pareto_front_vgg8.json")
+        points = golden["points"]
+        assert golden["front_size"] == len(points) >= 2
+        assert golden["hypervolume"] > 0.0
+        metrics = [p["metrics"] for p in points]
+        assert golden["best_throughput"] == max(
+            m["throughput_img_s"] for m in metrics
+        )
+        vectors = [
+            (
+                m["throughput_img_s"],
+                -m["energy_per_image_j"],
+                -m["num_macros"],
+            )
+            for m in metrics
+        ]
+        for a in vectors:
+            for b in vectors:
+                assert not dominates(a, b)
+        # A real trade-off: the energy-frugal end pays throughput.
+        best_thr = max(vectors, key=lambda v: v[0])
+        best_energy = max(vectors, key=lambda v: v[1])
+        assert best_energy[0] < best_thr[0]
+        assert best_energy[1] > best_thr[1]
