@@ -1,0 +1,57 @@
+"""Cross-technology comparison bench: per-device metrics into CI.
+
+Synthesizes one model under every built-in
+:class:`~repro.hardware.tech.TechnologyProfile` — each at its own
+feasibility floor x2, walking its own Table I domains — and publishes
+per-technology throughput and energy into the pytest-benchmark JSON
+(``extra_info``), so CI tracks how the synthesis outcome moves across
+devices the same way it tracks the batched evaluator's speedup. The
+shape assertions encode the device physics the profiles model: the
+fast-reading SRAM cell must beat the slow low-power ReRAM corner on
+raw throughput, and every profile must produce a feasible design (a
+technology the DSE cannot synthesize for is a broken profile, not a
+slow one).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import tech_compare_table, technology_sweep
+from repro.hardware.tech import BUILTIN_TECHNOLOGIES
+from repro.nn import zoo
+
+_SEED = 2024
+
+
+def run_compare():
+    return technology_sweep(
+        zoo.by_name("lenet5"), techs=BUILTIN_TECHNOLOGIES, seed=_SEED
+    )
+
+
+def test_tech_compare_lenet5(benchmark):
+    rows = benchmark.pedantic(run_compare, rounds=1, iterations=1)
+    print()
+    print(tech_compare_table(rows, model_name="lenet5"))
+
+    by_name = {r.tech: r for r in rows}
+    assert set(by_name) == set(BUILTIN_TECHNOLOGIES)
+    assert all(r.feasible for r in rows), rows
+    # Single-bit SRAM cells: the DSE had no other choice.
+    assert by_name["sram-pim"].res_rram == 1
+    # 10 ns SRAM reads vs 300 ns low-power ReRAM reads must show up
+    # in the synthesized designs' throughput ordering.
+    assert (
+        by_name["sram-pim"].throughput
+        > by_name["reram-lp"].throughput
+    )
+
+    for row in rows:
+        prefix = row.tech.replace("-", "_")
+        benchmark.extra_info[f"{prefix}_throughput"] = row.throughput
+        benchmark.extra_info[f"{prefix}_energy_per_image"] = (
+            row.energy_per_image
+        )
+        benchmark.extra_info[f"{prefix}_tops_per_watt"] = (
+            row.tops_per_watt
+        )
+        benchmark.extra_info[f"{prefix}_power_w"] = row.total_power

@@ -21,8 +21,14 @@ from repro.analysis.report import (
     format_table,
     normalize_series,
     pareto_front_csv,
+    tech_compare_table,
 )
-from repro.analysis.sweep import PowerSweepRow, power_sweep
+from repro.analysis.sweep import (
+    PowerSweepRow,
+    TechCompareRow,
+    power_sweep,
+    technology_sweep,
+)
 
 __all__ = [
     "AdcReuseSample",
@@ -37,4 +43,7 @@ __all__ = [
     "pareto_front_csv",
     "PowerSweepRow",
     "power_sweep",
+    "TechCompareRow",
+    "technology_sweep",
+    "tech_compare_table",
 ]

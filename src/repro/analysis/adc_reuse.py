@@ -24,6 +24,7 @@ from repro.core.dataflow import make_spec
 from repro.errors import InfeasibleError
 from repro.hardware.params import HardwareParams
 from repro.hardware.power import PowerBudget
+from repro.hardware.tech import DEFAULT_TECHNOLOGY
 from repro.nn.model import CNNModel
 
 
@@ -48,13 +49,18 @@ def adc_reuse_study(
     ratio_rram: float = 0.3,
     params: Optional[HardwareParams] = None,
     overlap_window: int = 4,
+    tech: str = DEFAULT_TECHNOLOGY,
 ) -> List[AdcReuseSample]:
     """Measure Fig. 5's two curves for ``model``.
 
     Uses a one-macro-per-layer partition so the sharing effect is not
-    confounded by partition differences.
+    confounded by partition differences. The device comes from
+    ``params`` (explicit constants) or the ``tech`` profile.
     """
-    hw = params if params is not None else HardwareParams()
+    hw = (
+        params if params is not None
+        else HardwareParams.from_technology(tech)
+    )
     budget = PowerBudget.from_constraint(
         total_power, ratio_rram, xb_size, res_rram, hw
     )

@@ -108,3 +108,34 @@ def pareto_front_csv(front) -> str:
                          else str(value))
         lines.append(",".join(cells))
     return "\n".join(lines) + "\n"
+
+
+def tech_compare_table(rows, model_name: str = "") -> str:
+    """Aligned ASCII view of a technology comparison sweep.
+
+    ``rows`` are :class:`repro.analysis.sweep.TechCompareRow` records;
+    infeasible technologies render with dashes so the comparison shows
+    *which* devices can hold the model, not just how fast the winners
+    run.
+    """
+    table = [
+        (
+            r.tech,
+            f"{r.total_power:.2f}",
+            "yes" if r.feasible else "no",
+            f"xb={r.xb_size} rram={r.res_rram} dac={r.res_dac}"
+            if r.feasible else "-",
+            round(r.throughput, 1) if r.feasible else "-",
+            round(r.tops_per_watt, 4) if r.feasible else "-",
+            f"{r.energy_per_image:.3e}" if r.feasible else "-",
+            r.num_macros if r.feasible else "-",
+        )
+        for r in rows
+    ]
+    suffix = f" - {model_name}" if model_name else ""
+    return format_table(
+        ["technology", "power (W)", "feasible", "design point",
+         "img/s", "TOPS/W", "J/img", "macros"],
+        table,
+        title=f"technology comparison{suffix}",
+    )

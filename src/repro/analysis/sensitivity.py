@@ -20,6 +20,7 @@ from repro.core.config import SynthesisConfig
 from repro.core.synthesizer import Pimsyn
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.hardware.params import HardwareParams
+from repro.hardware.tech import DEFAULT_TECHNOLOGY
 from repro.nn.model import CNNModel
 
 
@@ -73,24 +74,34 @@ def sensitivity_sweep(
     scales: Sequence[float] = (0.5, 1.0, 2.0),
     seed: int = 2024,
     config_factory: Callable[..., SynthesisConfig] = SynthesisConfig.fast,
+    tech: str = DEFAULT_TECHNOLOGY,
+    params: HardwareParams = None,
 ) -> List[SensitivityRow]:
     """Re-synthesize ``model`` with one technology knob scaled.
 
     ``knob`` is one of :data:`KNOBS`; ``scales`` multiply the baseline
-    Table III value. Returns one row per scale with the design point
-    the DSE selected — shifts in (XbSize, ResRram, ResDAC) across rows
-    are the sensitivity signal.
+    value of the device under study — the ``tech`` profile's params
+    (or an explicit ``params`` baseline), *not* a freshly constructed
+    default — so sensitivity sweeps work on any technology. Returns
+    one row per scale with the design point the DSE selected — shifts
+    in (XbSize, ResRram, ResDAC) across rows are the sensitivity
+    signal.
     """
     if knob not in KNOBS:
         raise ConfigurationError(
             f"unknown knob {knob!r}; choices: {sorted(KNOBS)}"
         )
     transform = KNOBS[knob]
+    baseline = (
+        params if params is not None
+        else HardwareParams.from_technology(tech)
+    )
     rows: List[SensitivityRow] = []
     for scale in scales:
-        params = transform(HardwareParams(), scale)
+        scaled = transform(baseline, scale)
         config = config_factory(
-            total_power=total_power, seed=seed, params=params
+            total_power=total_power, seed=seed, params=scaled,
+            tech=tech,
         )
         try:
             solution = Pimsyn(model, config).synthesize()

@@ -7,17 +7,25 @@ This generalizes the §V experiment setup, where every benchmark is
 synthesized under a fixed per-model power constraint (Table V): here the
 constraint becomes the swept axis, with each point running the same
 Alg. 1 flow via :class:`repro.core.synthesizer.Pimsyn`.
+
+:func:`technology_sweep` turns the *device* into the swept axis: the
+same model is synthesized once per registered
+:class:`~repro.hardware.tech.TechnologyProfile`, each run exploring
+that technology's own Table I domains — the cross-technology
+comparison the pluggable device layer exists for.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.config import SynthesisConfig
+from repro.core.design_space import DesignSpace
 from repro.core.synthesizer import Pimsyn
 from repro.errors import InfeasibleError
+from repro.hardware.tech import available_technologies
 from repro.nn.model import CNNModel
 
 
@@ -60,6 +68,86 @@ def power_sweep(
                 throughput=ev.throughput,
                 tops_per_watt=ev.tops_per_watt,
                 latency=ev.latency,
+                num_macros=solution.partition.num_macros,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class TechCompareRow:
+    """One technology's synthesis outcome for the comparison sweep."""
+
+    tech: str
+    total_power: float
+    feasible: bool
+    xb_size: int = 0
+    res_rram: int = 0
+    res_dac: int = 0
+    throughput: float = 0.0
+    tops_per_watt: float = 0.0
+    energy_per_image: float = 0.0
+    num_macros: int = 0
+
+
+def technology_sweep(
+    model: CNNModel,
+    total_power: Optional[float] = None,
+    techs: Optional[Sequence[str]] = None,
+    seed: int = 2024,
+    config_factory: Callable[..., SynthesisConfig] = SynthesisConfig.fast,
+    margin: float = 2.0,
+    **config_overrides,
+) -> List[TechCompareRow]:
+    """Synthesize ``model`` once per technology profile.
+
+    Each run walks the technology's *own* exploration domains (the
+    profile supplies the grids its cell physics allows). With
+    ``total_power=None`` every technology is sized at its own
+    feasibility floor times ``margin`` — the apples-to-apples "each
+    device at a comfortable budget" comparison; a fixed
+    ``total_power`` instead exposes which devices can hold the model
+    at all under one budget (infeasible rows are recorded, not
+    skipped). ``techs`` defaults to every registered profile.
+    """
+    names = list(techs) if techs else available_technologies()
+    rows: List[TechCompareRow] = []
+    for name in names:
+        config = config_factory(
+            total_power=1.0, seed=seed, tech=name, **config_overrides
+        )
+        if total_power is None:
+            try:
+                power = DesignSpace(
+                    model, config
+                ).minimum_feasible_power(margin=margin)
+            except InfeasibleError:
+                rows.append(TechCompareRow(
+                    tech=name, total_power=0.0, feasible=False
+                ))
+                continue
+        else:
+            power = total_power
+        config = dataclasses.replace(config, total_power=power)
+        try:
+            solution = Pimsyn(model, config).synthesize()
+        except InfeasibleError:
+            rows.append(TechCompareRow(
+                tech=name, total_power=power, feasible=False
+            ))
+            continue
+        ev = solution.evaluation
+        rows.append(
+            TechCompareRow(
+                tech=name,
+                total_power=power,
+                feasible=True,
+                xb_size=solution.xb_size,
+                res_rram=solution.res_rram,
+                res_dac=solution.res_dac,
+                throughput=ev.throughput,
+                tops_per_watt=ev.tops_per_watt,
+                energy_per_image=ev.energy_per_image,
                 num_macros=solution.partition.num_macros,
             )
         )

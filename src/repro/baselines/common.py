@@ -29,6 +29,7 @@ from repro.errors import InfeasibleError
 from repro.hardware.crossbar import required_adc_resolution
 from repro.hardware.params import HardwareParams
 from repro.hardware.power import PowerBudget
+from repro.hardware.tech import DEFAULT_TECHNOLOGY
 from repro.nn.model import CNNModel
 from repro.utils.mathutils import ceil_div
 
@@ -66,8 +67,10 @@ class ManualDesign:
         """The design's fixed ADC resolution (or the lossless minimum)."""
         if self.adc_resolution is not None:
             return self.adc_resolution
+        lo, hi = params.adc_resolution_range
         return required_adc_resolution(
-            self.xb_size, self.res_rram, self.res_dac
+            self.xb_size, self.res_rram, self.res_dac,
+            min_resolution=lo, max_resolution=hi,
         )
 
     def bundle_power(self, params: HardwareParams) -> float:
@@ -155,9 +158,11 @@ def manual_allocation(
     for geo, wl_adc, wl_alu in zip(spec.geometries, adc_wl, alu_wl):
         resolution = design.adc_resolution
         if resolution is None:
+            lo, hi = params.adc_resolution_range
             resolution = required_adc_resolution(
                 min(design.xb_size, geo.rows), design.res_rram,
                 design.res_dac,
+                min_resolution=lo, max_resolution=hi,
             )
         n_adc = max(1.0, geo.crossbars * design.adcs_per_crossbar)
         n_macros = len(macro_groups[geo.index])
@@ -233,14 +238,21 @@ def build_manual_solution(
     total_power: float,
     params: Optional[HardwareParams] = None,
     max_blocks_per_layer: int = 8,
+    tech: str = DEFAULT_TECHNOLOGY,
 ) -> SynthesisSolution:
     """Evaluate a manual design on ``model`` at ``total_power``.
 
     Raises :class:`InfeasibleError` when the bundle-cost crossbar count
     cannot hold one weight copy of every layer (use
-    :meth:`ManualDesign.minimum_power` to size the budget).
+    :meth:`ManualDesign.minimum_power` to size the budget). The device
+    constants come from ``params`` or the ``tech`` profile — baseline
+    designs re-priced under another technology stay comparable to a
+    PIMSYN run under the same profile.
     """
-    hw = params if params is not None else HardwareParams()
+    hw = (
+        params if params is not None
+        else HardwareParams.from_technology(tech)
+    )
     ratio = design.derived_ratio_rram(hw)
     budget = PowerBudget.from_constraint(
         total_power, ratio, design.xb_size, design.res_rram, hw,

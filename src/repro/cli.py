@@ -12,7 +12,11 @@ applications to PIM architectures"; the CLI is that click:
 - ``python -m repro serve --store DIR`` — the persistent synthesis
   service (job queue + content-addressed result store + JSON API);
 - ``python -m repro batch --manifest sweep.yaml --store DIR`` — run a
-  (model x power x config) manifest through the shared store.
+  (model x power x config) manifest through the shared store;
+- ``python -m repro tech list|show|export|compare`` — the device-
+  technology registry: inspect profiles, export/load the JSON format,
+  synthesize one model under every technology. ``--tech NAME`` on
+  ``synthesize``/``sweep``/``peak``/``serve`` selects the device.
 """
 
 from __future__ import annotations
@@ -26,6 +30,12 @@ from repro.core import Pimsyn, SynthesisConfig
 from repro.core.design_space import DesignSpace
 from repro.errors import PimsynError, SynthesisInterrupted
 from repro.hardware.params import HardwareParams
+from repro.hardware.tech import (
+    DEFAULT_TECHNOLOGY,
+    available_technologies,
+    get_technology,
+    load_technology,
+)
 from repro.nn import zoo
 from repro.nn.onnx_io import load_model
 
@@ -37,10 +47,27 @@ def _load(args) -> object:
     return zoo.by_name(args.model)
 
 
+def _tech(args) -> str:
+    """Resolve --tech / --tech-file into a registered profile name.
+
+    A --tech-file profile is registered first, so --tech may name it;
+    with --tech-file alone, the loaded profile becomes the run's
+    technology.
+    """
+    tech = getattr(args, "tech", None) or DEFAULT_TECHNOLOGY
+    tech_file = getattr(args, "tech_file", None)
+    if tech_file:
+        profile = load_technology(tech_file, replace=True)
+        if getattr(args, "tech", None) is None:
+            tech = profile.name
+    get_technology(tech)  # fail fast on unknown names
+    return tech
+
+
 def _config(args, power: float) -> SynthesisConfig:
     jobs = getattr(args, "jobs", 1)
     batch_eval = not getattr(args, "scalar_eval", False)
-    extras = {}
+    extras = {"tech": _tech(args)}
     if getattr(args, "pareto", False):
         extras["pareto"] = True
     if getattr(args, "objectives", None):
@@ -84,7 +111,7 @@ def cmd_synthesize(args) -> int:
     if args.power is not None:
         power = args.power
     else:
-        probe = SynthesisConfig.fast()
+        probe = SynthesisConfig.fast(tech=_tech(args))
         power = DesignSpace(model, probe).minimum_feasible_power(
             margin=args.margin
         )
@@ -153,7 +180,7 @@ def cmd_synthesize(args) -> int:
     return 0
 
 
-def cmd_peak(_args) -> int:
+def cmd_peak(args) -> int:
     from repro.baselines import (
         atomlayer_design,
         isaac_design,
@@ -164,7 +191,7 @@ def cmd_peak(_args) -> int:
     from repro.baselines.specs import PUBLISHED_PEAK_TOPS_PER_WATT
     from repro.hardware.peak import best_matched_peak
 
-    params = HardwareParams()
+    params = HardwareParams.from_technology(_tech(args))
     best = best_matched_peak(params)
     rows = [(
         "pimsyn", round(best.tops_per_watt, 3),
@@ -195,6 +222,7 @@ def cmd_sweep(args) -> int:
     config = SynthesisConfig.fast(
         seed=args.seed, jobs=getattr(args, "jobs", 1),
         batch_eval=not getattr(args, "scalar_eval", False),
+        tech=_tech(args),
     )
     rows = power_sweep(model, args.powers, config=config)
     table = [
@@ -237,7 +265,7 @@ def cmd_serve(args) -> int:
     store = ResultStore(args.store)
     scheduler = JobScheduler(
         store, workers=args.workers, synth_jobs=args.jobs,
-        name="serve",
+        name="serve", default_tech=_tech(args),
     )
     server = make_server(
         args.host, args.port, scheduler, store, verbose=args.verbose
@@ -246,7 +274,8 @@ def cmd_serve(args) -> int:
     print(f"synthesis service on http://{host}:{port}")
     print(f"  store: {store.root}  "
           f"({store.stats(include_models=False).results} results)")
-    print(f"  workers: {args.workers}  DSE jobs/worker: {args.jobs}")
+    print(f"  workers: {args.workers}  DSE jobs/worker: {args.jobs}  "
+          f"default tech: {scheduler.default_tech}")
     print("  POST /jobs   GET /jobs/<id>   GET /results/<key>   "
           "GET /store/stats")
     thread = threading.Thread(target=server.serve_forever, daemon=True)
@@ -284,6 +313,95 @@ def cmd_batch(args) -> int:
     return 1 if report.failures else 0
 
 
+def cmd_tech(args) -> int:
+    import json
+
+    if args.tech_file:
+        load_technology(args.tech_file, replace=True)
+    command = args.tech_command
+    if command == "list":
+        rows = []
+        for name in available_technologies():
+            profile = get_technology(name)
+            rows.append((
+                name, profile.cell,
+                "/".join(str(c) for c in profile.res_rram_choices),
+                "/".join(str(x) for x in profile.xb_size_choices),
+                f"{profile.adc_resolution_range[0]}-"
+                f"{profile.adc_resolution_range[1]}",
+                profile.description,
+            ))
+        print(format_table(
+            ["technology", "cell", "ResRram", "XbSize", "ADC bits",
+             "description"],
+            rows, title="registered device technologies",
+        ))
+        return 0
+    if command == "show":
+        profile = get_technology(args.name)
+        rows = [
+            ("cell", profile.cell),
+            ("crossbar latency", f"{profile.crossbar_latency:.3e} s"),
+            ("crossbar power", ", ".join(
+                f"{k}: {v * 1e3:.3g} mW"
+                for k, v in sorted(profile.crossbar_power.items())
+            )),
+            ("ADC sample rate", f"{profile.adc_sample_rate:.3e} S/s"),
+            ("ADC range", f"{profile.adc_resolution_range[0]}-"
+                          f"{profile.adc_resolution_range[1]} bits"),
+            ("DAC power", ", ".join(
+                f"{k}: {v * 1e6:.3g} uW"
+                for k, v in sorted(profile.dac_power.items())
+            )),
+            ("eDRAM", f"{profile.edram_size_bytes // 1024} KB @ "
+                      f"{profile.edram_power * 1e3:.3g} mW"),
+            ("NoC router", f"{profile.noc_power * 1e3:.3g} mW"),
+            ("XbSize domain", str(profile.xb_size_choices)),
+            ("ResRram domain", str(profile.res_rram_choices)),
+            ("ResDAC domain", str(profile.res_dac_choices)),
+            ("RatioRram domain", str(profile.ratio_rram_choices)),
+            ("precision", f"act {profile.act_precision} / weight "
+                          f"{profile.weight_precision} bits"),
+        ]
+        print(format_table(
+            ["constant", "value"], rows,
+            title=f"technology {profile.name} - {profile.description}",
+        ))
+        return 0
+    if command == "export":
+        profile = get_technology(args.name)
+        document = profile.to_json()
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(document + "\n")
+            print(f"technology {profile.name!r} written to {args.out}")
+        else:
+            print(document)
+        return 0
+    if command == "compare":
+        from repro.analysis import tech_compare_table, technology_sweep
+
+        model = _load(args)
+        rows = technology_sweep(
+            model,
+            total_power=args.power,
+            techs=args.techs,
+            seed=args.seed,
+            margin=args.margin,
+        )
+        print(tech_compare_table(rows, model_name=model.name))
+        if args.out:
+            payload = {
+                "model": model.name,
+                "rows": [r.__dict__ for r in rows],
+            }
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2)
+            print(f"\ncomparison written to {args.out}")
+        return 0
+    raise PimsynError(f"unknown tech command {command!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -297,7 +415,13 @@ def build_parser() -> argparse.ArgumentParser:
     models.add_argument("--json", action="store_true",
                         help="machine-readable output for scripted "
                              "clients and batch manifests")
-    sub.add_parser("peak", help="Table IV peak-efficiency comparison")
+    peak = sub.add_parser(
+        "peak", help="Table IV peak-efficiency comparison"
+    )
+    peak.add_argument("--tech", default=None,
+                      help="device-technology profile for the PIMSYN "
+                           "column (default: reram; see `repro tech "
+                           "list`)")
 
     synth = sub.add_parser("synthesize", help="run the synthesis DSE")
     group = synth.add_mutually_exclusive_group(required=True)
@@ -311,6 +435,14 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--full", action="store_true",
                        help="use the paper's full Table I grid "
                             "(slow; default is the fast preset)")
+    synth.add_argument("--tech", default=None,
+                       help="device-technology profile to synthesize "
+                            "for (default: reram; see `repro tech "
+                            "list`)")
+    synth.add_argument("--tech-file",
+                       help="register a technology profile from this "
+                            "JSON document first (the `repro tech "
+                            "export` format)")
     synth.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the DSE (0 = one per "
                             "CPU core; same solution as --jobs 1)")
@@ -343,6 +475,9 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--model", help="zoo model name")
     group.add_argument("--json", help="path to a model JSON document")
     sweep.add_argument("--powers", type=float, nargs="+", required=True)
+    sweep.add_argument("--tech", default=None,
+                       help="device-technology profile (default: "
+                            "reram)")
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes per synthesis (0 = one "
                             "per CPU core)")
@@ -365,6 +500,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=1,
                        help="DSE worker processes per job (0 = one "
                             "per CPU core)")
+    serve.add_argument("--tech", default=None,
+                       help="default technology for requests that do "
+                            "not specify one (default: reram)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -382,6 +520,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DSE worker processes per job")
     batch.add_argument("--out", help="write the JSON batch report here")
     batch.add_argument("--verbose", action="store_true")
+
+    tech = sub.add_parser(
+        "tech", help="inspect and compare device-technology profiles"
+    )
+    tech.add_argument("--tech-file",
+                      help="register a technology profile from this "
+                           "JSON document first")
+    tech_sub = tech.add_subparsers(dest="tech_command", required=True)
+    tech_sub.add_parser(
+        "list", help="registered profiles and their domains"
+    )
+    show = tech_sub.add_parser(
+        "show", help="one profile's constants and domains"
+    )
+    show.add_argument("name")
+    export = tech_sub.add_parser(
+        "export", help="write a profile's JSON document (the "
+                       "--tech-file / load_technology format)"
+    )
+    export.add_argument("name")
+    export.add_argument("--out", help="output path (default: stdout)")
+    compare = tech_sub.add_parser(
+        "compare", help="synthesize one model under every technology "
+                        "and print the comparison table"
+    )
+    group = compare.add_mutually_exclusive_group(required=True)
+    group.add_argument("--model", help="zoo model name")
+    group.add_argument("--json", help="path to a model JSON document")
+    compare.add_argument("--power", type=float, default=None,
+                         help="fixed power constraint (default: each "
+                              "technology's feasibility floor x "
+                              "--margin)")
+    compare.add_argument("--margin", type=float, default=2.0)
+    compare.add_argument("--techs", nargs="+", metavar="NAME",
+                         help="profiles to compare (default: all "
+                              "registered)")
+    compare.add_argument("--seed", type=int, default=2024)
+    compare.add_argument("--out",
+                         help="write the comparison JSON here")
     return parser
 
 
@@ -392,6 +569,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "serve": cmd_serve,
     "batch": cmd_batch,
+    "tech": cmd_tech,
 }
 
 

@@ -189,9 +189,11 @@ class BatchPerformanceEvaluator:
         self._adc_wl = np.array(adc_wl, dtype=np.float64)
         self._alu_wl = np.array(alu_wl, dtype=np.float64)
         xb_size = budget.xb_size
+        adc_lo, adc_hi = params.adc_resolution_range
         self._adc_resolutions = [
             required_adc_resolution(
-                min(xb_size, geo.rows), budget.res_rram, self.res_dac
+                min(xb_size, geo.rows), budget.res_rram, self.res_dac,
+                min_resolution=adc_lo, max_resolution=adc_hi,
             )
             for geo in geos
         ]

@@ -155,9 +155,11 @@ def allocate_components(
     adc_wl, alu_wl = layer_workloads(geometries, model, bits)
 
     xb_size = budget.xb_size
+    adc_lo, adc_hi = params.adc_resolution_range
     adc_resolutions = [
         required_adc_resolution(
-            min(xb_size, geo.rows), budget.res_rram, res_dac
+            min(xb_size, geo.rows), budget.res_rram, res_dac,
+            min_resolution=adc_lo, max_resolution=adc_hi,
         )
         for geo in geometries
     ]

@@ -9,16 +9,12 @@ benches snappy while exercising every stage.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
-from repro.hardware.params import (
-    HardwareParams,
-    RESDAC_CHOICES,
-    RESRRAM_CHOICES,
-    XBSIZE_CHOICES,
-)
+from repro.hardware.params import HardwareParams
+from repro.hardware.tech import DEFAULT_TECHNOLOGY, get_technology
 
 #: Metrics the multi-objective (pareto) mode can optimize, mapped to
 #: their sense: ``+1`` maximized as-is, ``-1`` negated so the shared
@@ -72,9 +68,23 @@ class SynthesisConfig:
     ----------
     total_power:
         The user's power constraint in watts (§III input).
+    tech:
+        Name of the device-technology profile (see
+        :mod:`repro.hardware.tech`): supplies the hardware params and
+        the default exploration domains, and participates in result
+        content keys so two technologies never share cached results.
+        Defaults to the paper's ``"reram"`` device.
+    params:
+        The concrete hardware constants. ``None`` (the default)
+        materializes them from the ``tech`` profile; an explicit
+        object overrides the profile's constants (``tech`` remains
+        the provenance label — the sensitivity sweeps use this).
     ratio_rram_choices / res_rram_choices / xb_size_choices /
     res_dac_choices:
-        The Table I grids Alg. 1 traverses (lines 3-5, 8).
+        The Table I grids Alg. 1 traverses (lines 3-5, 8). ``None``
+        entries resolve to the technology profile's domains; explicit
+        grids are validated against the technology's device tables
+        (and, for profile-derived params, its cell resolutions).
     num_wtdup_candidates:
         Stage 1 keeps this many SA-filtered WtDup candidates (paper: 30).
     sa_* :
@@ -137,12 +147,12 @@ class SynthesisConfig:
     """
 
     total_power: float = 50.0
-    params: HardwareParams = field(default_factory=HardwareParams)
+    params: Optional[HardwareParams] = None
 
-    ratio_rram_choices: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4)
-    res_rram_choices: Tuple[int, ...] = RESRRAM_CHOICES
-    xb_size_choices: Tuple[int, ...] = XBSIZE_CHOICES
-    res_dac_choices: Tuple[int, ...] = RESDAC_CHOICES
+    ratio_rram_choices: Optional[Tuple[float, ...]] = None
+    res_rram_choices: Optional[Tuple[int, ...]] = None
+    xb_size_choices: Optional[Tuple[int, ...]] = None
+    res_dac_choices: Optional[Tuple[int, ...]] = None
 
     num_wtdup_candidates: int = 30
     sa_initial_temperature: float = 1.0
@@ -167,6 +177,7 @@ class SynthesisConfig:
     pareto: bool = False
     objectives: Tuple[str, ...] = DEFAULT_OBJECTIVES
     seed: int = 2024
+    tech: str = DEFAULT_TECHNOLOGY
 
     @property
     def resolved_jobs(self) -> int:
@@ -180,6 +191,24 @@ class SynthesisConfig:
     def __post_init__(self) -> None:
         if self.total_power <= 0:
             raise ConfigurationError("total_power must be positive")
+        # Resolve the device technology: the profile supplies hardware
+        # params and any exploration domain the caller left unset, so a
+        # config is always fully concrete after construction. An
+        # explicitly passed ``params`` object wins over the profile's
+        # constants (the sensitivity sweeps perturb profile-derived
+        # params this way); ``tech`` stays as the content-key label.
+        profile = get_technology(self.tech)
+        profile_derived = self.params is None
+        if self.params is None:
+            self.params = HardwareParams.from_technology(profile)
+        if self.ratio_rram_choices is None:
+            self.ratio_rram_choices = profile.ratio_rram_choices
+        if self.res_rram_choices is None:
+            self.res_rram_choices = profile.res_rram_choices
+        if self.xb_size_choices is None:
+            self.xb_size_choices = profile.xb_size_choices
+        if self.res_dac_choices is None:
+            self.res_dac_choices = profile.res_dac_choices
         for ratio in self.ratio_rram_choices:
             if not 0.0 < ratio < 1.0:
                 raise ConfigurationError(
@@ -194,6 +223,23 @@ class SynthesisConfig:
                 raise ConfigurationError(f"{name} must be non-empty")
             if any(c <= 0 for c in choices):
                 raise ConfigurationError(f"{name} entries must be positive")
+        # The grids must be priceable by the technology's tables —
+        # otherwise the DSE dies mid-walk with a lookup error.
+        for xb in self.xb_size_choices:
+            self.params.crossbar_power_of(xb)
+        for res in self.res_dac_choices:
+            self.params.dac_power_of(res)
+        if profile_derived:
+            # Profile-derived params: the cell's physics constrains the
+            # grid (e.g. SRAM has no multi-bit cells).
+            bad = [r for r in self.res_rram_choices
+                   if r not in profile.res_rram_choices]
+            if bad:
+                raise ConfigurationError(
+                    f"ResRram choices {bad} not offered by technology "
+                    f"{profile.name!r} (cells: "
+                    f"{profile.res_rram_choices})"
+                )
         if self.num_wtdup_candidates < 1:
             raise ConfigurationError("need at least one WtDup candidate")
         if not isinstance(self.jobs, int) or isinstance(self.jobs, bool):
@@ -248,13 +294,25 @@ class SynthesisConfig:
         One outer grid point per variable except the two that matter most
         (XbSize and ResDAC keep two values), small SA/EA budgets, and 6
         WtDup candidates. Used by tests and the quicker benches.
+
+        The reduced grids are carved out of the technology profile's
+        domains (``overrides`` may carry ``tech``), so the preset is
+        valid for every device: a mid-grid RatioRram and cell
+        resolution, the two smallest crossbar sizes and DAC
+        resolutions. Under the default ``reram`` profile this yields
+        exactly the historical ``(0.3,) / (2,) / (128, 256) / (1, 2)``
+        preset, keeping fast-config content keys stable.
         """
+        profile = get_technology(overrides.get("tech",
+                                               DEFAULT_TECHNOLOGY))
+        ratios = profile.ratio_rram_choices
+        cells = profile.res_rram_choices
         defaults = dict(
             total_power=total_power,
-            ratio_rram_choices=(0.3,),
-            res_rram_choices=(2,),
-            xb_size_choices=(128, 256),
-            res_dac_choices=(1, 2),
+            ratio_rram_choices=(ratios[max(0, len(ratios) - 2)],),
+            res_rram_choices=(cells[len(cells) // 2],),
+            xb_size_choices=profile.xb_size_choices[:2],
+            res_dac_choices=profile.res_dac_choices[:2],
             num_wtdup_candidates=6,
             sa_steps_per_temp=15,
             sa_cooling_rate=0.8,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hardware.params import HardwareParams
+from repro.hardware.tech import default_params
 from repro.ir.builder import DataflowBuilder, DataflowSpec
 from repro.ir.dag import IRDag
 from repro.nn.model import CNNModel
@@ -33,7 +34,7 @@ def make_spec(
         xb_size=xb_size,
         res_rram=res_rram,
         res_dac=res_dac,
-        params=params if params is not None else HardwareParams(),
+        params=params if params is not None else default_params(),
         max_blocks_per_layer=max_blocks_per_layer,
     )
 

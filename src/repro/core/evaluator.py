@@ -153,11 +153,13 @@ def throughput_upper_bound(
         return 0.0
 
     adc_wl, alu_wl = layer_workloads(spec.geometries, spec.model, spec.bits)
+    adc_lo, adc_hi = params.adc_resolution_range
     adc_denom = sum(
         params.adc_power_of(
             required_adc_resolution(
                 min(budget.xb_size, geo.rows), budget.res_rram,
                 spec.res_dac,
+                min_resolution=adc_lo, max_resolution=adc_hi,
             )
         ) * wl / params.adc_sample_rate
         for geo, wl in zip(geometries, adc_wl)

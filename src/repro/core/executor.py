@@ -71,6 +71,7 @@ from repro.core.solution import SynthesisSolution
 from repro.core.weight_duplication import WeightDuplicationFilter
 from repro.errors import InfeasibleError, SynthesisInterrupted
 from repro.hardware.params import HardwareParams
+from repro.hardware.tech import DEFAULT_TECHNOLOGY
 from repro.hardware.power import PowerBudget
 from repro.nn.model import CNNModel
 from repro.utils.rng import SeedSequence
@@ -95,9 +96,21 @@ def model_fingerprint(model: CNNModel) -> str:
 
 
 def params_fingerprint(params: HardwareParams) -> str:
-    """Stable digest of the hardware setup parameters."""
+    """Stable digest of the hardware setup parameters.
+
+    The ``technology`` provenance stamp is skipped when it names the
+    default profile: every pre-profile artifact (eval memos, serve
+    store entries) was keyed without it, and the default profile is
+    byte-identical to the historical constants — so ``reram`` keys
+    stay valid. Any *other* technology name is digested, which keeps
+    two same-constants profiles (e.g. a registered copy of ``reram``
+    under a new name) from ever sharing cache entries.
+    """
     text = "|".join(
-        f"{f.name}={getattr(params, f.name)!r}" for f in fields(params)
+        f"{f.name}={getattr(params, f.name)!r}"
+        for f in fields(params)
+        if not (f.name == "technology"
+                and getattr(params, f.name) == DEFAULT_TECHNOLOGY)
     )
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
@@ -127,6 +140,12 @@ def config_fingerprint(config: SynthesisConfig) -> str:
         f"{f.name}={getattr(config, f.name)!r}"
         for f in fields(config)
         if f.name not in EXECUTION_ONLY_FIELDS and f.name != "params"
+        # The default technology is skipped for key stability (it is
+        # byte-identical to the pre-profile constants; see
+        # params_fingerprint) — any other profile name is result
+        # content and is digested.
+        and not (f.name == "tech"
+                 and getattr(config, f.name) == DEFAULT_TECHNOLOGY)
     )
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 

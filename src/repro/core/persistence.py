@@ -25,6 +25,7 @@ from repro.core.solution import SynthesisSolution
 from repro.errors import ConfigurationError
 from repro.hardware.params import HardwareParams
 from repro.hardware.power import PowerBudget
+from repro.hardware.tech import DEFAULT_TECHNOLOGY
 from repro.nn.model import CNNModel
 
 
@@ -41,20 +42,24 @@ def load_solution(
     model: CNNModel,
     params: HardwareParams = None,
     max_blocks_per_layer: int = 8,
+    tech: str = DEFAULT_TECHNOLOGY,
 ) -> SynthesisSolution:
     """Re-materialize a solution from its JSON artifact and the model.
 
     The artifact stores decisions, not the model; the caller supplies
-    the same CNN the design was synthesized for. A model/artifact
-    mismatch (wrong layer count) raises :class:`ConfigurationError`.
-    Metrics are *recomputed*, which doubles as an integrity check — the
-    loader verifies the stored throughput against the re-evaluation.
+    the same CNN the design was synthesized for — and, for designs
+    synthesized under a non-default technology, the same device, via
+    ``tech`` (or an explicit ``params``). A model/artifact mismatch
+    (wrong layer count) raises :class:`ConfigurationError`. Metrics
+    are *recomputed*, which doubles as an integrity check — the loader
+    verifies the stored throughput against the re-evaluation, so a
+    wrong-technology reload is caught rather than silently mispriced.
     """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.loads(handle.read())
     return solution_from_payload(
         payload, model, params=params,
-        max_blocks_per_layer=max_blocks_per_layer,
+        max_blocks_per_layer=max_blocks_per_layer, tech=tech,
     )
 
 
@@ -63,6 +68,7 @@ def solution_from_payload(
     model: CNNModel,
     params: HardwareParams = None,
     max_blocks_per_layer: int = 8,
+    tech: str = DEFAULT_TECHNOLOGY,
 ) -> SynthesisSolution:
     """The dict-level half of :func:`load_solution`.
 
@@ -70,9 +76,14 @@ def solution_from_payload(
     embed the artifact payload (``SynthesisSolution.to_payload``), and
     a client holding the model re-materializes the live solution from
     it — re-running only the deterministic tail of the flow, never the
-    DSE.
+    DSE. ``params`` (explicit constants) or ``tech`` (a registered
+    profile name) selects the device the artifact was synthesized
+    under.
     """
-    hw = params if params is not None else HardwareParams()
+    hw = (
+        params if params is not None
+        else HardwareParams.from_technology(tech)
+    )
     expected_model = payload["model"]
     if model.name not in (expected_model, expected_model.split("@")[0]):
         raise ConfigurationError(

@@ -5,6 +5,10 @@ Everything PIMSYN knows about the physical platform lives here:
 - :mod:`repro.hardware.params` — the component power/latency/area
   constants of Table III (ISAAC/MNSIM-derived), packaged as a
   :class:`HardwareParams` object users can override;
+- :mod:`repro.hardware.tech` — the pluggable device-technology layer:
+  named, validated :class:`TechnologyProfile` bundles (constants +
+  exploration domains) with built-in ``reram``/``reram-lp``/
+  ``sram-pim`` profiles, a registry hook and JSON loading;
 - :mod:`repro.hardware.components` — per-component models (crossbar,
   ADC, DAC, eDRAM, NoC router, ALU, S&H, registers);
 - :mod:`repro.hardware.crossbar` — Eq. 1 crossbar-set math and weight
@@ -38,6 +42,15 @@ from repro.hardware.noc import MeshNoC
 from repro.hardware.params import HardwareParams
 from repro.hardware.power import PowerBudget, crossbar_budget
 from repro.hardware.chip import Accelerator, AreaReport, PowerReport
+from repro.hardware.tech import (
+    DEFAULT_TECHNOLOGY,
+    TechnologyProfile,
+    available_technologies,
+    default_params,
+    get_technology,
+    load_technology,
+    register_technology,
+)
 
 __all__ = [
     "AdcSpec",
@@ -63,4 +76,11 @@ __all__ = [
     "Accelerator",
     "AreaReport",
     "PowerReport",
+    "DEFAULT_TECHNOLOGY",
+    "TechnologyProfile",
+    "available_technologies",
+    "default_params",
+    "get_technology",
+    "load_technology",
+    "register_technology",
 ]

@@ -39,7 +39,11 @@ from typing import Dict, Tuple
 
 from repro.errors import ConfigurationError
 
-# Exploration domains of Table I / Table III.
+# Exploration domains of Table I / Table III for the paper's ReRAM
+# device. These module constants are the ``reram`` technology profile's
+# domains (see :mod:`repro.hardware.tech`); other technologies carry
+# their own domains on their profiles — prefer
+# ``get_technology(name).xb_size_choices`` etc. in new code.
 XBSIZE_CHOICES: Tuple[int, ...] = (128, 256, 512)
 RESRRAM_CHOICES: Tuple[int, ...] = (1, 2, 4)
 RESDAC_CHOICES: Tuple[int, ...] = (1, 2, 4)
@@ -121,16 +125,46 @@ class HardwareParams:
     act_precision: int = 16
     weight_precision: int = 16
 
+    # -- provenance --------------------------------------------------------
+    #: Name of the :class:`repro.hardware.tech.TechnologyProfile` these
+    #: constants came from. Participates in content fingerprints (the
+    #: default is skipped for key stability — see
+    #: :func:`repro.core.executor.params_fingerprint`), so two
+    #: technologies never share memoized evaluations or stored results.
+    technology: str = "reram"
+
     def __post_init__(self) -> None:
         if self.crossbar_latency <= 0:
             raise ConfigurationError("crossbar latency must be positive")
         if self.adc_sample_rate <= 0:
             raise ConfigurationError("ADC sample rate must be positive")
+        if not self.adc_power:
+            raise ConfigurationError("adc_power table must be non-empty")
         for size in self.crossbar_power:
             if size <= 0 or self.crossbar_power[size] <= 0:
                 raise ConfigurationError(f"bad crossbar power entry {size}")
         if self.act_precision <= 0 or self.weight_precision <= 0:
             raise ConfigurationError("precisions must be positive")
+
+    # ------------------------------------------------------------------
+    # Technology routing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_technology(cls, technology) -> "HardwareParams":
+        """Materialize the params of a technology profile (or name).
+
+        The canonical construction path: every layer of the flow that
+        needs hardware constants receives a ``HardwareParams`` built
+        here (directly or via :func:`repro.hardware.tech.
+        default_params`), so the device is always an explicit,
+        content-keyed choice. ``HardwareParams.from_technology("reram")``
+        equals a default-constructed ``HardwareParams()`` field for
+        field — the pre-profile behavior is the default profile.
+        """
+        from repro.hardware.tech import get_technology
+
+        profile = get_technology(technology)
+        return cls(technology=profile.name, **profile.device_constants())
 
     # ------------------------------------------------------------------
     # Lookups with validation
@@ -161,6 +195,16 @@ class HardwareParams:
                 f"known: {sorted(self.adc_power)}"
             )
         return self.adc_power[resolution]
+
+    @property
+    def adc_resolution_range(self) -> Tuple[int, int]:
+        """(min, max) ADC resolution this technology's curve covers.
+
+        Derived from the ``adc_power`` table so it can never disagree
+        with the curve; :func:`repro.hardware.crossbar.
+        required_adc_resolution` clamps into this range.
+        """
+        return (min(self.adc_power), max(self.adc_power))
 
     @property
     def edram_bandwidth(self) -> float:

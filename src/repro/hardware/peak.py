@@ -101,7 +101,11 @@ def matched_peak_point(
             + 16 * params.alu_power
         ) / 64.0
 
-    resolution = required_adc_resolution(xb_size, res_rram, res_dac)
+    adc_lo, adc_hi = params.adc_resolution_range
+    resolution = required_adc_resolution(
+        xb_size, res_rram, res_dac,
+        min_resolution=adc_lo, max_resolution=adc_hi,
+    )
     adcs = adc_demand_per_crossbar(xb_size, params) / params.adc_sample_rate
     bundle = (
         params.crossbar_power_of(xb_size)
@@ -181,9 +185,9 @@ def fixed_peak_point(
 
 def best_matched_peak(
     params: HardwareParams,
-    xb_sizes: Iterable[int] = XBSIZE_CHOICES,
-    res_rrams: Iterable[int] = RESRRAM_CHOICES,
-    res_dacs: Iterable[int] = RESDAC_CHOICES,
+    xb_sizes: Optional[Iterable[int]] = None,
+    res_rrams: Optional[Iterable[int]] = None,
+    res_dacs: Optional[Iterable[int]] = None,
     weight_precision: int = 16,
     act_precision: int = 16,
 ) -> PeakPoint:
@@ -191,8 +195,25 @@ def best_matched_peak(
 
     This is the number a synthesis flow reports as *its* peak power
     efficiency (Table IV's PIMSYN column): the search is free to pick
-    the configuration, manual designs are not.
+    the configuration, manual designs are not. Grids left ``None``
+    default to the domains of the technology profile ``params`` was
+    built from (the Table I constants for ``reram``); a hand-rolled
+    ``HardwareParams`` whose ``technology`` names no registered
+    profile falls back to the Table I grids.
     """
+    if None in (xb_sizes, res_rrams, res_dacs):
+        try:
+            from repro.hardware.tech import get_technology
+
+            profile = get_technology(params.technology)
+            domains = (profile.xb_size_choices,
+                       profile.res_rram_choices,
+                       profile.res_dac_choices)
+        except ConfigurationError:
+            domains = (XBSIZE_CHOICES, RESRRAM_CHOICES, RESDAC_CHOICES)
+        xb_sizes = domains[0] if xb_sizes is None else xb_sizes
+        res_rrams = domains[1] if res_rrams is None else res_rrams
+        res_dacs = domains[2] if res_dacs is None else res_dacs
     best: Optional[PeakPoint] = None
     for xb in xb_sizes:
         for rram in res_rrams:

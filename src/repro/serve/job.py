@@ -132,6 +132,21 @@ class JobRequest:
             )
         return self._cached_key
 
+    def apply_default_tech(self, tech: str) -> None:
+        """Stamp a scheduler-level default technology onto the request.
+
+        No-op when the request already names a technology. Invalidates
+        the cached content key: a caller may have keyed the request
+        before submitting it (the batch runner's dedup does), and the
+        stamp is result content — keeping a pre-stamp key would store
+        this job under the *default-technology* address, exactly the
+        cross-technology aliasing the key scheme exists to prevent.
+        """
+        if "tech" in self.overrides:
+            return
+        self.overrides["tech"] = tech
+        self._cached_key = None
+
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------

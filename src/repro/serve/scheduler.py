@@ -38,6 +38,7 @@ from typing import Dict, List, Optional
 
 from repro.core.synthesizer import Pimsyn
 from repro.errors import PimsynError, SynthesisInterrupted
+from repro.hardware.tech import get_technology
 from repro.serve.job import (
     JobRecord,
     JobRequest,
@@ -62,6 +63,13 @@ class JobScheduler:
     synth_jobs:
         ``SynthesisConfig.jobs`` for every synthesis this scheduler
         runs (execution-only; never part of the content key).
+    default_tech:
+        Technology profile applied at submission to requests that do
+        not carry a ``tech`` override themselves. Applied *before*
+        the content key is computed, so a service defaulted to
+        ``sram-pim`` never aliases a ``reram`` store entry. ``None``
+        leaves requests untouched (the config default is the
+        baseline ``reram`` profile).
     name:
         Label used in job ids and store claims.
     stale_claim_timeout:
@@ -86,12 +94,16 @@ class JobScheduler:
         stale_claim_timeout: float = 600.0,
         autostart: bool = True,
         max_history: int = 10_000,
+        default_tech: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise PimsynError("scheduler needs at least one worker")
+        if default_tech is not None:
+            get_technology(default_tech)  # fail at startup, not submit
         self.store = store
         self.workers = workers
         self.synth_jobs = synth_jobs
+        self.default_tech = default_tech
         self.name = name
         self.stale_claim_timeout = stale_claim_timeout
         self.max_history = max_history
@@ -169,6 +181,11 @@ class JobScheduler:
         request (unknown model, malformed config) — submission-time
         validation, not worker-time.
         """
+        if self.default_tech is not None:
+            # Stamp the service default (and drop any pre-stamp cached
+            # key) so the request's content address names the
+            # technology it will actually be synthesized under.
+            request.apply_default_tech(self.default_tech)
         key = request.content_key()
         with self._lock:
             inflight = self._inflight.get(key)

@@ -7,6 +7,12 @@ per-layer hardware resource constraints (crossbar sets, ADC banks, ALU
 banks, scratchpad ports, NoC ports), producing an execution trace, a
 windowed makespan, and steady-state extrapolations of throughput and
 latency that validate the analytical evaluator's estimates.
+
+Every latency/bandwidth constant the engine prices comes from
+``spec.params`` — the :class:`~repro.hardware.params.HardwareParams`
+the dataflow spec was compiled with — so simulating a design
+synthesized under any :class:`~repro.hardware.tech.TechnologyProfile`
+needs no extra plumbing: the profile rides in on the spec.
 """
 
 from repro.sim.engine import SimulationEngine

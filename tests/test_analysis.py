@@ -83,3 +83,40 @@ class TestPowerSweep:
             config=SynthesisConfig.fast(seed=3),
         )
         assert rows[1].throughput >= rows[0].throughput * 0.9
+
+
+class TestTechnologySweep:
+    def test_compares_all_builtins_at_their_own_floors(self):
+        from repro.analysis import (
+            TechCompareRow,
+            tech_compare_table,
+            technology_sweep,
+        )
+        from repro.nn import lenet5
+
+        rows = technology_sweep(lenet5(), seed=11)
+        names = [r.tech for r in rows]
+        assert names == ["reram", "reram-lp", "sram-pim"]
+        assert all(isinstance(r, TechCompareRow) for r in rows)
+        assert all(r.feasible for r in rows)
+        assert all(r.throughput > 0 for r in rows)
+        # SRAM is single-bit; reram profiles explore multi-bit cells.
+        by_name = {r.tech: r for r in rows}
+        assert by_name["sram-pim"].res_rram == 1
+        # Every power constraint was sized per technology.
+        assert all(r.total_power > 0 for r in rows)
+        table = tech_compare_table(rows, model_name="lenet5")
+        assert "technology comparison - lenet5" in table
+        assert "sram-pim" in table
+
+    def test_fixed_power_records_infeasible_rows(self):
+        from repro.analysis import technology_sweep
+        from repro.nn import lenet5
+
+        # 0.05 W cannot hold lenet5 under any profile.
+        rows = technology_sweep(
+            lenet5(), total_power=0.05, techs=("reram", "sram-pim"),
+            seed=11,
+        )
+        assert [r.tech for r in rows] == ["reram", "sram-pim"]
+        assert all(not r.feasible for r in rows)

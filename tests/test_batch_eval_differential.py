@@ -189,3 +189,71 @@ class TestFullSynthesisIdentity:
                 )).synthesize()
                 outputs.add(solution.to_json())
         assert len(outputs) == 1
+
+
+class TestTechnologyDifferential:
+    """Scalar-vs-batched identity must hold for *every* technology
+    profile, not just the default reram constants (the batched engine
+    consumes profile tables — ADC curves, resolution ranges, crossbar
+    latency — so each built-in profile exercises different table
+    entries)."""
+
+    @pytest.mark.parametrize(
+        "tech", ("reram", "reram-lp", "sram-pim")
+    )
+    def test_population_metrics_match_scalar_oracle(self, tech):
+        model = zoo.by_name("vgg13")
+        for power in (2.0, 8.0):
+            config = SynthesisConfig.fast(total_power=power, tech=tech)
+            res_rram = config.res_rram_choices[0]
+            n = model.num_weighted_layers
+            spec = make_spec(
+                model, [1] * n, xb_size=128, res_rram=res_rram,
+                res_dac=1, params=config.params,
+                max_blocks_per_layer=config.max_blocks_per_layer,
+            )
+            budget = PowerBudget(
+                total_power=power, ratio_rram=0.3, xb_size=128,
+                res_rram=res_rram, num_crossbars=4096,
+            )
+            explorer = MacroPartitionExplorer(
+                spec=spec, budget=budget, res_dac=1, config=config,
+                rng=random.Random(3),
+            )
+            genes = _population(explorer, size=16)
+            batch = explorer.batch_evaluator.evaluate_population(genes)
+            for k, gene in enumerate(genes):
+                fitness, allocation, result = explorer.score(gene)
+                _assert_close(
+                    fitness, float(batch.fitness[k]),
+                    f"{tech}@{power}W gene {k} fitness",
+                )
+                if allocation is None:
+                    continue
+                for field in METRIC_FIELDS:
+                    _assert_close(
+                        getattr(result, field),
+                        float(getattr(batch, field)[k]),
+                        f"{tech}@{power}W gene {k} {field}",
+                    )
+
+    @pytest.mark.parametrize("tech", ("reram-lp", "sram-pim"))
+    def test_full_synthesis_identity_per_technology(self, tech):
+        """batch_eval stays an execution-only knob off-reram too, and
+        non-default technologies synthesize end to end."""
+        from repro.core.design_space import DesignSpace
+
+        model = zoo.by_name("lenet5")
+        probe = SynthesisConfig.fast(tech=tech)
+        power = DesignSpace(model, probe).minimum_feasible_power(
+            margin=2.0
+        )
+        runs = {}
+        for batch in (True, False):
+            solution = Pimsyn(model, SynthesisConfig.fast(
+                total_power=power, seed=7, tech=tech,
+                batch_eval=batch,
+            )).synthesize()
+            runs[batch] = solution.to_json()
+            assert solution.evaluation.throughput > 0
+        assert runs[True] == runs[False]

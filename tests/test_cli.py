@@ -100,3 +100,103 @@ class TestParser:
     def test_model_and_json_mutually_exclusive(self):
         with pytest.raises(SystemExit):
             main(["synthesize", "--model", "a", "--json", "b"])
+
+
+class TestTechCommand:
+    def test_list(self, capsys):
+        assert main(["tech", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "reram" in out and "sram-pim" in out and "reram-lp" in out
+
+    def test_show(self, capsys):
+        assert main(["tech", "show", "sram-pim"]) == 0
+        out = capsys.readouterr().out
+        assert "sram" in out
+        assert "ResRram domain" in out and "(1,)" in out
+
+    def test_show_unknown_fails(self, capsys):
+        assert main(["tech", "show", "finfet-9000"]) == 1
+        assert "unknown technology" in capsys.readouterr().err
+
+    def test_export_then_synthesize_with_tech_file(self, tmp_path,
+                                                   capsys):
+        """export -> edit name -> --tech-file round trip."""
+        out_path = tmp_path / "custom.json"
+        assert main([
+            "tech", "export", "reram-lp", "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(out_path.read_text())
+        document["name"] = "my-device"
+        out_path.write_text(json.dumps(document))
+        try:
+            assert main([
+                "synthesize", "--model", "lenet5", "--power", "4.0",
+                "--tech-file", str(out_path),
+            ]) == 0
+            assert "TOPS/W" in capsys.readouterr().out
+        finally:
+            from repro.hardware.tech import unregister_technology
+
+            unregister_technology("my-device")
+
+    def test_tech_file_cannot_shadow_a_builtin(self, tmp_path, capsys):
+        """An edited profile that kept a built-in's name must be
+        rejected, not silently replace the shipped device."""
+        out_path = tmp_path / "evil.json"
+        assert main([
+            "tech", "export", "sram-pim", "--out", str(out_path),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(out_path.read_text())
+        document["device"]["crossbar_latency"] = 1e-12
+        out_path.write_text(json.dumps(document))
+        assert main([
+            "synthesize", "--model", "lenet5", "--power", "2",
+            "--tech-file", str(out_path),
+        ]) == 1
+        assert "cannot be replaced" in capsys.readouterr().err
+
+    def test_export_stdout_is_loadable(self, tmp_path, capsys):
+        assert main(["tech", "export", "sram-pim"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "sram-pim"
+        assert payload["domains"]["res_rram_choices"] == [1]
+
+
+class TestSynthesizeTech:
+    def test_tech_flag_end_to_end(self, capsys):
+        """--tech sram-pim: auto power floor + DSE + solution print."""
+        assert main([
+            "synthesize", "--model", "lenet5", "--tech", "sram-pim",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "feasibility floor" in out
+        assert "ResRram=1" in out  # SRAM has no multi-bit cells
+
+    def test_unknown_tech_fails_cleanly(self, capsys):
+        assert main([
+            "synthesize", "--model", "lenet5", "--power", "2",
+            "--tech", "finfet-9000",
+        ]) == 1
+        assert "unknown technology" in capsys.readouterr().err
+
+    def test_sweep_with_tech(self, capsys):
+        assert main([
+            "sweep", "--model", "lenet5", "--powers", "2", "4",
+            "--tech", "reram-lp",
+        ]) == 0
+        assert "power sweep" in capsys.readouterr().out
+
+    def test_peak_with_tech(self, capsys):
+        assert main(["peak", "--tech", "sram-pim"]) == 0
+        assert "pimsyn" in capsys.readouterr().out
+
+    def test_tech_compare(self, capsys):
+        assert main([
+            "tech", "compare", "--model", "lenet5",
+            "--techs", "reram", "sram-pim",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "technology comparison" in out
+        assert "sram-pim" in out

@@ -103,3 +103,40 @@ class TestSensitivity:
         )
         # 4x slower reads cannot speed the chip up.
         assert rows[0].throughput >= rows[1].throughput * 0.999
+
+
+class TestSensitivityTechnologies:
+    """Sensitivity sweeps perturb the *selected* technology's params —
+    not a freshly constructed default — so they work on any profile."""
+
+    def test_sram_pim_sweep_runs(self):
+        rows = sensitivity_sweep(
+            lenet5(), 2.0, "crossbar_latency", scales=(1.0, 4.0),
+            seed=11, tech="sram-pim",
+        )
+        assert len(rows) == 2
+        assert all(r.feasible for r in rows)
+        # SRAM cells are single-bit: the DSE can only ever pick 1.
+        assert all(r.res_rram == 1 for r in rows)
+        assert rows[0].throughput >= rows[1].throughput * 0.999
+
+    def test_scale_one_matches_plain_synthesis_per_tech(self):
+        """The unscaled sensitivity point is exactly a plain run under
+        the same technology (the perturbation baseline is the profile,
+        so scale=1.0 is a no-op)."""
+        from repro.core import Pimsyn
+        from repro.core.config import SynthesisConfig
+
+        for tech in ("reram", "reram-lp"):
+            row = sensitivity_sweep(
+                lenet5(), 2.0, "adc_power", scales=(1.0,), seed=11,
+                tech=tech,
+            )[0]
+            solution = Pimsyn(lenet5(), SynthesisConfig.fast(
+                total_power=2.0, seed=11, tech=tech,
+            )).synthesize()
+            assert row.feasible
+            assert row.xb_size == solution.xb_size
+            assert row.throughput == pytest.approx(
+                solution.evaluation.throughput, rel=1e-12
+            )

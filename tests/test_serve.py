@@ -555,3 +555,76 @@ class TestApi:
 def test_pimsyn_error_is_base_of_serve_errors():
     """Serve-layer rejections reuse the package error hierarchy."""
     assert issubclass(ConfigurationError, PimsynError)
+
+
+class TestSchedulerTechnology:
+    """The serve layer routes the device technology through content
+    keys: per-request `tech` overrides and the scheduler's
+    `default_tech` both key (and store) separately from reram."""
+
+    def test_tech_override_produces_distinct_store_entries(self, store):
+        with JobScheduler(store, workers=1) as scheduler:
+            base = scheduler.submit(_request(power=4.0))
+            lp = scheduler.submit(_request(
+                power=4.0, overrides={"tech": "reram-lp"}
+            ))
+            scheduler.wait(base.id, timeout=120)
+            scheduler.wait(lp.id, timeout=120)
+        assert base.state == JobState.DONE
+        assert lp.state == JobState.DONE
+        assert base.key != lp.key
+        assert scheduler.executed == 2
+        assert store.get(base.key) is not None
+        assert store.get(lp.key) is not None
+        # Each stored request records its own technology.
+        assert store.get(lp.key)["request"]["overrides"] == {
+            "tech": "reram-lp"
+        }
+
+    def test_default_tech_stamped_before_keying(self, store):
+        with JobScheduler(
+            store, workers=1, default_tech="reram-lp"
+        ) as scheduler:
+            record = scheduler.submit(_request(power=4.0))
+            scheduler.wait(record.id, timeout=120)
+        assert record.state == JobState.DONE
+        assert record.request.overrides["tech"] == "reram-lp"
+        # The key equals an explicit reram-lp request's key — and not
+        # a default-tech request's.
+        assert record.key == _request(
+            power=4.0, overrides={"tech": "reram-lp"}
+        ).content_key()
+        assert record.key != _request(power=4.0).content_key()
+
+    def test_explicit_tech_wins_over_scheduler_default(self, store):
+        scheduler = JobScheduler(
+            store, workers=1, default_tech="reram-lp", autostart=False
+        )
+        record = scheduler.submit(_request(
+            power=4.0, overrides={"tech": "sram-pim"}
+        ))
+        scheduler.shutdown(wait=False)
+        assert record.request.overrides["tech"] == "sram-pim"
+
+    def test_unknown_default_tech_rejected_at_startup(self, store):
+        with pytest.raises(PimsynError):
+            JobScheduler(
+                store, workers=1, default_tech="finfet-9000",
+                autostart=False,
+            )
+
+    def test_default_tech_invalidates_a_precomputed_key(self, store):
+        """A caller may key a request before submitting (the batch
+        runner's dedup does); the default-tech stamp must re-key it or
+        the job would be stored under the reram address."""
+        request = _request(power=4.0)
+        stale = request.content_key()  # cached pre-stamp
+        scheduler = JobScheduler(
+            store, workers=1, default_tech="reram-lp", autostart=False
+        )
+        record = scheduler.submit(request)
+        scheduler.shutdown(wait=False)
+        assert record.key != stale
+        assert record.key == _request(
+            power=4.0, overrides={"tech": "reram-lp"}
+        ).content_key()
