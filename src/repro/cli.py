@@ -16,7 +16,11 @@ applications to PIM architectures"; the CLI is that click:
 - ``python -m repro tech list|show|export|compare`` — the device-
   technology registry: inspect profiles, export/load the JSON format,
   synthesize one model under every technology. ``--tech NAME`` on
-  ``synthesize``/``sweep``/``peak``/``serve`` selects the device.
+  ``synthesize``/``sweep``/``peak``/``serve`` selects the device;
+- ``python -m repro backends`` — the array-backend registry that
+  executes the tensorized task-grid walk. ``--backend NAME`` on
+  ``synthesize``/``sweep`` selects one (execution-only: never changes
+  the solution or any content key).
 """
 
 from __future__ import annotations
@@ -68,6 +72,10 @@ def _config(args, power: float) -> SynthesisConfig:
     jobs = getattr(args, "jobs", 1)
     batch_eval = not getattr(args, "scalar_eval", False)
     extras = {"tech": _tech(args)}
+    if getattr(args, "scalar_bounds", False):
+        extras["grid_eval"] = False
+    if getattr(args, "backend", None):
+        extras["backend"] = args.backend
     if getattr(args, "pareto", False):
         extras["pareto"] = True
     if getattr(args, "objectives", None):
@@ -219,10 +227,15 @@ def cmd_sweep(args) -> int:
     from repro.analysis import power_sweep
 
     model = _load(args)
+    extras = {}
+    if getattr(args, "scalar_bounds", False):
+        extras["grid_eval"] = False
+    if getattr(args, "backend", None):
+        extras["backend"] = args.backend
     config = SynthesisConfig.fast(
         seed=args.seed, jobs=getattr(args, "jobs", 1),
         batch_eval=not getattr(args, "scalar_eval", False),
-        tech=_tech(args),
+        tech=_tech(args), **extras,
     )
     rows = power_sweep(model, args.powers, config=config)
     table = [
@@ -402,6 +415,25 @@ def cmd_tech(args) -> int:
     raise PimsynError(f"unknown tech command {command!r}")
 
 
+def cmd_backends(args) -> int:
+    from repro.core.backend import backend_status, get_backend
+
+    rows = []
+    for name, ok, detail in backend_status():
+        default = "*" if name == SynthesisConfig().backend else ""
+        rows.append((
+            name, "yes" if ok else "no", default, detail,
+        ))
+    print(format_table(
+        ["backend", "available", "default", "description / reason"],
+        rows, title="registered array backends (execution-only)",
+    ))
+    if getattr(args, "check", None):
+        get_backend(args.check)  # raises ConfigurationError if not usable
+        print(f"backend {args.check!r} is available")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -450,6 +482,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="score EA populations gene-by-gene instead "
                             "of through the numpy batch engine (same "
                             "solution, slower; mainly for debugging)")
+    synth.add_argument("--scalar-bounds", action="store_true",
+                       help="bound/prune the outer task grid per task "
+                            "instead of through the tensorized grid "
+                            "walk (same solution, slower)")
+    synth.add_argument("--backend", default=None,
+                       help="array backend for the tensorized grid "
+                            "walk (default: numpy; see `repro "
+                            "backends`; execution-only)")
     synth.add_argument("--pareto", action="store_true",
                        help="multi-objective mode: print the Pareto "
                             "front over --objectives instead of a "
@@ -484,6 +524,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--scalar-eval", action="store_true",
                        help="disable the numpy batch evaluator "
                             "(same results, slower)")
+    sweep.add_argument("--scalar-bounds", action="store_true",
+                       help="disable the tensorized task-grid walk "
+                            "(same results, slower)")
+    sweep.add_argument("--backend", default=None,
+                       help="array backend for the grid walk "
+                            "(see `repro backends`)")
     sweep.add_argument("--seed", type=int, default=2024)
 
     serve = sub.add_parser(
@@ -559,6 +605,13 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=2024)
     compare.add_argument("--out",
                          help="write the comparison JSON here")
+
+    backends = sub.add_parser(
+        "backends", help="list the registered array backends"
+    )
+    backends.add_argument("--check", metavar="NAME",
+                          help="exit non-zero unless NAME is usable "
+                               "on this interpreter")
     return parser
 
 
@@ -570,6 +623,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "batch": cmd_batch,
     "tech": cmd_tech,
+    "backends": cmd_backends,
 }
 
 

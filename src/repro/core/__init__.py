@@ -13,6 +13,14 @@ candidates with the analytical model in :mod:`repro.core.evaluator` and
 packaging winners as :class:`repro.core.solution.SynthesisSolution`.
 """
 
+from repro.core.backend import (
+    ArrayBackend,
+    TaskGrid,
+    available_backends,
+    backend_status,
+    get_backend,
+    register_backend,
+)
 from repro.core.batch_eval import (
     BatchEvaluation,
     BatchPerformanceEvaluator,
@@ -45,10 +53,19 @@ from repro.core.persistence import (
     save_solution,
     solution_from_payload,
 )
+from repro.core.grid_eval import GridBoundEvaluator, grid_eval_supported
 from repro.core.solution import SynthesisSolution
 from repro.core.synthesizer import Pimsyn
 
 __all__ = [
+    "ArrayBackend",
+    "TaskGrid",
+    "available_backends",
+    "backend_status",
+    "get_backend",
+    "register_backend",
+    "GridBoundEvaluator",
+    "grid_eval_supported",
     "BatchEvaluation",
     "BatchPerformanceEvaluator",
     "SynthesisConfig",

@@ -1,0 +1,576 @@
+"""Pluggable array-execution backends for the tensorized DSE paths.
+
+PR 3 vectorized the inner EA population scoring with numpy; the grid
+evaluator of :mod:`repro.core.grid_eval` applies the same
+flatten-to-tensor move to the *outer* (design point x WtDup x ResDAC)
+task walk. Both paths are pure array arithmetic, so the concrete array
+engine is an execution detail — exactly like the device technology is a
+content detail — and this module gives it the same shape as
+:mod:`repro.hardware.tech`: a named, validated registry of
+:class:`ArrayBackend` objects, selected by ``SynthesisConfig.backend``
+(``--backend`` on the CLI).
+
+Three backends ship built in:
+
+``numpy``
+    The default: vectorized ``(tasks, layers)`` operations, layer
+    reductions accumulated in layer order so every value is
+    bit-identical to the scalar oracle.
+``python``
+    Scalar loops over the same arrays, in exactly the scalar oracle's
+    operation order — the conformance reference every other backend
+    (including third-party registrations) is compared against. When
+    numpy itself is absent the executor skips grid evaluation entirely
+    and walks tasks one at a time, as before PR 6.
+``numba``
+    The ``python`` loop kernels JIT-compiled with ``numba.njit``
+    (``fastmath`` off, so IEEE-754 evaluation order — and therefore
+    bit-identity — is preserved). Registered unconditionally but only
+    *available* when numba is importable; selecting it without numba
+    installed raises a :class:`~repro.errors.ConfigurationError` naming
+    the missing dependency.
+
+Exactness contract
+------------------
+Every backend must return bit-identical results for the op-level
+primitives (``ordered_sum``, ``ordered_max``, ``prune_mask``) and the
+fused :meth:`ArrayBackend.compute_bounds` kernel — *not* merely close:
+the DSE pruning decisions ride on exact float comparisons, and the
+whole point of the tensorized walk is that it cannot change a solution.
+``tests/test_backend_conformance.py`` pins this contract for every
+registered backend.
+
+Content-key contract
+--------------------
+A backend changes *how fast* the task walk runs, never *what* it
+returns, so ``backend`` (and the ``grid_eval`` switch) live in
+:data:`repro.core.executor.EXECUTION_ONLY_FIELDS` and are excluded from
+every content fingerprint — eval memos, serve job keys and store
+entries are shared across backends.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+try:  # numpy is optional at this layer (the ``python`` backend runs
+    import numpy as _np  # without it); the image bakes it in.
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+
+def numpy_module():
+    """The numpy module, or None — the single gate every tensorized
+    path (batch_eval, grid_eval, the backends) consults."""
+    return _np
+
+
+def numpy_available() -> bool:
+    """True when the vectorized engines can run on this interpreter."""
+    return _np is not None
+
+
+# ----------------------------------------------------------------------
+# The task-grid input contract
+# ----------------------------------------------------------------------
+@dataclass
+class TaskGrid:
+    """The tensorized task walk's input: one row per DSE task.
+
+    All 2-D arrays are ``(tasks, layers)`` int64/float64; 1-D arrays are
+    per-task or per-layer as noted. Integer arrays hold exact values
+    (every product taken inside the kernels stays far below 2**53, so
+    int -> float conversions are exact and match the scalar oracle's
+    arbitrary-precision arithmetic bit for bit).
+    """
+
+    total_blocks: "object"  # (T, L) int64 — ceil(out_positions / WtDup)
+    inputs_per_block: "object"  # (T, L) int64 — WtDup * rows
+    outputs_per_block: "object"  # (T, L) int64 — WtDup * cols
+    group_cap: "object"  # (T, L) int64 — min(WtDup*row_tiles, crossbars)
+    crossbars: "object"  # (T, L) int64 — WtDup * set_size
+    conversions_per_block_bit: "object"  # (T, L) int64
+    bits: "object"  # (T,) int64 — ceil(PrecAct / ResDAC)
+    adc_power: "object"  # (T, L) float64 — ADC power at required res.
+    vector_ops: "object"  # (L,) float64 — ALU-only workload per layer
+    per_crossbar_fixed: "object"  # (T,) float64 — XbSize*(DAC+S&H)
+    peripheral_power: "object"  # (T,) float64 — (1-RatioRram)*TotalPower
+    crossbar_latency: float
+    act_bytes: float
+    edram_bandwidth: float
+    per_macro_fixed: float  # eDRAM + NoC + register power per macro
+    adc_sample_rate: float
+    alu_power: float
+    alu_frequency: float
+    min_macros: int  # ceil(L/2) under rule-b sharing, L otherwise
+    macro_sharing: bool  # halves the ADC denominator (rule b)
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.bits)
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.vector_ops)
+
+
+def _bound_loops(
+    total_blocks, inputs_per_block, outputs_per_block, group_cap,
+    crossbars, conversions_per_block_bit, bits, adc_power, vector_ops,
+    per_crossbar_fixed, peripheral_power, crossbar_latency, act_bytes,
+    edram_bandwidth, per_macro_fixed, adc_sample_rate, alu_power,
+    alu_frequency, min_macros, macro_sharing, out,
+):
+    """Scalar-loop bound kernel (the ``python`` and ``numba`` engine).
+
+    Replicates :func:`repro.core.evaluator.throughput_upper_bound` one
+    task at a time, in the exact operation order of the scalar code —
+    this function is deliberately numba-``njit``-compatible (flat loops,
+    no Python containers), so the JIT backend compiles it unchanged.
+    """
+    num_tasks, num_layers = total_blocks.shape
+    for t in range(num_tasks):
+        # Rule c's largest permitted macro group bounds eDRAM bandwidth.
+        max_group = group_cap[t, 0]
+        for l in range(1, num_layers):
+            if group_cap[t, l] > max_group:
+                max_group = group_cap[t, l]
+        if max_group < 1:
+            max_group = 1
+        bandwidth = edram_bandwidth * max_group
+
+        # Structural floor: exact MVM time, best-case load/store.
+        period_floor = 0.0
+        for l in range(num_layers):
+            mvm = (total_blocks[t, l] * bits[t]) * crossbar_latency
+            load = (
+                (total_blocks[t, l] * inputs_per_block[t, l]) * act_bytes
+            ) / bandwidth
+            store = (
+                (total_blocks[t, l] * outputs_per_block[t, l]) * act_bytes
+            ) / bandwidth
+            stage = mvm
+            if load > stage:
+                stage = load
+            if store > stage:
+                stage = store
+            if stage > period_floor:
+                period_floor = stage
+
+        # Fixed-overhead floor (fewest macros any partition can use).
+        total_crossbars = 0
+        for l in range(num_layers):
+            total_crossbars += crossbars[t, l]
+        fixed = (
+            min_macros * per_macro_fixed
+            + total_crossbars * per_crossbar_fixed[t]
+        )
+        available = peripheral_power[t] - fixed
+        if available <= 0:
+            out[t] = 0.0
+            continue
+
+        # Eq. 6 power floor: holding every delay at D costs denom / D.
+        adc_denom = 0.0
+        alu_denom = 0.0
+        for l in range(num_layers):
+            conversions = (
+                total_blocks[t, l] * bits[t]
+            ) * conversions_per_block_bit[t, l]
+            adc_wl = float(conversions)
+            alu_wl = float(conversions) + vector_ops[l]
+            adc_denom = adc_denom + (
+                adc_power[t, l] * adc_wl / adc_sample_rate
+            )
+            alu_denom = alu_denom + (
+                alu_power * alu_wl / alu_frequency
+            )
+        if macro_sharing:
+            adc_denom = adc_denom / 2.0
+        power_floor = (adc_denom + alu_denom) / available
+        if power_floor > period_floor:
+            period_floor = power_floor
+        if period_floor <= 0:
+            out[t] = math.inf
+        else:
+            out[t] = 1.0 / period_floor
+    return out
+
+
+# ----------------------------------------------------------------------
+# Backend interface + built-in engines
+# ----------------------------------------------------------------------
+class ArrayBackend:
+    """One array-execution engine for the tensorized task walk.
+
+    Subclasses implement the op-level primitives and the fused bound
+    kernel; the registry hands out one shared instance per name.
+    ``available()`` gates optional dependencies — an unavailable
+    backend stays listed (with its reason) but cannot be selected.
+    """
+
+    #: Registry key; subclasses must override with a non-empty name.
+    name: str = ""
+    description: str = ""
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this backend can execute on this interpreter."""
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> Optional[str]:
+        """Human-readable reason when :meth:`available` is False."""
+        return None
+
+    # -- op-level primitives (conformance-tested per backend) ----------
+    def ordered_sum(self, terms) -> "object":
+        """Left-to-right sum over axis 1 of a ``(T, L)`` array.
+
+        Matches the scalar oracle's ordered Python ``sum`` — *not*
+        numpy's pairwise ``np.sum``, which can differ in the last ulp.
+        """
+        raise NotImplementedError
+
+    def ordered_max(self, terms) -> "object":
+        """Maximum over axis 1 of a ``(T, L)`` array."""
+        raise NotImplementedError
+
+    def prune_mask(
+        self, bounds, positions, incumbent_fitness: float,
+        incumbent_index: int,
+    ) -> "object":
+        """Dominated-task mask over ``positions`` (task indices).
+
+        True where the task provably cannot beat the incumbent: its
+        bound is below the incumbent's fitness, or ties it with a
+        larger task index (the executor's exact tie-break rule).
+        """
+        raise NotImplementedError
+
+    def compute_bounds(self, grid: TaskGrid) -> "object":
+        """Per-task throughput upper bounds for a whole task grid.
+
+        Must be bit-identical to calling :func:`repro.core.evaluator.
+        throughput_upper_bound` once per task.
+        """
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """Vectorized ``(tasks, layers)`` evaluation (the default)."""
+
+    name = "numpy"
+    description = "vectorized numpy engine (default)"
+
+    @classmethod
+    def available(cls) -> bool:
+        return _np is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> Optional[str]:
+        if _np is None:  # pragma: no cover - the image bakes numpy in
+            return "numpy is not importable on this interpreter"
+        return None
+
+    def ordered_sum(self, terms):
+        np = _np
+        terms = np.asarray(terms, dtype=np.float64)
+        acc = np.zeros(terms.shape[0], dtype=np.float64)
+        for l in range(terms.shape[1]):  # layer order == scalar order
+            acc = acc + terms[:, l]
+        return acc
+
+    def ordered_max(self, terms):
+        np = _np
+        terms = np.asarray(terms, dtype=np.float64)
+        acc = terms[:, 0].copy()
+        for l in range(1, terms.shape[1]):
+            acc = np.maximum(acc, terms[:, l])
+        return acc
+
+    def prune_mask(
+        self, bounds, positions, incumbent_fitness, incumbent_index
+    ):
+        np = _np
+        bounds = np.asarray(bounds, dtype=np.float64)
+        positions = np.asarray(positions, dtype=np.int64)
+        values = bounds[positions]
+        return (values < incumbent_fitness) | (
+            (values == incumbent_fitness)
+            & (positions > incumbent_index)
+        )
+
+    def compute_bounds(self, grid: TaskGrid):
+        np = _np
+        with np.errstate(all="ignore"):
+            # Structural floor. Operation order mirrors the scalar
+            # PerformanceEvaluator helpers: (blocks * bits) * latency,
+            # ((blocks * per_block) * act_bytes) / bandwidth.
+            max_group = np.maximum(1, self.ordered_max(grid.group_cap))
+            bandwidth = grid.edram_bandwidth * max_group
+            mvm = (
+                grid.total_blocks * grid.bits[:, None]
+            ) * grid.crossbar_latency
+            load = (
+                (grid.total_blocks * grid.inputs_per_block)
+                * grid.act_bytes
+            ) / bandwidth[:, None]
+            store = (
+                (grid.total_blocks * grid.outputs_per_block)
+                * grid.act_bytes
+            ) / bandwidth[:, None]
+            stage = np.maximum(np.maximum(mvm, load), store)
+            period_floor = self.ordered_max(stage)
+
+            # Fixed-overhead floor (integer sums are exact in any order).
+            total_crossbars = grid.crossbars.sum(axis=1)
+            fixed = (
+                grid.min_macros * grid.per_macro_fixed
+                + total_crossbars * grid.per_crossbar_fixed
+            )
+            available = grid.peripheral_power - fixed
+
+            # Eq. 6 power floor with the rule-b sharing halving.
+            conversions = (
+                grid.total_blocks * grid.bits[:, None]
+            ) * grid.conversions_per_block_bit
+            adc_wl = conversions.astype(np.float64)
+            alu_wl = adc_wl + grid.vector_ops[None, :]
+            adc_denom = self.ordered_sum(
+                grid.adc_power * adc_wl / grid.adc_sample_rate
+            )
+            alu_denom = self.ordered_sum(
+                grid.alu_power * alu_wl / grid.alu_frequency
+            )
+            if grid.macro_sharing:
+                adc_denom = adc_denom / 2.0
+            period = np.maximum(
+                period_floor, (adc_denom + alu_denom) / available
+            )
+            return np.where(
+                available <= 0,
+                0.0,
+                np.where(period <= 0, np.inf, 1.0 / period),
+            )
+
+
+class PythonBackend(ArrayBackend):
+    """Dependency-free scalar loops — the conformance reference."""
+
+    name = "python"
+    description = "pure-Python loop engine (reference / fallback)"
+
+    @staticmethod
+    def _rows(terms) -> List[Sequence[float]]:
+        return [list(row) for row in terms]
+
+    def ordered_sum(self, terms):
+        out = []
+        for row in self._rows(terms):
+            acc = 0.0
+            for value in row:
+                acc = acc + float(value)
+            out.append(acc)
+        return out
+
+    def ordered_max(self, terms):
+        out = []
+        for row in self._rows(terms):
+            acc = float(row[0])
+            for value in row[1:]:
+                value = float(value)
+                if value > acc:
+                    acc = value
+            out.append(acc)
+        return out
+
+    def prune_mask(
+        self, bounds, positions, incumbent_fitness, incumbent_index
+    ):
+        values = [float(bounds[int(p)]) for p in positions]
+        return [
+            value < incumbent_fitness
+            or (
+                value == incumbent_fitness
+                and int(position) > incumbent_index
+            )
+            for value, position in zip(values, positions)
+        ]
+
+    def _kernel(self):
+        """The loop kernel to run (hook the JIT backend overrides)."""
+        return _bound_loops
+
+    def compute_bounds(self, grid: TaskGrid):
+        if _np is None:  # pragma: no cover - grid assembly needs numpy
+            raise ConfigurationError(
+                "grid evaluation requires numpy (the TaskGrid arrays "
+                "are numpy even for the loop backends)"
+            )
+        out = _np.zeros(grid.num_tasks, dtype=_np.float64)
+        return self._kernel()(
+            grid.total_blocks, grid.inputs_per_block,
+            grid.outputs_per_block, grid.group_cap, grid.crossbars,
+            grid.conversions_per_block_bit, grid.bits, grid.adc_power,
+            grid.vector_ops, grid.per_crossbar_fixed,
+            grid.peripheral_power, grid.crossbar_latency,
+            grid.act_bytes, grid.edram_bandwidth, grid.per_macro_fixed,
+            grid.adc_sample_rate, grid.alu_power, grid.alu_frequency,
+            grid.min_macros, grid.macro_sharing, out,
+        )
+
+
+class NumbaBackend(PythonBackend):
+    """The loop kernel JIT-compiled with ``numba.njit`` (IEEE-strict).
+
+    ``fastmath`` stays off: reassociation would break the bit-identity
+    contract that makes the tensorized walk safe. The compiled kernel
+    is cached on the class after the first call.
+    """
+
+    name = "numba"
+    description = "numba-JIT loop engine (optional dependency)"
+    _compiled = None
+
+    @classmethod
+    def available(cls) -> bool:
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            return False
+        return _np is not None
+
+    @classmethod
+    def unavailable_reason(cls) -> Optional[str]:
+        if not cls.available():
+            return (
+                "numba is not importable on this interpreter "
+                "(install numba to enable the JIT backend)"
+            )
+        return None  # pragma: no cover - numba present
+
+    def _kernel(self):  # pragma: no cover - needs numba installed
+        if NumbaBackend._compiled is None:
+            import numba
+
+            NumbaBackend._compiled = numba.njit(
+                cache=False, fastmath=False
+            )(_bound_loops)
+        return NumbaBackend._compiled
+
+
+# ----------------------------------------------------------------------
+# Registry (mirrors repro.hardware.tech)
+# ----------------------------------------------------------------------
+#: Names whose engines are defined by this module and cannot be
+#: replaced with different implementations.
+BUILTIN_BACKENDS: Tuple[str, ...] = ("numpy", "python", "numba")
+
+#: The backend every config selects unless told otherwise.
+DEFAULT_BACKEND = "numpy"
+
+_REGISTRY: Dict[str, ArrayBackend] = {}
+
+
+def _ensure_builtins() -> None:
+    if not _REGISTRY:
+        for backend_cls in (NumpyBackend, PythonBackend, NumbaBackend):
+            _REGISTRY[backend_cls.name] = backend_cls()
+
+
+def register_backend(
+    backend: ArrayBackend, replace: bool = False
+) -> ArrayBackend:
+    """Add a backend instance to the registry.
+
+    Re-registering an existing name requires ``replace=True``; the
+    built-in names can never be rebound to a different class (the
+    conformance suite and the CLI docs are defined against them) —
+    re-registering an instance of the *same* class is a no-op success.
+    """
+    _ensure_builtins()
+    if not isinstance(backend, ArrayBackend):
+        raise ConfigurationError(
+            f"expected an ArrayBackend, got {type(backend).__name__}"
+        )
+    if not backend.name or not isinstance(backend.name, str):
+        raise ConfigurationError(
+            "backend name must be a non-empty string"
+        )
+    existing = _REGISTRY.get(backend.name)
+    if backend.name in BUILTIN_BACKENDS:
+        if type(existing) is not type(backend):
+            raise ConfigurationError(
+                f"the built-in {backend.name!r} backend cannot be "
+                "replaced; register the engine under a new name"
+            )
+        return existing
+    if existing is not None and not replace:
+        raise ConfigurationError(
+            f"backend {backend.name!r} is already registered "
+            "(pass replace=True to update it)"
+        )
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a user-registered backend (built-ins cannot be removed)."""
+    _ensure_builtins()
+    if name in BUILTIN_BACKENDS:
+        raise ConfigurationError(
+            f"the built-in {name!r} backend cannot be unregistered"
+        )
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str = DEFAULT_BACKEND) -> ArrayBackend:
+    """Look up an *available* backend by name.
+
+    Unknown names and registered-but-unavailable backends (e.g.
+    ``numba`` without numba installed) both raise
+    :class:`~repro.errors.ConfigurationError` with an actionable
+    message — configs fail fast at construction, not mid-walk.
+    """
+    _ensure_builtins()
+    if isinstance(name, ArrayBackend):
+        return name
+    try:
+        backend = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: "
+            f"{available_backends()}"
+        ) from None
+    if not backend.available():
+        raise ConfigurationError(
+            f"backend {name!r} is unavailable: "
+            f"{backend.unavailable_reason()}"
+        )
+    return backend
+
+
+def available_backends() -> List[str]:
+    """Registered backend names, built-ins first, extras sorted."""
+    _ensure_builtins()
+    extras = sorted(n for n in _REGISTRY if n not in BUILTIN_BACKENDS)
+    return list(BUILTIN_BACKENDS) + extras
+
+
+def backend_status() -> List[Tuple[str, bool, str]]:
+    """(name, available, description-or-reason) for every backend."""
+    _ensure_builtins()
+    rows = []
+    for name in available_backends():
+        backend = _REGISTRY[name]
+        ok = backend.available()
+        note = backend.description if ok else (
+            backend.unavailable_reason() or "unavailable"
+        )
+        rows.append((name, ok, note))
+    return rows

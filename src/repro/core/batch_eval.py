@@ -41,10 +41,12 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-try:  # numpy is the only third-party dependency of this module
-    import numpy as _np
-except ImportError:  # pragma: no cover - the image bakes numpy in
-    _np = None
+# The numpy gate is shared with every tensorized path (grid_eval, the
+# array backends) through repro.core.backend — one switch to stub or
+# monkeypatch, not three.
+from repro.core.backend import numpy_module
+
+_np = numpy_module()
 
 from repro.core.component_alloc import (
     fixed_overhead_power,
@@ -63,8 +65,12 @@ _ENCODING_BASE = 1000  # keep in sync with repro.core.macro_partition
 
 
 def numpy_available() -> bool:
-    """True when the vectorized engine can run on this interpreter."""
-    return _np is not None
+    """True when the vectorized engine can run on this interpreter.
+
+    Delegates to :func:`repro.core.backend.numpy_available` — the
+    single gate shared by every tensorized path.
+    """
+    return numpy_module() is not None
 
 
 @dataclass

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.core.backend import DEFAULT_BACKEND, get_backend
 from repro.errors import ConfigurationError
 from repro.hardware.params import HardwareParams
 from repro.hardware.tech import DEFAULT_TECHNOLOGY, get_technology
@@ -142,6 +143,24 @@ class SynthesisConfig:
         internally. At least two distinct objectives are required
         (one-objective fronts degenerate to the scalar EA — use
         ``synthesize()``).
+    grid_eval:
+        Bound the outer (design point, WtDup, ResDAC) task queue
+        through the tensorized grid evaluator of
+        :mod:`repro.core.grid_eval` (one ``(tasks, layers)`` pass
+        instead of one spec rebuild per task) and prune dominated
+        tasks by vectorized masking. The grid path is bit-identical
+        to the per-task walk, so this knob — like ``batch_eval`` —
+        only changes speed and is excluded from content keys.
+        ``False`` (or a numpy-less interpreter) falls back to the
+        per-task scalar walk.
+    backend:
+        Name of the array-execution backend the tensorized paths run
+        on (see :mod:`repro.core.backend`): ``"numpy"`` (default),
+        ``"python"`` (loop reference), ``"numba"`` (JIT, when numba
+        is installed), or any registered third-party engine. Every
+        backend is bit-identical by contract, so the choice is
+        execution-only and excluded from content keys. Unknown or
+        unavailable names fail at construction.
     seed:
         Master seed for all stochastic stages.
     """
@@ -178,6 +197,8 @@ class SynthesisConfig:
     objectives: Tuple[str, ...] = DEFAULT_OBJECTIVES
     seed: int = 2024
     tech: str = DEFAULT_TECHNOLOGY
+    grid_eval: bool = True
+    backend: str = DEFAULT_BACKEND
 
     @property
     def resolved_jobs(self) -> int:
@@ -255,6 +276,17 @@ class SynthesisConfig:
             raise ConfigurationError(
                 f"batch_eval must be a bool, got {self.batch_eval!r}"
             )
+        if not isinstance(self.grid_eval, bool):
+            raise ConfigurationError(
+                f"grid_eval must be a bool, got {self.grid_eval!r}"
+            )
+        # Fail fast on unknown/unavailable backends (a mid-walk lookup
+        # error would waste the whole stage-1 filter pass).
+        if not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"backend must be a registry name, got {self.backend!r}"
+            )
+        get_backend(self.backend)
         if (
             not isinstance(self.sa_proposal_batch, int)
             or isinstance(self.sa_proposal_batch, bool)

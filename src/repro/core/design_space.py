@@ -44,6 +44,7 @@ class DesignSpace:
     def __init__(self, model: CNNModel, config: SynthesisConfig) -> None:
         self.model = model
         self.config = config
+        self._min_crossbars: dict = {}
 
     def outer_points(self) -> Iterator[DesignPoint]:
         """Yield Alg. 1 lines 3-5 grid points that can hold the model.
@@ -74,13 +75,23 @@ class DesignSpace:
                     )
 
     def min_crossbars(self, xb_size: int, res_rram: int) -> int:
-        """Crossbars needed at WtDup = 1 for every layer (Eq. 2 floor)."""
-        return sum(
-            crossbar_set_size(
-                layer, xb_size, res_rram, self.model.weight_precision
+        """Crossbars needed at WtDup = 1 for every layer (Eq. 2 floor).
+
+        Memoized per ``(XbSize, ResRram)``: the outer grid revisits
+        each combo once per RatioRram choice, and
+        :meth:`minimum_feasible_power` walks the same combos again.
+        """
+        key = (xb_size, res_rram)
+        cached = self._min_crossbars.get(key)
+        if cached is None:
+            cached = sum(
+                crossbar_set_size(
+                    layer, xb_size, res_rram, self.model.weight_precision
+                )
+                for layer in self.model.weighted_layers
             )
-            for layer in self.model.weighted_layers
-        )
+            self._min_crossbars[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Scale estimation (E8)

@@ -34,6 +34,13 @@ Three properties make the engine safe to parallelize and to accelerate:
    scalar oracle, which is why ``batch_eval`` sits in
    :data:`EXECUTION_ONLY_FIELDS`; serial and multiprocessing paths both
    benefit because the batching happens inside the worker-side runner.
+5. **Tensorized task bounds** — the pruning bounds of property 2 are
+   computed for the *whole* queue in one ``(tasks, layers)`` pass
+   through :mod:`repro.core.grid_eval` (``config.grid_eval``), on the
+   array backend named by ``config.backend``, and dominated tasks are
+   masked vectorized per wave. Bit-identical to bounding each task
+   through its own spec, so ``grid_eval`` and ``backend`` also sit in
+   :data:`EXECUTION_ONLY_FIELDS`.
 
 Every future scaling direction (sharding the queue across hosts, async
 backends, multi-accelerator evaluation) plugs in behind the same
@@ -121,11 +128,17 @@ def params_fingerprint(params: HardwareParams) -> str:
 #: reproduces the scalar oracle's arithmetic bit for bit). They are
 #: excluded from content keys so a request replayed with different
 #: execution knobs still maps to the same stored result.
+#: ``grid_eval`` and ``backend`` join the set in PR 6: the tensorized
+#: outer walk and every registered array backend are bit-identical to
+#: the per-task scalar walk by contract (pinned by the grid-eval
+#: differential and backend conformance suites), so neither can change
+#: a result — only how fast it is computed.
 #: ``sa_proposal_batch`` is deliberately *not* here: rounds larger than
 #: one change the SA walk (see :class:`repro.optim.annealing.
 #: SimulatedAnnealer`), so it is result content.
 EXECUTION_ONLY_FIELDS = frozenset(
-    {"jobs", "prune_dominated", "share_eval_cache", "batch_eval"}
+    {"jobs", "prune_dominated", "share_eval_cache", "batch_eval",
+     "grid_eval", "backend"}
 )
 
 
@@ -703,6 +716,7 @@ class ExplorationEngine:
             model, config, warm_memo=self._warm_memo
         )
         self._serial_runner: Optional[_TaskRunner] = None
+        self._grid_evaluator = None  # lazy GridBoundEvaluator
 
     def _log(self, message: str) -> None:
         if self.progress is not None:
@@ -937,6 +951,35 @@ class ExplorationEngine:
             budget=explorer.budget,
         )
 
+    def _task_bounds(self, tasks: List[EvaluationTask]):
+        """Pruning bounds for a whole queue, aligned with ``tasks``.
+
+        Routes through the tensorized grid evaluator
+        (:mod:`repro.core.grid_eval`) when ``config.grid_eval`` is on
+        and numpy is present; otherwise the per-task scalar walk.
+        Grid and scalar bounds are bit-identical (the differential
+        suite's pinned claim), so both paths order and prune the
+        queue identically — the second return value is the backend
+        array for vectorized masking, ``None`` on the scalar path.
+        """
+        if self.config.grid_eval:
+            from repro.core.grid_eval import (
+                GridBoundEvaluator,
+                grid_eval_supported,
+            )
+
+            if grid_eval_supported():
+                if self._grid_evaluator is None:
+                    self._grid_evaluator = GridBoundEvaluator(
+                        self.model, self.config
+                    )
+                array = self._grid_evaluator.bounds_array(tasks)
+                return [float(value) for value in array], array
+        return (
+            [self._local_runner.throughput_bound(t) for t in tasks],
+            None,
+        )
+
     def _evaluate_queue(
         self,
         executor,
@@ -961,14 +1004,12 @@ class ExplorationEngine:
         if prune is None:
             prune = self.config.prune_dominated and self.archive is None
         if prune:
-            bounds = [
-                self._local_runner.throughput_bound(t) for t in tasks
-            ]
+            bounds, bounds_array = self._task_bounds(tasks)
             order = sorted(
                 range(len(tasks)), key=lambda i: (-bounds[i], i)
             )
         else:
-            bounds = []
+            bounds, bounds_array = [], None
             order = list(range(len(tasks)))
 
         incumbent: Optional[TaskOutcome] = None
@@ -981,20 +1022,43 @@ class ExplorationEngine:
             # pool prefetch would launch every EA before the first
             # incumbent could rule any of them out.
             wave: List[EvaluationTask] = []
-            while cursor < len(order) and len(wave) < wave_size:
-                position = order[cursor]
-                cursor += 1
-                task = tasks[position]
-                if prune and incumbent is not None:
-                    bound = bounds[position]
-                    if bound < incumbent.fitness or (
-                        bound == incumbent.fitness
-                        and task.index > incumbent.index
-                    ):
+            if (
+                prune and incumbent is not None
+                and bounds_array is not None
+            ):
+                # Grid path: one backend call masks the whole remaining
+                # tail against the incumbent (fixed during assembly, so
+                # the mask equals the per-task checks below), then the
+                # walk only counts pruned tasks until the wave fills.
+                remaining = order[cursor:]
+                mask = self._grid_evaluator.backend.prune_mask(
+                    bounds_array, remaining,
+                    incumbent.fitness, incumbent.index,
+                )
+                for dominated, position in zip(mask, remaining):
+                    cursor += 1
+                    if dominated:
                         self.report.pruned_tasks += 1
                         continue
-                self.report.ea_runs += 1
-                wave.append(task)
+                    self.report.ea_runs += 1
+                    wave.append(tasks[position])
+                    if len(wave) == wave_size:
+                        break
+            else:
+                while cursor < len(order) and len(wave) < wave_size:
+                    position = order[cursor]
+                    cursor += 1
+                    task = tasks[position]
+                    if prune and incumbent is not None:
+                        bound = bounds[position]
+                        if bound < incumbent.fitness or (
+                            bound == incumbent.fitness
+                            and task.index > incumbent.index
+                        ):
+                            self.report.pruned_tasks += 1
+                            continue
+                    self.report.ea_runs += 1
+                    wave.append(task)
             for outcome in executor.imap_tasks(wave):
                 incumbent = self._absorb(outcome, tasks, incumbent)
                 if (

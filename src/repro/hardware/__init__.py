@@ -32,7 +32,9 @@ from repro.hardware.components import (
 )
 from repro.hardware.crossbar import (
     CrossbarSet,
+    CrossbarTilingSummary,
     crossbar_set_size,
+    crossbar_tiling_summary,
     crossbars_for_layer,
     map_layer_weights,
     required_adc_resolution,
@@ -63,7 +65,9 @@ __all__ = [
     "RegisterFileSpec",
     "SampleHoldSpec",
     "CrossbarSet",
+    "CrossbarTilingSummary",
     "crossbar_set_size",
+    "crossbar_tiling_summary",
     "crossbars_for_layer",
     "map_layer_weights",
     "required_adc_resolution",

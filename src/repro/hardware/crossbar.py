@@ -92,6 +92,46 @@ def required_adc_resolution(
 
 
 @dataclass(frozen=True)
+class CrossbarTilingSummary:
+    """The tile *counts* of one weight copy, without the tiles.
+
+    Exactly the numbers :class:`CrossbarSet` derives from its
+    materialized tiles (``row_tiles`` is the count of distinct row
+    ranges, i.e. ``ceil(rows / XbSize)``, and so on), computed in O(1)
+    arithmetic. The DSE hot paths (spec geometry, the grid bound
+    evaluator) only ever need these counts — materializing and then
+    discarding ``O(set)`` tile objects per layer per task was a
+    measurable share of cold synthesis. ``tests`` pin the equivalence
+    against :func:`map_layer_weights` across the zoo's layer shapes.
+    """
+
+    row_tiles: int
+    col_tiles: int
+    bit_slices: int
+
+    @property
+    def num_crossbars(self) -> int:
+        """Eq. 1: the product of the three tiling factors."""
+        return self.row_tiles * self.col_tiles * self.bit_slices
+
+
+def crossbar_tiling_summary(
+    layer: Layer, xb_size: int, res_rram: int, weight_precision: int = 16
+) -> CrossbarTilingSummary:
+    """Tile counts of :func:`map_layer_weights`, without materializing."""
+    if xb_size <= 0:
+        raise ConfigurationError(f"XbSize must be positive, got {xb_size}")
+    if res_rram <= 0:
+        raise ConfigurationError(f"ResRram must be positive, got {res_rram}")
+    rows, cols = _layer_rows_cols(layer)
+    return CrossbarTilingSummary(
+        row_tiles=ceil_div(rows, xb_size),
+        col_tiles=ceil_div(cols, xb_size),
+        bit_slices=ceil_div(weight_precision, res_rram),
+    )
+
+
+@dataclass(frozen=True)
 class CrossbarTile:
     """One crossbar's slice of a layer's weight matrix."""
 

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, IRError
-from repro.hardware.crossbar import map_layer_weights
+from repro.hardware.crossbar import crossbar_tiling_summary
 from repro.hardware.params import HardwareParams
 from repro.ir.dag import IRDag
 from repro.ir.nodes import IRNode, IROp
@@ -117,7 +117,7 @@ class DataflowSpec:
                 )
             assert layer.output_shape is not None
             _, ho, wo = layer.output_shape
-            tiling = map_layer_weights(
+            tiling = crossbar_tiling_summary(
                 layer, self.xb_size, self.res_rram,
                 self.model.weight_precision,
             )

@@ -1,0 +1,288 @@
+"""Per-backend conformance for the array-execution registry.
+
+Every registered :class:`~repro.core.backend.ArrayBackend` must return
+bit-identical values for the op-level primitives and the fused bound
+kernel — the ``python`` loop engine is the reference, since it executes
+the scalar oracle's operation order literally. The suite parametrizes
+over the registry, so a third-party backend registered before the run
+is held to the same contract, and a backend whose optional dependency
+is absent (``numba`` without numba installed) is *skipped with its own
+stated reason* rather than silently ignored.
+
+The registry's validation behavior (tech.py's pattern) is pinned too:
+unknown names, rebinding built-ins, duplicate registration, and
+selecting an unavailable engine all raise ConfigurationError with
+actionable messages.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.backend import (
+    BUILTIN_BACKENDS,
+    DEFAULT_BACKEND,
+    ArrayBackend,
+    NumbaBackend,
+    PythonBackend,
+    available_backends,
+    backend_status,
+    get_backend,
+    numpy_available,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.config import SynthesisConfig
+from repro.errors import ConfigurationError
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="TaskGrid assembly requires numpy",
+)
+
+
+def _backend_or_skip(name: str) -> ArrayBackend:
+    status = {n: (ok, note) for n, ok, note in backend_status()}
+    ok, note = status[name]
+    if not ok:
+        pytest.skip(f"backend {name!r} unavailable: {note}")
+    return get_backend(name)
+
+
+def _reference() -> PythonBackend:
+    return get_backend("python")
+
+
+def _random_matrix(rows, cols, seed, scale=1.0):
+    rng = random.Random(seed)
+    return [
+        [rng.uniform(-scale, scale) for _ in range(cols)]
+        for _ in range(rows)
+    ]
+
+
+@pytest.fixture(scope="module")
+def lenet_grid():
+    """A real TaskGrid (lenet5's fast queue) for kernel conformance."""
+    from repro.core.design_space import DesignSpace
+    from repro.core.executor import ExplorationEngine
+    from repro.core.grid_eval import GridBoundEvaluator
+    from repro.core.synthesizer import SynthesisReport
+    from repro.nn import zoo
+
+    model = zoo.by_name("lenet5")
+    config = SynthesisConfig.fast(total_power=2.0, seed=7)
+    engine = ExplorationEngine(model, config, SynthesisReport())
+    points = list(DesignSpace(model, config).outer_points())
+    executor = engine._make_executor()
+    try:
+        tasks = engine._build_tasks(executor, points, None)
+    finally:
+        executor.close()
+    assert tasks
+    evaluator = GridBoundEvaluator(model, config)
+    scalar = [engine._local_runner.throughput_bound(t) for t in tasks]
+    return evaluator.build_grid(tasks), scalar
+
+
+class TestPrimitiveConformance:
+    """ordered_sum / ordered_max / prune_mask: exact across backends."""
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_ordered_sum_matches_reference(self, name):
+        backend = _backend_or_skip(name)
+        terms = _random_matrix(7, 13, seed=1, scale=1e6)
+        assert [float(v) for v in backend.ordered_sum(terms)] == \
+            _reference().ordered_sum(terms)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_ordered_sum_is_left_associated(self, name):
+        """The accumulation order is the scalar oracle's, observable
+        through a row engineered so pairwise summation differs."""
+        backend = _backend_or_skip(name)
+        row = [1e16, 1.0, 1.0, 1.0, -1e16]
+        expected = 0.0
+        for value in row:
+            expected = expected + value
+        assert [float(v) for v in backend.ordered_sum([row])] == \
+            [expected]
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_ordered_max_matches_reference(self, name):
+        backend = _backend_or_skip(name)
+        terms = _random_matrix(9, 5, seed=2)
+        assert [float(v) for v in backend.ordered_max(terms)] == \
+            _reference().ordered_max(terms)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_prune_mask_semantics(self, name):
+        backend = _backend_or_skip(name)
+        bounds = [3.0, 2.0, 2.0, 1.0, 2.0]
+        positions = [0, 1, 2, 3, 4]
+        # Incumbent: fitness 2.0 at task index 2. Pruned: strictly
+        # worse bounds, or ties held by *larger* task indices.
+        mask = [bool(v) for v in backend.prune_mask(
+            bounds, positions, 2.0, 2
+        )]
+        assert mask == [False, False, False, True, True]
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_prune_mask_subset_positions(self, name):
+        """positions indexes into the full bounds array (the executor
+        passes the un-walked tail of its order), not a dense slice."""
+        backend = _backend_or_skip(name)
+        bounds = [5.0, 1.0, 4.0, 2.0]
+        mask = [bool(v) for v in backend.prune_mask(
+            bounds, [3, 0], 2.0, 1
+        )]
+        assert mask == [True, False]
+
+
+class TestKernelConformance:
+    """compute_bounds: bit-identical to the scalar oracle, per backend."""
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_compute_bounds_matches_scalar_oracle(
+        self, name, lenet_grid
+    ):
+        backend = _backend_or_skip(name)
+        grid, scalar = lenet_grid
+        values = [float(v) for v in backend.compute_bounds(grid)]
+        assert values == scalar
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_compute_bounds_cross_backend_identity(
+        self, name, lenet_grid
+    ):
+        backend = _backend_or_skip(name)
+        grid, _ = lenet_grid
+        reference = [
+            float(v) for v in _reference().compute_bounds(grid)
+        ]
+        assert [float(v) for v in backend.compute_bounds(grid)] == \
+            reference
+
+
+class TestRegistry:
+    """Registration / lookup validation (the tech.py contract)."""
+
+    def test_builtins_listed_first(self):
+        names = available_backends()
+        assert tuple(names[:len(BUILTIN_BACKENDS)]) == BUILTIN_BACKENDS
+        assert DEFAULT_BACKEND in names
+
+    def test_unknown_name_raises_with_available_list(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            get_backend("cuda")
+        with pytest.raises(ConfigurationError, match="numpy"):
+            get_backend("cuda")  # the message names what *is* available
+
+    def test_unavailable_backend_raises_with_reason(self):
+        if NumbaBackend.available():
+            pytest.skip("numba installed here; nothing is unavailable")
+        with pytest.raises(
+            ConfigurationError, match="numba.*unavailable|unavailable"
+        ):
+            get_backend("numba")
+
+    def test_numba_is_registered_even_when_absent(self):
+        """Absence gates *selection*, not listing — `repro backends`
+        must show the row with its reason."""
+        assert "numba" in available_backends()
+        status = {n: ok for n, ok, _ in backend_status()}
+        assert status["numba"] is NumbaBackend.available()
+
+    def test_builtin_cannot_be_rebound(self):
+        class Impostor(ArrayBackend):
+            name = "numpy"
+
+        with pytest.raises(ConfigurationError, match="built-in"):
+            register_backend(Impostor())
+
+    def test_builtin_same_class_reregistration_is_noop(self):
+        existing = get_backend("python")
+        assert register_backend(PythonBackend()) is existing
+
+    def test_builtin_cannot_be_unregistered(self):
+        with pytest.raises(ConfigurationError, match="built-in"):
+            unregister_backend("numpy")
+
+    def test_extra_backend_lifecycle(self):
+        class Echo(PythonBackend):
+            name = "echo"
+            description = "test double"
+
+        try:
+            register_backend(Echo())
+            assert "echo" in available_backends()
+            with pytest.raises(
+                ConfigurationError, match="already registered"
+            ):
+                register_backend(Echo())
+            replacement = Echo()
+            assert register_backend(replacement, replace=True) \
+                is replacement
+            # Extras are selectable through the same config path.
+            config = SynthesisConfig.fast(
+                total_power=2.0, backend="echo"
+            )
+            assert get_backend(config.backend) is replacement
+        finally:
+            unregister_backend("echo")
+        assert "echo" not in available_backends()
+
+    def test_rejects_non_backend_and_empty_name(self):
+        with pytest.raises(ConfigurationError, match="ArrayBackend"):
+            register_backend(object())  # type: ignore[arg-type]
+
+        class Nameless(PythonBackend):
+            name = ""
+
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_backend(Nameless())
+
+    def test_instance_passthrough(self):
+        backend = get_backend("python")
+        assert get_backend(backend) is backend
+
+
+class TestConfigIntegration:
+    """SynthesisConfig validates its backend at construction."""
+
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            SynthesisConfig.fast(total_power=2.0, backend="cuda")
+
+    def test_non_string_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            SynthesisConfig.fast(total_power=2.0, backend=3)
+
+    def test_default_backend_resolves(self):
+        config = SynthesisConfig.fast(total_power=2.0)
+        assert get_backend(config.backend).name == DEFAULT_BACKEND
+
+
+class TestCli:
+    """`repro backends` lists the registry; --check gates exit status."""
+
+    def test_backends_listing(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in BUILTIN_BACKENDS:
+            assert name in out
+
+    def test_backends_check_available(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends", "--check", "numpy"]) == 0
+        assert "available" in capsys.readouterr().out
+
+    def test_backends_check_unknown_fails(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends", "--check", "cuda"]) == 1
+        assert "unknown backend" in capsys.readouterr().err

@@ -128,3 +128,76 @@ class TestGoldenShapes:
         best_energy = max(vectors, key=lambda v: v[1])
         assert best_energy[0] < best_thr[0]
         assert best_energy[1] > best_thr[1]
+
+
+class TestContentKeysBackendIndependent:
+    """PR 5's pinned content keys survive the tensorized task walk.
+
+    ``grid_eval`` and ``backend`` are execution-only knobs: toggling
+    them must leave every fingerprint and serve job key *byte*-unchanged
+    (the pins recorded before the grid walk existed), or stored results
+    would silently split by array engine.
+    """
+
+    PINNED_PARAMS_FP = "3dd4e2a54ef76d2a"
+    PINNED_CONFIG_FP_FAST_2W = "101f9fe6705bffb0"
+    PINNED_CONFIG_FP_FULL_50W = "d6018dea5177428e"
+    PINNED_JOB_KEY_LENET5_FAST_2W = "0adb10f6bd13ed88e923b60108964df7"
+
+    def _variants(self):
+        from repro.core.backend import backend_status
+        from repro.core.config import SynthesisConfig
+
+        usable = [name for name, ok, _ in backend_status() if ok]
+        for grid_eval in (True, False):
+            for backend in usable:
+                yield lambda power, _g=grid_eval, _b=backend, \
+                    _preset=True: SynthesisConfig.fast(
+                        total_power=power, grid_eval=_g, backend=_b,
+                    )
+
+    def test_config_fingerprints_pinned_across_backends(self):
+        from repro.core.config import SynthesisConfig
+        from repro.core.executor import config_fingerprint
+
+        for make in self._variants():
+            assert config_fingerprint(make(2.0)) == \
+                self.PINNED_CONFIG_FP_FAST_2W
+        full = SynthesisConfig(
+            total_power=50.0, grid_eval=False, backend="python"
+        )
+        assert config_fingerprint(full) == self.PINNED_CONFIG_FP_FULL_50W
+
+    def test_params_fingerprint_untouched(self):
+        from repro.core.executor import params_fingerprint
+        from repro.hardware.params import HardwareParams
+
+        assert params_fingerprint(HardwareParams()) == \
+            self.PINNED_PARAMS_FP
+
+    def test_serve_job_key_pinned_across_backends(self):
+        from repro.nn import lenet5
+        from repro.serve.job import job_content_key
+
+        model = lenet5()
+        for make in self._variants():
+            assert job_content_key(model, make(2.0)) == \
+                self.PINNED_JOB_KEY_LENET5_FAST_2W
+
+    def test_job_request_overrides_cannot_split_the_store(self):
+        """A request that *explicitly* asks for a backend still maps to
+        the same stored result as one that says nothing."""
+        from repro.serve.job import JobRequest
+
+        base = JobRequest(model="lenet5", total_power=2.0)
+        tuned = JobRequest(
+            model="lenet5", total_power=2.0,
+            overrides={"backend": "python", "grid_eval": False},
+        )
+        assert base.content_key() == tuned.content_key()
+        assert base.content_key() == self.PINNED_JOB_KEY_LENET5_FAST_2W
+
+    def test_execution_only_fields_cover_the_new_knobs(self):
+        from repro.core.executor import EXECUTION_ONLY_FIELDS
+
+        assert {"grid_eval", "backend"} <= set(EXECUTION_ONLY_FIELDS)
