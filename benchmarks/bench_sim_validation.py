@@ -5,14 +5,26 @@ behavior-level simulator"; the DSE itself scores designs analytically.
 This bench quantifies the gap between the two on synthesized designs —
 the evidence that the analytical model the search optimizes is the
 model the simulator confirms.
+
+Two granularities ride in this file:
+
+- the windowed list scheduler's throughput ratio (the original E10);
+- the integer-cycle machine's zoo-wide cross-validation, publishing
+  the maximum relative deviation and the cycle-sim wall time into the
+  bench JSON (``extra_info``), so CI tracks model drift release over
+  release.
 """
 
 from __future__ import annotations
 
+import time
+
 from repro.analysis import format_table
 from repro.core import Pimsyn, SynthesisConfig
-from repro.nn import alexnet_cifar, lenet5
+from repro.core.design_space import DesignSpace
+from repro.nn import alexnet_cifar, lenet5, zoo
 from repro.sim import SimulationEngine
+from repro.sim.cycle import DEFAULT_TOLERANCE, cross_validate
 
 CASES = (
     (lenet5, 2.0),
@@ -59,3 +71,59 @@ def test_simulator_validates_analytical_model(benchmark):
     # adds bank serialization on top of the shared rate models.
     for name, _a, _s, ratio in rows:
         assert 0.4 <= ratio <= 2.5, name
+
+
+def run_cycle_cross_validation():
+    """Cross-validate every zoo model on the cycle machine."""
+    rows = []
+    cycle_seconds = 0.0
+    for name in zoo.available_models():
+        model = zoo.by_name(name)
+        power = DesignSpace(
+            model, SynthesisConfig.fast()
+        ).minimum_feasible_power(margin=2.0)
+        config = SynthesisConfig.fast(total_power=power, seed=7)
+        solution = Pimsyn(model, config).synthesize()
+        started = time.perf_counter()
+        report = cross_validate(solution).ensure()
+        cycle_seconds += time.perf_counter() - started
+        rows.append((
+            name,
+            report.throughput_deviation,
+            report.energy_deviation,
+            report.cycle_report.total_cycles,
+        ))
+    return rows, cycle_seconds
+
+
+def test_cycle_cross_validation_zoo(benchmark):
+    rows, cycle_seconds = benchmark.pedantic(
+        run_cycle_cross_validation, rounds=1, iterations=1
+    )
+
+    print()
+    print(format_table(
+        ["model", "throughput dev", "energy dev", "window cycles"],
+        [
+            (name, round(t, 4), round(e, 4), cycles)
+            for name, t, e, cycles in rows
+        ],
+        title="E10b - cycle machine vs analytical evaluator (zoo)",
+    ))
+
+    benchmark.extra_info["models_validated"] = len(rows)
+    benchmark.extra_info["tolerance"] = DEFAULT_TOLERANCE
+    benchmark.extra_info["max_throughput_deviation"] = round(
+        max(t for _n, t, _e, _c in rows), 6
+    )
+    benchmark.extra_info["max_energy_deviation"] = round(
+        max(e for _n, _t, e, _c in rows), 6
+    )
+    benchmark.extra_info["max_deviation"] = round(
+        max(max(t, e) for _n, t, e, _c in rows), 6
+    )
+    benchmark.extra_info["cycle_sim_seconds"] = round(cycle_seconds, 3)
+
+    # ensure() above already enforced the stated tolerance per model;
+    # restate the aggregate so the bench JSON is self-certifying.
+    assert benchmark.extra_info["max_deviation"] <= DEFAULT_TOLERANCE

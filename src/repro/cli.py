@@ -6,6 +6,10 @@ applications to PIM architectures"; the CLI is that click:
 - ``python -m repro models [--json]`` — list the built-in model zoo;
 - ``python -m repro synthesize --model vgg16 --power 200`` — run the
   DSE and print/save the solution;
+- ``python -m repro simulate --model vgg16 --cycle`` — replay the
+  synthesized design on the integer-cycle pipelined simulator,
+  cross-validate it against the analytical model, and (with
+  ``--fault-rate``) inject deterministic crossbar/NoC faults;
 - ``python -m repro peak`` — the Table IV peak-efficiency comparison;
 - ``python -m repro sweep --model alexnet_cifar --powers 2 4 8`` —
   power-constraint sweep;
@@ -185,6 +189,79 @@ def cmd_synthesize(args) -> int:
             handle.write(schedule.to_json())
         print(f"dataflow schedule written to {args.schedule} "
               f"({schedule.total_steps} control steps)")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """Synthesize (or reuse) a design and replay it on a simulator."""
+    model = _load(args)
+    if args.power is not None:
+        power = args.power
+    else:
+        probe = SynthesisConfig.fast(tech=_tech(args))
+        power = DesignSpace(model, probe).minimum_feasible_power(
+            margin=args.margin
+        )
+        print(f"no --power given; using feasibility floor x "
+              f"{args.margin} = {power:.1f} W")
+    config = _config(args, power)
+    progress = print if args.verbose else None
+    solution = Pimsyn(model, config, progress=progress).synthesize()
+    print(solution.summary())
+    print()
+
+    if not args.cycle:
+        if args.fault_rate:
+            print("error: --fault-rate requires --cycle (the windowed "
+                  "engine has no fault model)", file=sys.stderr)
+            return 2
+        engine = solution.simulation_engine()
+        trace = engine.run(solution.build_dag())
+        from repro.sim.metrics import extrapolate
+
+        metrics = extrapolate(trace, solution.spec)
+        print(f"windowed simulation - {model.name}")
+        print(f"  throughput        {metrics.throughput:.2f} img/s "
+              f"({metrics.tops:.3f} TOPS)")
+        print(f"  latency           {metrics.latency:.3e} s")
+        print(f"  bottleneck        layer {metrics.bottleneck_layer}")
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(trace.to_jsonl() + "\n")
+            print(f"trace written to {args.trace_out} "
+                  f"({len(trace)} scheduled IRs)")
+        return 0
+
+    simulator = solution.cycle_simulator(
+        fault_rate=args.fault_rate, fault_seed=args.fault_seed
+    )
+    result = simulator.run()
+    print(result.report.summary())
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            handle.write(result.trace.to_jsonl() + "\n")
+        print(f"trace written to {args.trace_out} "
+              f"({len(result.trace)} scheduled IRs)")
+    if args.report_out:
+        import json
+
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(result.report.to_payload(), handle, indent=2)
+        print(f"cycle report written to {args.report_out}")
+    if args.fault_rate == 0.0:
+        validation = solution.cross_validate(tol=args.tol)
+        print()
+        print(f"cross-validation vs analytical model "
+              f"(tol {validation.tolerance:.3f}):")
+        print(f"  throughput dev    "
+              f"{validation.throughput_deviation:.4f}")
+        print(f"  energy dev        {validation.energy_deviation:.4f}")
+        validation.ensure()
+        print("  agreement         OK")
+    else:
+        print()
+        print("cross-validation skipped (fault injection active; the "
+              "analytical model has no fault semantics)")
     return 0
 
 
@@ -510,6 +587,53 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the per-macro hardware inventory")
     synth.add_argument("--verbose", action="store_true")
 
+    simulate = sub.add_parser(
+        "simulate",
+        help="replay a synthesized design on a simulator "
+             "(windowed engine, or --cycle for the integer-cycle "
+             "pipelined machine with cross-validation and fault "
+             "injection)",
+    )
+    group = simulate.add_mutually_exclusive_group(required=True)
+    group.add_argument("--model", help="zoo model name")
+    group.add_argument("--json", help="path to a model JSON document")
+    simulate.add_argument("--power", type=float, default=None,
+                          help="total power constraint in watts")
+    simulate.add_argument("--margin", type=float, default=2.0,
+                          help="feasibility-floor multiplier when "
+                               "--power is omitted")
+    simulate.add_argument("--tech", default=None,
+                          help="device-technology profile (default: "
+                               "reram)")
+    simulate.add_argument("--tech-file",
+                          help="register a technology profile from "
+                               "this JSON document first")
+    simulate.add_argument("--cycle", action="store_true",
+                          help="use the cycle-level pipelined "
+                               "simulator (micro-ops, occupancy "
+                               "timelines, NoC link contention) and "
+                               "cross-validate against the analytical "
+                               "model")
+    simulate.add_argument("--fault-rate", type=float, default=0.0,
+                          help="per-attempt fault probability for "
+                               "crossbar reads and NoC traffic "
+                               "(stall-and-retry; requires --cycle)")
+    simulate.add_argument("--fault-seed", type=int, default=2024,
+                          help="seed of the deterministic fault draws")
+    simulate.add_argument("--tol", type=float, default=None,
+                          help="cross-validation tolerance (default: "
+                               "the stated zoo-calibrated bound); "
+                               "exceeding it exits non-zero")
+    simulate.add_argument("--trace-out",
+                          help="write the execution trace as JSONL "
+                               "here (one scheduled IR per line; "
+                               "both engines)")
+    simulate.add_argument("--report-out",
+                          help="write the cycle report JSON here "
+                               "(requires --cycle)")
+    simulate.add_argument("--seed", type=int, default=2024)
+    simulate.add_argument("--verbose", action="store_true")
+
     sweep = sub.add_parser("sweep", help="power-constraint sweep")
     group = sweep.add_mutually_exclusive_group(required=True)
     group.add_argument("--model", help="zoo model name")
@@ -618,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
 _COMMANDS = {
     "models": cmd_models,
     "synthesize": cmd_synthesize,
+    "simulate": cmd_simulate,
     "peak": cmd_peak,
     "sweep": cmd_sweep,
     "serve": cmd_serve,

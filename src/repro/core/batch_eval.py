@@ -43,10 +43,10 @@ from typing import Dict, List, Sequence, Tuple
 
 # The numpy gate is shared with every tensorized path (grid_eval, the
 # array backends) through repro.core.backend — one switch to stub or
-# monkeypatch, not three.
+# monkeypatch, not three. Call sites bind `np = numpy_module()` live
+# (never a module-level snapshot) so patching the gate reaches every
+# method uniformly.
 from repro.core.backend import numpy_module
-
-_np = numpy_module()
 
 from repro.core.component_alloc import (
     fixed_overhead_power,
@@ -124,7 +124,7 @@ class BatchPerformanceEvaluator:
         identical_macros: bool = False,
         overlap_window: int = 4,
     ) -> None:
-        if _np is None:  # pragma: no cover - defensive gate
+        if numpy_module() is None:  # pragma: no cover - defensive gate
             raise ConfigurationError(
                 "numpy is required for batched evaluation; set "
                 "SynthesisConfig.batch_eval=False to use the scalar "
@@ -142,7 +142,7 @@ class BatchPerformanceEvaluator:
     # Gene-independent context (computed once per evaluator)
     # ------------------------------------------------------------------
     def _precompute(self) -> None:
-        np = _np
+        np = numpy_module()
         spec = self.spec
         params = spec.params
         budget = self.budget
@@ -274,7 +274,7 @@ class BatchPerformanceEvaluator:
     def _decode(self, genes_arr):
         """(owners, counts) plus derived group arrays; validates like
         ``decode_gene`` / ``MacroPartition.from_gene``."""
-        np = _np
+        np = numpy_module()
         owners, counts = np.divmod(genes_arr, _ENCODING_BASE)
         layer_idx = np.arange(self.num_layers, dtype=np.int64)
         if np.any(counts < 1):
@@ -303,7 +303,7 @@ class BatchPerformanceEvaluator:
     def _hops(a, b, cols):
         """Vectorized MeshNoC.hops: Manhattan distance on the row-major
         near-square mesh (per-gene column count)."""
-        np = _np
+        np = numpy_module()
         return np.abs(a // cols - b // cols) + np.abs(
             a % cols - b % cols
         )
@@ -314,7 +314,7 @@ class BatchPerformanceEvaluator:
     def _allocate(self, owners, is_owner, total_macros, group_len):
         """Per-gene allocation arrays: (feasible, fixed, adc_alu_power,
         adc_delay, alu_delay)."""
-        np = _np
+        np = numpy_module()
         pop, n = owners.shape
         fixed = (
             total_macros.astype(np.float64) * self._per_macro_fixed
@@ -435,7 +435,7 @@ class BatchPerformanceEvaluator:
         self, feasible, fixed, available, group_len, total_macros
     ):
         """Vectorized ``_allocate_identical`` (§V-C2 baseline)."""
-        np = _np
+        np = numpy_module()
         with np.errstate(all="ignore"):
             macro_count = group_len  # every group has >= 1 macro
             adc_demand = np.max(
@@ -478,7 +478,7 @@ class BatchPerformanceEvaluator:
         adc_delay, alu_delay,
     ):
         """(P, L) per-layer pipelined stage maxima (LayerTiming.total)."""
-        np = _np
+        np = numpy_module()
         pop, n = owners.shape
         with np.errstate(all="ignore"):
             bandwidth = self._edram_bandwidth * group_len
@@ -554,7 +554,7 @@ class BatchPerformanceEvaluator:
 
     def _latency(self, stage_total):
         """Fine-grained pipeline latency (vectorized forward pass)."""
-        np = _np
+        np = numpy_module()
         pop, n = stage_total.shape
         starts = np.zeros((pop, n), dtype=np.float64)
         ends = np.zeros((pop, n), dtype=np.float64)
@@ -578,7 +578,7 @@ class BatchPerformanceEvaluator:
         self, genes: Sequence[Gene]
     ) -> BatchEvaluation:
         """Score every gene; metrics are 0.0 where infeasible."""
-        np = _np
+        np = numpy_module()
         if len(genes) == 0:
             empty = np.zeros(0, dtype=np.float64)
             return BatchEvaluation(

@@ -117,6 +117,45 @@ class SynthesisSolution:
         return evaluator.peak_metrics(self.allocation)
 
     # ------------------------------------------------------------------
+    # Simulation replay hooks (lazy imports keep sim/ out of the DSE
+    # hot path)
+    # ------------------------------------------------------------------
+    def simulation_engine(self):
+        """The windowed behavior-level list scheduler for this design."""
+        from repro.sim.engine import SimulationEngine
+
+        return SimulationEngine(
+            spec=self.spec,
+            allocation=self.allocation,
+            macro_groups=self.partition.macro_groups,
+        )
+
+    def cycle_simulator(self, **kwargs):
+        """The integer-cycle pipelined simulator for this design.
+
+        Keyword arguments (``fault_rate``, ``fault_seed``,
+        ``cycle_time``, ``resolution``) forward to
+        :class:`repro.sim.cycle.CycleSimulator`.
+        """
+        from repro.sim.cycle import CycleSimulator
+
+        return CycleSimulator.for_solution(self, **kwargs)
+
+    def cross_validate(self, tol: Optional[float] = None, **kwargs):
+        """Replay this design cycle-accurately and compare both models.
+
+        Returns a :class:`repro.sim.cycle.CrossValidationReport`; call
+        ``.ensure()`` on it to raise when the deviation exceeds ``tol``.
+        """
+        from repro.sim.cycle import DEFAULT_TOLERANCE, cross_validate
+
+        return cross_validate(
+            self,
+            tol=DEFAULT_TOLERANCE if tol is None else tol,
+            **kwargs,
+        )
+
+    # ------------------------------------------------------------------
     # Reporting / serialization
     # ------------------------------------------------------------------
     def summary(self) -> str:

@@ -23,11 +23,9 @@ import random
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-try:
-    import numpy as _np
-except ImportError:  # pragma: no cover - the image bakes numpy in
-    _np = None
-
+# Single numpy gate: the backend registry owns the import (and its
+# absence), so every tensorized path degrades identically.
+from repro.core.backend import numpy_module
 from repro.core.config import SynthesisConfig
 from repro.errors import InfeasibleError
 from repro.hardware.crossbar import crossbar_set_size
@@ -114,12 +112,13 @@ class WeightDuplicationFilter:
         so each value is bit-identical to :meth:`energy` on that state
         — the SA walk cannot depend on which backend scored it.
         """
-        if _np is None:
+        np = numpy_module()
+        if np is None:
             return [self.energy(state) for state in states]
-        dup = _np.asarray(states, dtype=_np.float64)
-        steps = _np.array(self.out_positions, dtype=_np.float64) / dup
-        volumes = dup * _np.array(
-            self.volume_units, dtype=_np.float64
+        dup = np.asarray(states, dtype=np.float64)
+        steps = np.array(self.out_positions, dtype=np.float64) / dup
+        volumes = dup * np.array(
+            self.volume_units, dtype=np.float64
         )
         energies = self._batch_stdev(steps)
         energies = energies + self.config.sa_alpha * self._batch_stdev(
@@ -128,17 +127,18 @@ class WeightDuplicationFilter:
         return [float(e) for e in energies]
 
     @staticmethod
-    def _batch_stdev(values: "_np.ndarray") -> "_np.ndarray":
+    def _batch_stdev(values):
         """Population stdev over the layer axis, ordered like ``stdev``."""
+        np = numpy_module()
         count = values.shape[1]
-        acc = _np.zeros(values.shape[0], dtype=_np.float64)
+        acc = np.zeros(values.shape[0], dtype=np.float64)
         for layer in range(count):
             acc = acc + values[:, layer]
         mu = acc / count
-        spread = _np.zeros(values.shape[0], dtype=_np.float64)
+        spread = np.zeros(values.shape[0], dtype=np.float64)
         for layer in range(count):
             spread = spread + (values[:, layer] - mu) ** 2
-        return _np.sqrt(spread / count)
+        return np.sqrt(spread / count)
 
     # ------------------------------------------------------------------
     # Initial state: greedy balanced fill

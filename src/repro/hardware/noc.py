@@ -50,6 +50,32 @@ class MeshNoC:
         (r1, c1), (r2, c2) = self.position(src), self.position(dst)
         return abs(r1 - r2) + abs(c1 - c2)
 
+    def xy_route(self, src: int, dst: int) -> Tuple[Tuple[int, int], ...]:
+        """Directed router-to-router links of the XY route ``src -> dst``.
+
+        Dimension-ordered: the packet first corrects its column (X),
+        then its row (Y). Each element is a ``(from_node, to_node)``
+        pair where nodes are identified by their row-major grid index
+        (``row * cols + col``) — for off-grid filler positions this can
+        exceed ``num_macros - 1``, which is fine for occupancy keys.
+        The cycle simulator claims these links for the duration of a
+        transfer; ``len(route) == self.hops(src, dst)``.
+        """
+        (r1, c1), (r2, c2) = self.position(src), self.position(dst)
+        links: List[Tuple[int, int]] = []
+        row, col = r1, c1
+        step = 1 if c2 > col else -1
+        while col != c2:
+            here = row * self.cols + col
+            col += step
+            links.append((here, row * self.cols + col))
+        step = 1 if r2 > row else -1
+        while row != r2:
+            here = row * self.cols + col
+            row += step
+            links.append((here, row * self.cols + col))
+        return tuple(links)
+
     def transfer_latency(self, src: int, dst: int, num_bytes: int) -> float:
         """Latency of moving ``num_bytes`` from ``src`` to ``dst``.
 

@@ -360,11 +360,25 @@ class DataflowBuilder:
                         macro_alloc, consumer_idx
                     )
                     if src != dst:
+                        # Only the *fresh* slice of the producer's
+                        # activation map crosses the NoC per consumer
+                        # block; kernel-window overlap (the halo) is
+                        # re-read from the consumer macro's eDRAM and
+                        # already priced in its load stage. Shipping
+                        # inputs_per_block here would re-transfer every
+                        # activation ~WK^2 times and overstate comm
+                        # traffic by an order of magnitude versus the
+                        # evaluator's once-per-activation serialization.
+                        fresh = max(1, ceil_div(
+                            producer.out_positions * producer.cols,
+                            consumer.total_blocks,
+                        ))
                         transfer = dag.add_node(
                             IRNode(
                                 op=IROp.TRANSFER, layer=producer_idx,
                                 cnt=cnt, src=src, dst=dst,
-                                vec_width=consumer.inputs_per_block,
+                                dst_layer=consumer_idx,
+                                vec_width=fresh,
                             )
                         )
                         dag.add_edge(prod_store, transfer)

@@ -35,7 +35,7 @@ class IRDag:
             op=node.op, layer=node.layer, cnt=node.cnt, bit=node.bit,
             xb_num=node.xb_num, vec_width=node.vec_width, aluop=node.aluop,
             macro_num=node.macro_num, src=node.src, dst=node.dst,
-            node_id=node_id,
+            dst_layer=node.dst_layer, node_id=node_id,
         )
         self._nodes.append(stored)
         self._succ.append([])

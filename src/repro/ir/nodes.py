@@ -68,6 +68,9 @@ class IRNode:
     macro_num: int = 0
     src: int = -1
     dst: int = -1
+    # Consumer layer of a TRANSFER (src/dst are macro ids, which do not
+    # identify a layer once macros are shared). -1 when not applicable.
+    dst_layer: int = -1
     node_id: int = field(default=-1, compare=False)
 
     def __post_init__(self) -> None:
@@ -114,6 +117,7 @@ class IRNode:
         return (
             self.op, self.layer, self.cnt, self.bit, self.xb_num,
             self.vec_width, self.aluop, self.macro_num, self.src, self.dst,
+            self.dst_layer,
         )
 
     def describe(self) -> str:

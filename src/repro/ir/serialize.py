@@ -45,6 +45,7 @@ def _node_payload(node: IRNode) -> Dict:
     if node.op == IROp.TRANSFER:
         payload["src"] = node.src
         payload["dst"] = node.dst
+        payload["dst_layer"] = node.dst_layer
     return payload
 
 
@@ -83,6 +84,7 @@ def dag_from_json(document: str) -> IRDag:
                 macro_num=raw.get("macro_num", 0),
                 src=raw.get("src", -1),
                 dst=raw.get("dst", -1),
+                dst_layer=raw.get("dst_layer", -1),
             )
         except (KeyError, ValueError) as exc:
             raise IRError(f"malformed IR node {raw!r}: {exc}") from exc

@@ -13,6 +13,14 @@ Every latency/bandwidth constant the engine prices comes from
 the dataflow spec was compiled with — so simulating a design
 synthesized under any :class:`~repro.hardware.tech.TechnologyProfile`
 needs no extra plumbing: the profile rides in on the spec.
+
+Two engines share this substrate:
+
+- :class:`SimulationEngine` — the windowed float-time list scheduler
+  (IR granularity, bank serialization);
+- :mod:`repro.sim.cycle` — the integer-cycle, stage-pipelined machine
+  (micro-op granularity, occupancy timelines, NoC link contention,
+  fault injection) that cross-validates the analytical model.
 """
 
 from repro.sim.engine import SimulationEngine

@@ -1,0 +1,123 @@
+"""Independent component-inventory energy pricing for the cycle sim.
+
+The analytical evaluator prices power top-down from the budget split
+(``used_crossbars x crossbar_power + total_peripheral_power``). The
+cycle simulator re-prices the chip bottom-up from the same
+:class:`~repro.hardware.tech.TechnologyProfile` tables: every crossbar
+with its DACs and sample-holds, every effective ADC and ALU instance,
+and the per-macro fixed inventory (eDRAM, NoC router, registers). The
+two totals agree up to allocation rounding and sharing redistribution —
+one of the quantities :func:`~repro.sim.cycle.validate.cross_validate`
+checks — while the occupancy timelines add the busy/idle split the
+closed form cannot see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.component_alloc import ComponentAllocation
+from repro.ir.builder import DataflowSpec
+
+#: Unit kinds of the machine mapped onto power classes of the account.
+KIND_TO_CLASS = {
+    "crossbar": "crossbar",
+    "adc": "adc",
+    "alu": "alu",
+    "load": "edram",
+    "store": "edram",
+    "link": "noc",
+    "reg_read": "register",
+    "reg_write": "register",
+}
+
+
+@dataclass(frozen=True)
+class PowerInventory:
+    """Bottom-up static power per component class (watts)."""
+
+    by_class: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.by_class.values())
+
+
+def component_power(
+    spec: DataflowSpec,
+    allocation: ComponentAllocation,
+    macro_groups: Sequence[Sequence[int]],
+) -> PowerInventory:
+    """Price the synthesized chip's component inventory bottom-up."""
+    params = spec.params
+    num_macros = max(
+        1, len({m for group in macro_groups for m in group})
+    )
+
+    crossbar = 0.0
+    adc = 0.0
+    alu = 0.0
+    per_xb_periphery = spec.xb_size * (
+        params.dac_power_of(spec.res_dac) + params.sample_hold_power
+    )
+    priced_banks = set()
+    for geo, layer_alloc in zip(spec.geometries, allocation.layers):
+        crossbar += geo.crossbars * (
+            params.crossbar_power_of(spec.xb_size) + per_xb_periphery
+        )
+        # A sharing pair's two layers see one physical ADC bank (the
+        # larger of the two); price it once, at its larger size and
+        # resolution, or the chip grows a phantom bank per pair.
+        partner = layer_alloc.shared_with
+        if partner is None:
+            adc += layer_alloc.adc * params.adc_power_of(
+                layer_alloc.adc_resolution
+            )
+        else:
+            bank = tuple(sorted((geo.index, partner)))
+            if bank not in priced_banks:
+                priced_banks.add(bank)
+                partner_alloc = allocation.layers[partner]
+                adc += max(
+                    layer_alloc.adc, partner_alloc.adc
+                ) * params.adc_power_of(
+                    max(
+                        layer_alloc.adc_resolution,
+                        partner_alloc.adc_resolution,
+                    )
+                )
+        alu += layer_alloc.alu * params.alu_power
+
+    return PowerInventory(
+        by_class={
+            "crossbar": crossbar,
+            "adc": adc,
+            "alu": alu,
+            "edram": num_macros * params.edram_power,
+            "noc": num_macros * params.noc_power,
+            "register": num_macros * params.register_power_per_macro,
+        }
+    )
+
+
+def busy_idle_energy(
+    inventory: PowerInventory,
+    utilization: Dict[str, float],
+    window_seconds: float,
+) -> Dict[str, Dict[str, float]]:
+    """Split each class's window energy into busy and idle joules.
+
+    ``utilization`` maps power classes to busy fractions in ``[0, 1]``
+    over the simulated window (classes the machine never touched —
+    e.g. ``noc`` on a single-macro chip — idle for the whole window).
+    """
+    account: Dict[str, Dict[str, float]] = {}
+    for klass, power in inventory.by_class.items():
+        util = min(1.0, max(0.0, utilization.get(klass, 0.0)))
+        total = power * window_seconds
+        account[klass] = {
+            "busy": total * util,
+            "idle": total * (1.0 - util),
+        }
+    return account

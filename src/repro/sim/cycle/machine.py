@@ -1,0 +1,206 @@
+"""The integer-cycle event wheel.
+
+Drives a lowered :class:`~repro.sim.cycle.uops.MicroProgram` to
+completion: a heap of ``(feasible_cycle, uid)`` events pops the
+earliest-startable micro-op, re-checks unit feasibility at pop time
+(unit timelines only move forward, so a stale estimate is requeued at
+its refreshed cycle — the same relaxation the float list scheduler
+uses, but in exact integer arithmetic), claims the op's units, and
+releases its successors.
+
+Three things the analytical model cannot produce fall out of the walk:
+
+- a **stall breakdown**: per-op waiting cycles attributed to
+  *dependency* (operands late), *bank* (functional unit busy), *noc*
+  (route links busy) and *fault* (retry occupancy);
+- **fault injection** with stall-and-retry semantics: a faultable
+  micro-op re-draws per attempt; every failed attempt occupies its
+  units for the full duration before retrying. Draws are a pure hash
+  of ``(seed, uid, attempt)`` — not a shared RNG stream — so the set
+  of faulting attempts at rate ``r1`` is a *subset* of the set at rate
+  ``r2 >= r1`` and fault work is provably monotone in the rate;
+- per-unit **occupancy totals**, the raw material for the steady-state
+  roofline and the utilization report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.cycle.uops import MicroProgram, Stage
+from repro.sim.cycle.units import UnitPool
+
+#: Attempts per micro-op before the machine declares the fabric broken.
+MAX_ATTEMPTS = 64
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One round of splitmix64 — a well-mixed 64-bit integer hash."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK
+    return value ^ (value >> 31)
+
+
+def fault_draw(seed: int, uid: int, attempt: int) -> float:
+    """Uniform in ``[0, 1)``, a pure function of ``(seed, uid, attempt)``.
+
+    Because each ``(uid, attempt)`` pair owns its own draw, raising the
+    fault rate can only *add* faulting attempts, never remove one —
+    the monotonicity the hypothesis suite pins.
+    """
+    mixed = _splitmix64(
+        _splitmix64(seed & _MASK) ^ _splitmix64((uid << 20) | attempt)
+    )
+    return (mixed >> 11) / float(1 << 53)
+
+
+@dataclass
+class MachineResult:
+    """Raw outcome of one event-wheel run (cycles, not seconds)."""
+
+    start: List[int]
+    finish: List[int]
+    makespan: int
+    executed: int
+    stall_cycles: Dict[str, int]
+    busy_by_layer_class: Dict[Tuple[int, str], int]
+    faults_injected: int
+    attempts: List[int] = field(default_factory=list)
+
+
+class CycleMachine:
+    """Executes a :class:`MicroProgram` on occupancy timelines."""
+
+    def __init__(
+        self,
+        program: MicroProgram,
+        fault_rate: float = 0.0,
+        fault_seed: int = 0,
+    ) -> None:
+        if not 0.0 <= fault_rate < 1.0:
+            raise SimulationError(
+                f"fault_rate must be in [0, 1), got {fault_rate}"
+            )
+        self.program = program
+        self.fault_rate = fault_rate
+        self.fault_seed = fault_seed
+        self.pool = UnitPool()
+
+    def _attempts(self, uid: int) -> int:
+        """How many attempts micro-op ``uid`` needs (>= 1)."""
+        if self.fault_rate == 0.0:
+            return 1
+        attempt = 1
+        while (
+            fault_draw(self.fault_seed, uid, attempt) < self.fault_rate
+            and attempt < MAX_ATTEMPTS
+        ):
+            attempt += 1
+        return attempt
+
+    def run(self) -> MachineResult:
+        ops = self.program.ops
+        n = len(ops)
+        npreds = [op.npreds for op in ops]
+        ready = [0] * n
+        first_pred_finish = [-1] * n
+        start = [-1] * n
+        finish = [-1] * n
+
+        heap: List[Tuple[int, int]] = [
+            (0, op.uid) for op in ops if npreds[op.uid] == 0
+        ]
+        heapq.heapify(heap)
+
+        stalls = {"dependency": 0, "bank": 0, "noc": 0, "fault": 0}
+        busy: Dict[Tuple[int, str], int] = {}
+        faults = 0
+        executed = 0
+        makespan = 0
+        attempts_of = [1] * n
+
+        while heap:
+            estimate, uid = heapq.heappop(heap)
+            op = ops[uid]
+            attempts = (
+                self._attempts(uid) if op.faultable else 1
+            )
+            total_cycles = op.cycles * attempts
+            at = ready[uid]
+            feasible = (
+                self.pool.earliest(op.units, at) if total_cycles else at
+            )
+            if heap and feasible > heap[0][0]:
+                # A later-queued op can now start earlier; requeue at
+                # the refreshed estimate (monotone, so this terminates).
+                heapq.heappush(heap, (feasible, uid))
+                continue
+
+            begin = feasible
+            end = begin + total_cycles
+            self.pool.occupy(op.units, begin, end)
+            start[uid] = begin
+            finish[uid] = end
+            attempts_of[uid] = attempts
+            executed += 1
+            makespan = max(makespan, end)
+
+            # Stall attribution. Waiting for operands is a dependency
+            # stall (measured from the *earliest* producer, i.e. the
+            # window in which this op had something but not everything);
+            # waiting past readiness is contention on whatever it
+            # needed; retries are fault occupancy.
+            if first_pred_finish[uid] >= 0 and op.npreds > 1:
+                stalls["dependency"] += at - first_pred_finish[uid]
+            wait = begin - at
+            if wait > 0:
+                kind = "noc" if (
+                    op.units and op.units[0][0] == "link"
+                ) else "bank"
+                stalls[kind] += wait
+            if attempts > 1:
+                faults += attempts - 1
+                stalls["fault"] += op.cycles * (attempts - 1)
+
+            if op.stage is Stage.EXECUTE and op.cycles:
+                key = (op.layer, op.klass)
+                busy[key] = busy.get(key, 0) + total_cycles
+
+            for succ_uid in op.succs:
+                if finish[succ_uid] >= 0:
+                    raise SimulationError(
+                        "successor executed before its producer - "
+                        "lowered program is not a DAG"
+                    )
+                ready[succ_uid] = max(ready[succ_uid], end)
+                if first_pred_finish[succ_uid] < 0:
+                    first_pred_finish[succ_uid] = end
+                else:
+                    first_pred_finish[succ_uid] = min(
+                        first_pred_finish[succ_uid], end
+                    )
+                npreds[succ_uid] -= 1
+                if npreds[succ_uid] == 0:
+                    heapq.heappush(heap, (ready[succ_uid], succ_uid))
+
+        if executed != n:
+            raise SimulationError(
+                f"executed {executed} of {n} micro-ops - the lowered "
+                "program has a cycle or unreachable micro-ops"
+            )
+        return MachineResult(
+            start=start,
+            finish=finish,
+            makespan=makespan,
+            executed=executed,
+            stall_cycles=stalls,
+            busy_by_layer_class=busy,
+            faults_injected=faults,
+            attempts=attempts_of,
+        )

@@ -1,0 +1,294 @@
+"""Top-level driver: solution → micro-ops → event wheel → report.
+
+:class:`CycleSimulator` mirrors the float engine's surface
+(:class:`repro.sim.engine.SimulationEngine`): construct it from a
+``(spec, allocation, macro_groups)`` triple or replay a finished
+:class:`~repro.core.solution.SynthesisSolution`, and it builds the same
+windowed IR DAG, lowers it to stage-pipelined micro-ops, runs the
+integer event wheel, and assembles a
+:class:`~repro.sim.cycle.report.CycleSimReport`.
+
+Two extrapolations leave the window:
+
+- the **measured** path reuses :func:`repro.sim.metrics.extrapolate`
+  on the IR-level trace (store-to-store periods, stall-inclusive);
+- the **steady** path divides each layer's per-class execute occupancy
+  by its window block count and scales by the true block count — the
+  occupancy roofline the analytical algebra computes, which is what
+  cross-validation compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.component_alloc import ComponentAllocation
+from repro.errors import SimulationError
+from repro.hardware.noc import MeshNoC
+from repro.ir.builder import DataflowSpec
+from repro.ir.dag import IRDag
+from repro.ir.nodes import IROp
+from repro.nn.workload import model_macs
+from repro.sim.cycle.clock import DEFAULT_RESOLUTION, CycleClock
+from repro.sim.cycle.energy import (
+    KIND_TO_CLASS,
+    busy_idle_energy,
+    component_power,
+)
+from repro.sim.cycle.machine import CycleMachine, MachineResult
+from repro.sim.cycle.report import CycleSimReport
+from repro.sim.cycle.uops import MicroProgram, lower_dag
+from repro.sim.latency import IRLatencyModel
+from repro.sim.metrics import extrapolate
+from repro.sim.trace import SimTrace
+
+#: Unit classes that participate in the steady-state roofline — the
+#: pipeline stages of the analytical evaluator. Register ports are a
+#: lowering artifact and stay diagnostic-only.
+_STEADY_CLASSES = ("crossbar", "adc", "alu", "load", "store", "noc")
+
+
+@dataclass
+class CycleSimResult:
+    """Everything one cycle run produces."""
+
+    report: CycleSimReport
+    trace: SimTrace  # IR-level intervals in seconds (JSONL-able)
+    machine: MachineResult
+    program: MicroProgram
+
+
+@dataclass
+class CycleSimulator:
+    """Cycle-accurate replay of one synthesized design."""
+
+    spec: DataflowSpec
+    allocation: ComponentAllocation
+    macro_groups: Sequence[Sequence[int]]
+    fault_rate: float = 0.0
+    fault_seed: int = 2024
+    cycle_time: Optional[float] = None
+    resolution: int = DEFAULT_RESOLUTION
+
+    def __post_init__(self) -> None:
+        total_macros = len(
+            {m for group in self.macro_groups for m in group}
+        )
+        self.noc = MeshNoC(
+            num_macros=max(1, total_macros), params=self.spec.params
+        )
+        self.latency_model = IRLatencyModel(
+            spec=self.spec,
+            allocation=self.allocation,
+            macro_groups=self.macro_groups,
+            noc=self.noc,
+        )
+
+    @classmethod
+    def for_solution(
+        cls, solution, **kwargs
+    ) -> "CycleSimulator":
+        """Replay a finished :class:`SynthesisSolution`."""
+        return cls(
+            spec=solution.spec,
+            allocation=solution.allocation,
+            macro_groups=solution.partition.macro_groups,
+            **kwargs,
+        )
+
+    def build_dag(self) -> IRDag:
+        """The same windowed DAG the float engine simulates."""
+        from repro.ir.builder import DataflowBuilder
+
+        macro_alloc = {
+            geo.index: list(self.macro_groups[geo.index])
+            for geo in self.spec.geometries
+        }
+        return DataflowBuilder(self.spec).build(macro_alloc=macro_alloc)
+
+    def lower(self, dag: Optional[IRDag] = None) -> MicroProgram:
+        if dag is None:
+            dag = self.build_dag()
+        clock = (
+            CycleClock(self.cycle_time)
+            if self.cycle_time is not None
+            else None
+        )
+        return lower_dag(
+            dag,
+            self.latency_model,
+            clock=clock,
+            resolution=self.resolution,
+        )
+
+    def run(self, dag: Optional[IRDag] = None) -> CycleSimResult:
+        """Lower, execute, extrapolate, and price one window."""
+        program = self.lower(dag)
+        machine = CycleMachine(
+            program,
+            fault_rate=self.fault_rate,
+            fault_seed=self.fault_seed,
+        )
+        result = machine.run()
+        clock = program.clock
+
+        # IR-level trace in seconds: node interval = read start to
+        # register write-back, appended in node_id order (deterministic).
+        trace = SimTrace()
+        for node in program.nodes:
+            read_uid, _exec_uid, write_uid = program.node_uops[
+                node.node_id
+            ]
+            trace.record(
+                node,
+                clock.seconds(result.start[read_uid]),
+                clock.seconds(result.finish[write_uid]),
+            )
+        measured = extrapolate(trace, self.spec)
+
+        steady_periods, bottleneck, steady_period = (
+            self._steady_extrapolate(result, clock, program)
+        )
+
+        inventory = component_power(
+            self.spec, self.allocation, self.macro_groups
+        )
+        utilization = self._utilization(machine, result)
+        window_seconds = clock.seconds(result.makespan)
+        energy_by_class = busy_idle_energy(
+            inventory, utilization, window_seconds
+        )
+
+        macs = model_macs(self.spec.model)
+        report = CycleSimReport(
+            model_name=getattr(self.spec.model, "name", "model"),
+            cycle_time=clock.cycle_time,
+            total_cycles=result.makespan,
+            micro_ops=len(program),
+            window_makespan=window_seconds,
+            steady_image_period=steady_period,
+            steady_throughput=1.0 / steady_period,
+            steady_tops=2.0 * macs / steady_period / 1e12,
+            measured_image_period=measured.image_period,
+            measured_throughput=measured.throughput,
+            measured_latency=measured.latency,
+            power=inventory.total,
+            power_by_class=dict(inventory.by_class),
+            steady_energy_per_image=inventory.total * steady_period,
+            measured_energy_per_image=(
+                inventory.total * measured.latency
+            ),
+            energy_by_class=energy_by_class,
+            utilization=utilization,
+            stall_cycles=dict(result.stall_cycles),
+            faults_injected=result.faults_injected,
+            fault_rate=self.fault_rate,
+            fault_seed=self.fault_seed,
+            layer_block_periods=steady_periods,
+            bottleneck_layer=bottleneck,
+        )
+        return CycleSimResult(
+            report=report, trace=trace, machine=result, program=program
+        )
+
+    def simulate(self, dag: Optional[IRDag] = None) -> CycleSimReport:
+        """Engine-compatible convenience: just the report."""
+        return self.run(dag).report
+
+    # ------------------------------------------------------------------
+    # Extrapolation helpers
+    # ------------------------------------------------------------------
+    def _steady_extrapolate(
+        self,
+        result: MachineResult,
+        clock: CycleClock,
+        program: MicroProgram,
+    ) -> Tuple[Dict[int, float], int, float]:
+        """Occupancy roofline: per-layer per-image time from unit busy.
+
+        A layer's busy cycles extrapolate by its own window fraction —
+        except transfers, which the builder emits once per *consumer*
+        block: their occupancy scales with the consumer's fraction, or
+        a producer whose consumers window differently (e.g. a conv
+        feeding an FC layer that fits its window entirely) would have
+        its NoC time mis-extrapolated by the ratio of the two.
+        """
+        spec = self.spec
+        transfer_raw: Dict[int, int] = {}
+        transfer_image: Dict[int, float] = {}
+        for node in program.nodes:
+            if node.op is not IROp.TRANSFER:
+                continue
+            exec_uid = program.node_uops[node.node_id][1]
+            cycles = (
+                program.ops[exec_uid].cycles
+                * result.attempts[exec_uid]
+            )
+            scale_idx = (
+                node.dst_layer if node.dst_layer >= 0 else node.layer
+            )
+            factor = spec.geometries[scale_idx].total_blocks / max(
+                1, spec.window_blocks(scale_idx)
+            )
+            transfer_raw[node.layer] = (
+                transfer_raw.get(node.layer, 0) + cycles
+            )
+            transfer_image[node.layer] = (
+                transfer_image.get(node.layer, 0.0) + cycles * factor
+            )
+
+        periods: Dict[int, float] = {}
+        layer_times: Dict[int, float] = {}
+        for geo in spec.geometries:
+            window = max(1, spec.window_blocks(geo.index))
+            own_factor = geo.total_blocks / window
+            best = 0.0
+            for klass in _STEADY_CLASSES:
+                busy = result.busy_by_layer_class.get(
+                    (geo.index, klass), 0
+                )
+                if klass == "noc":
+                    image_cycles = (
+                        (busy - transfer_raw.get(geo.index, 0))
+                        * own_factor
+                        + transfer_image.get(geo.index, 0.0)
+                    )
+                else:
+                    image_cycles = busy * own_factor
+                best = max(best, image_cycles)
+            if best <= 0:
+                raise SimulationError(
+                    f"layer {geo.index} executed no busy cycles in "
+                    "the window"
+                )
+            layer_times[geo.index] = clock.seconds(best)
+            periods[geo.index] = (
+                layer_times[geo.index] / geo.total_blocks
+            )
+        bottleneck = max(layer_times, key=lambda i: layer_times[i])
+        return periods, bottleneck, layer_times[bottleneck]
+
+    def _utilization(
+        self, machine: CycleMachine, result: MachineResult
+    ) -> Dict[str, float]:
+        """Busy fraction per power class over the simulated window."""
+        if result.makespan <= 0:
+            return {}
+        busy = machine.pool.busy_by_kind()
+        counts = machine.pool.count_by_kind()
+        by_class_busy: Dict[str, int] = {}
+        by_class_slots: Dict[str, int] = {}
+        for kind, total in busy.items():
+            klass = KIND_TO_CLASS[kind]
+            by_class_busy[klass] = by_class_busy.get(klass, 0) + total
+        for kind, count in counts.items():
+            klass = KIND_TO_CLASS[kind]
+            by_class_slots[klass] = (
+                by_class_slots.get(klass, 0) + count
+            )
+        return {
+            klass: by_class_busy.get(klass, 0)
+            / (slots * result.makespan)
+            for klass, slots in by_class_slots.items()
+        }

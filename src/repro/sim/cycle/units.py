@@ -1,0 +1,119 @@
+"""Occupancy timelines for the cycle machine's functional units.
+
+A :class:`Unit` is one named hardware resource — a layer's crossbar
+set, an ADC bank, an eDRAM load or store port, a register-file port
+bank, a directed NoC link — with ``capacity`` parallel slots. Slots
+hold the integer cycle at which they next become free, so claiming a
+unit is an ``O(capacity)`` scan and the whole pool is create-on-demand:
+units exist only once something touches them.
+
+Multi-unit claims (a transfer holding every link of its XY route) are
+atomic: the caller first asks :meth:`UnitPool.earliest` for the first
+cycle at which *all* units have a free slot, then calls
+:meth:`UnitPool.occupy` at that cycle. The event wheel re-checks
+feasibility at pop time, so the two-phase protocol never races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.cycle.uops import REGISTER_PORTS, UnitKey
+
+#: Slot counts per unit kind (first element of the unit key).
+_CAPACITY = {
+    "crossbar": 1,
+    "adc": 1,
+    "alu": 1,
+    "load": 1,
+    "store": 1,
+    "link": 1,
+    "reg_read": REGISTER_PORTS,
+    "reg_write": REGISTER_PORTS,
+}
+
+
+@dataclass
+class Unit:
+    """One resource with ``capacity`` slots of integer-cycle occupancy."""
+
+    key: UnitKey
+    capacity: int
+    free_at: List[int] = field(default_factory=list)
+    busy_cycles: int = 0
+    grants: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise SimulationError(
+                f"unit {self.key} needs capacity >= 1, got {self.capacity}"
+            )
+        if not self.free_at:
+            self.free_at = [0] * self.capacity
+
+    def earliest(self, ready: int) -> int:
+        """First cycle >= ``ready`` at which a slot is free."""
+        return max(ready, min(self.free_at))
+
+    def occupy(self, start: int, finish: int) -> None:
+        """Claim the best slot for ``[start, finish)``."""
+        slot = min(range(self.capacity), key=self.free_at.__getitem__)
+        if self.free_at[slot] > start:
+            raise SimulationError(
+                f"unit {self.key} slot busy until {self.free_at[slot]}, "
+                f"cannot start at {start}"
+            )
+        self.free_at[slot] = finish
+        self.busy_cycles += finish - start
+        self.grants += 1
+
+
+class UnitPool:
+    """Create-on-demand registry of :class:`Unit` timelines."""
+
+    def __init__(self) -> None:
+        self._units: Dict[UnitKey, Unit] = {}
+
+    def unit(self, key: UnitKey) -> Unit:
+        unit = self._units.get(key)
+        if unit is None:
+            capacity = _CAPACITY.get(key[0])
+            if capacity is None:
+                raise SimulationError(f"unknown unit kind in key {key}")
+            unit = Unit(key=key, capacity=capacity)
+            self._units[key] = unit
+        return unit
+
+    def earliest(self, keys: Iterable[UnitKey], ready: int) -> int:
+        """First cycle >= ``ready`` at which every unit has a free slot."""
+        start = ready
+        for key in keys:
+            start = max(start, self.unit(key).earliest(ready))
+        return start
+
+    def occupy(
+        self, keys: Iterable[UnitKey], start: int, finish: int
+    ) -> None:
+        """Atomically claim all units for ``[start, finish)``."""
+        if finish > start:
+            for key in keys:
+                self.unit(key).occupy(start, finish)
+
+    def items(self) -> Iterable[Tuple[UnitKey, Unit]]:
+        return self._units.items()
+
+    def busy_by_kind(self) -> Dict[str, int]:
+        """Total busy cycles aggregated by unit kind."""
+        totals: Dict[str, int] = {}
+        for key, unit in self._units.items():
+            totals[key[0]] = totals.get(key[0], 0) + unit.busy_cycles
+        return totals
+
+    def count_by_kind(self) -> Dict[str, int]:
+        """Instantiated *slot* counts (utilization denominators)."""
+        counts: Dict[str, int] = {}
+        for key, unit in self._units.items():
+            counts[key[0]] = counts.get(key[0], 0) + unit.capacity
+        return counts

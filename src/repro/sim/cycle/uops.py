@@ -1,0 +1,275 @@
+"""Lowering of the windowed IR DAG to stage-pipelined micro-ops.
+
+Every IR node becomes three micro-ops flowing through a classic
+read→execute→write pipeline (the genesys ``simd_sim`` stage shape):
+
+- **read** — one cycle on the layer's register-file read port
+  (capacity :data:`REGISTER_PORTS`): operands are fetched from the
+  macro-local register file of Fig. 2;
+- **execute** — the IR's full service time (quantized by the
+  :class:`~repro.sim.cycle.clock.CycleClock`) on its functional unit:
+  the layer's crossbar set for ``mvm``, its (possibly shared) ADC bank,
+  its ALU lanes, one of the two banked eDRAM ports for ``load`` /
+  ``store``, or — for ``merge`` / ``transfer`` — the concrete directed
+  XY-route links of the mesh NoC, claimed circuit-switched for the
+  whole transfer;
+- **write** — one cycle on the register-file write port.
+
+Cross-node dependencies attach the producer's *execute* stage to the
+consumer's *read* stage (result forwarding), so a contention-free chain
+costs its analytical latency plus two register cycles per hop — the
+pipeline overhead the steady-state roofline deliberately excludes.
+
+Service times come verbatim from :class:`repro.sim.latency.IRLatencyModel`,
+the same rate model the analytical evaluator uses; the cycle simulator
+adds integer-cycle occupancy, port banking, link contention and fault
+retries on top.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.hardware.noc import MeshNoC
+from repro.ir.dag import IRDag
+from repro.ir.nodes import IRNode, IROp
+from repro.sim.cycle.clock import DEFAULT_RESOLUTION, CycleClock
+from repro.sim.latency import IRLatencyModel
+
+#: Register-file ports per layer pipeline (read and write each).
+REGISTER_PORTS = 4
+
+#: A unit key: ("crossbar", layer), ("link", from_node, to_node), ...
+UnitKey = Tuple
+
+
+class Stage(enum.Enum):
+    """Pipeline stage of a micro-op."""
+
+    READ = "read"
+    EXECUTE = "execute"
+    WRITE = "write"
+
+
+#: Attribution class of an execute micro-op — mirrors the analytical
+#: evaluator's pipeline stages (mvm/adc/alu/load/store/comm).
+_EXEC_CLASS = {
+    IROp.MVM: "crossbar",
+    IROp.ADC: "adc",
+    IROp.ALU: "alu",
+    IROp.LOAD: "load",
+    IROp.STORE: "store",
+    IROp.MERGE: "noc",
+    IROp.TRANSFER: "noc",
+}
+
+#: Execute stages that can fault: analog crossbar reads (stuck bitline
+#: re-read) and NoC traffic (link CRC retry).
+_FAULTABLE = {IROp.MVM, IROp.MERGE, IROp.TRANSFER}
+
+
+@dataclass
+class MicroOp:
+    """One stage of one IR node on the integer-cycle machine."""
+
+    __slots__ = (
+        "uid",
+        "node_id",
+        "layer",
+        "stage",
+        "units",
+        "cycles",
+        "klass",
+        "faultable",
+        "succs",
+        "npreds",
+    )
+
+    uid: int
+    node_id: int
+    layer: int
+    stage: Stage
+    units: Tuple[UnitKey, ...]
+    cycles: int
+    klass: str
+    faultable: bool
+    succs: List[int]
+    npreds: int
+
+
+@dataclass
+class MicroProgram:
+    """A lowered DAG: micro-ops plus the node→(read, execute, write) map."""
+
+    ops: List[MicroOp]
+    node_uops: Dict[int, Tuple[int, int, int]]
+    nodes: List[IRNode]
+    clock: CycleClock
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def uops_of(self, node: IRNode) -> Tuple[MicroOp, MicroOp, MicroOp]:
+        read, execute, write = self.node_uops[node.node_id]
+        return self.ops[read], self.ops[execute], self.ops[write]
+
+
+def _merge_links(
+    noc: MeshNoC, group: Sequence[int]
+) -> Tuple[UnitKey, ...]:
+    """Directed links a reduction-tree merge claims (all-to-root union)."""
+    root = group[0]
+    links: List[UnitKey] = []
+    seen = set()
+    for macro in group[1:]:
+        for hop in noc.xy_route(macro, root):
+            if hop not in seen:
+                seen.add(hop)
+                links.append(("link",) + hop)
+    return tuple(links)
+
+
+def _exec_units(
+    node: IRNode,
+    noc: MeshNoC,
+    macro_groups: Sequence[Sequence[int]],
+    adc_bank_of: Dict[int, int],
+    merge_links: Dict[int, Tuple[UnitKey, ...]],
+) -> Tuple[UnitKey, ...]:
+    """Functional unit(s) an IR node's execute stage occupies."""
+    if node.op == IROp.MVM:
+        return (("crossbar", node.layer),)
+    if node.op == IROp.ADC:
+        return (("adc", adc_bank_of.get(node.layer, node.layer)),)
+    if node.op == IROp.ALU:
+        return (("alu", node.layer),)
+    if node.op == IROp.LOAD:
+        return (("load", node.layer),)
+    if node.op == IROp.STORE:
+        return (("store", node.layer),)
+    if node.op == IROp.MERGE:
+        if node.layer not in merge_links:
+            group = list(macro_groups[node.layer])
+            merge_links[node.layer] = (
+                _merge_links(noc, group) if len(group) > 1 else ()
+            )
+        return merge_links[node.layer]
+    if node.op == IROp.TRANSFER:
+        if node.src == node.dst:
+            return ()
+        return tuple(
+            ("link",) + hop for hop in noc.xy_route(node.src, node.dst)
+        )
+    raise SimulationError(f"no unit mapping for {node.op}")
+
+
+def lower_dag(
+    dag: IRDag,
+    latency_model: IRLatencyModel,
+    clock: Optional[CycleClock] = None,
+    resolution: int = DEFAULT_RESOLUTION,
+) -> MicroProgram:
+    """Lower a windowed IR DAG to a :class:`MicroProgram`.
+
+    When ``clock`` is ``None`` one is derived from the program's own
+    service times (see :meth:`CycleClock.derive`), so quantization error
+    is bounded relative to the shortest real operation.
+    """
+    noc = latency_model.noc
+    macro_groups = latency_model.macro_groups
+
+    # Shared ADC banks: sharing pairs collapse onto one canonical bank,
+    # exactly like the float engine's ResourcePool key canonicalization.
+    adc_bank_of: Dict[int, int] = {}
+    for index, layer_alloc in enumerate(latency_model.allocation.layers):
+        partner = layer_alloc.shared_with
+        adc_bank_of[index] = (
+            min(index, partner) if partner is not None else index
+        )
+
+    nodes = sorted(dag, key=lambda n: n.node_id)
+    durations = {
+        node.node_id: latency_model.latency(node) for node in nodes
+    }
+    if clock is None:
+        clock = CycleClock.derive(durations.values(), resolution=resolution)
+
+    merge_links: Dict[int, Tuple[UnitKey, ...]] = {}
+    ops: List[MicroOp] = []
+    node_uops: Dict[int, Tuple[int, int, int]] = {}
+
+    def emit(
+        node: IRNode,
+        stage: Stage,
+        units: Tuple[UnitKey, ...],
+        cycles: int,
+        klass: str,
+        faultable: bool,
+    ) -> MicroOp:
+        op = MicroOp(
+            uid=len(ops),
+            node_id=node.node_id,
+            layer=node.layer,
+            stage=stage,
+            units=units,
+            cycles=cycles,
+            klass=klass,
+            faultable=faultable,
+            succs=[],
+            npreds=0,
+        )
+        ops.append(op)
+        return op
+
+    for node in nodes:
+        units = _exec_units(
+            node, noc, macro_groups, adc_bank_of, merge_links
+        )
+        exec_cycles = clock.cycles(durations[node.node_id])
+        read = emit(
+            node,
+            Stage.READ,
+            (("reg_read", node.layer),),
+            1,
+            "register",
+            False,
+        )
+        execute = emit(
+            node,
+            Stage.EXECUTE,
+            units,
+            exec_cycles,
+            _EXEC_CLASS[node.op],
+            node.op in _FAULTABLE and bool(units) and exec_cycles > 0,
+        )
+        write = emit(
+            node,
+            Stage.WRITE,
+            (("reg_write", node.layer),),
+            1,
+            "register",
+            False,
+        )
+        read.succs.append(execute.uid)
+        execute.npreds += 1
+        execute.succs.append(write.uid)
+        write.npreds += 1
+        node_uops[node.node_id] = (read.uid, execute.uid, write.uid)
+
+    # Cross-node dependencies: producer execute -> consumer read
+    # (forwarding; the producer's register write-back drains off the
+    # critical path).
+    for node in nodes:
+        read_uid = node_uops[node.node_id][0]
+        read = ops[read_uid]
+        for pred in dag.predecessors(node):
+            pred_exec = ops[node_uops[pred.node_id][1]]
+            pred_exec.succs.append(read_uid)
+            read.npreds += 1
+
+    return MicroProgram(
+        ops=ops, node_uops=node_uops, nodes=nodes, clock=clock
+    )

@@ -83,11 +83,19 @@ class IRLatencyModel:
             )
 
         if node.op == IROp.TRANSFER:
-            src_ports = max(1, len(self.macro_groups[node.layer]))
+            # Source ports stream in parallel but the receiver drains
+            # them: effective width is min(src, dst) ports, matching
+            # the analytical evaluator's serialization term.
+            ports = max(1, len(self.macro_groups[node.layer]))
+            if node.dst_layer >= 0:
+                ports = min(
+                    ports,
+                    max(1, len(self.macro_groups[node.dst_layer])),
+                )
             hops = self.noc.hops(node.src, node.dst)
             return (
                 node.vec_width * self._act_bytes
-                / (params.noc_port_bandwidth * src_ports)
+                / (params.noc_port_bandwidth * ports)
                 + hops * params.noc_hop_latency
             )
 

@@ -11,10 +11,12 @@ runs two IRs at once) and for the Gantt rendering in
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
-from repro.ir.nodes import IRNode
+from repro.errors import SimulationError
+from repro.ir.nodes import IRNode, IROp
 from repro.sim.resources import ResourceKind, resource_of
 
 
@@ -29,6 +31,53 @@ class ScheduledNode:
     @property
     def duration(self) -> float:
         return self.finish - self.start
+
+    def to_record(self) -> Dict[str, object]:
+        """JSON-safe dict: the node's Table II parameters + interval."""
+        node = self.node
+        return {
+            "op": node.op.value,
+            "layer": node.layer,
+            "cnt": node.cnt,
+            "bit": node.bit,
+            "xb_num": node.xb_num,
+            "vec_width": node.vec_width,
+            "aluop": node.aluop,
+            "macro_num": node.macro_num,
+            "src": node.src,
+            "dst": node.dst,
+            "dst_layer": node.dst_layer,
+            "node_id": node.node_id,
+            "start": self.start,
+            "finish": self.finish,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "ScheduledNode":
+        try:
+            node = IRNode(
+                op=IROp(record["op"]),
+                layer=int(record["layer"]),
+                cnt=int(record["cnt"]),
+                bit=int(record["bit"]),
+                xb_num=int(record["xb_num"]),
+                vec_width=int(record["vec_width"]),
+                aluop=record["aluop"],
+                macro_num=int(record["macro_num"]),
+                src=int(record["src"]),
+                dst=int(record["dst"]),
+                dst_layer=int(record.get("dst_layer", -1)),
+                node_id=int(record["node_id"]),
+            )
+            return cls(
+                node=node,
+                start=float(record["start"]),
+                finish=float(record["finish"]),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise SimulationError(
+                f"malformed trace record: {record!r} ({exc})"
+            ) from exc
 
 
 @dataclass
@@ -93,3 +142,43 @@ class SimTrace:
             for e in self.entries
             if resource_of(e.node) is kind and e.node.layer == layer
         )
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """The whole trace as JSON-safe dicts, in schedule order."""
+        return [entry.to_record() for entry in self.entries]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line per scheduled IR (``--trace-out``).
+
+        The encoding is lossless: :meth:`from_jsonl` rebuilds an
+        equal trace (same nodes, same intervals, same order), which the
+        test suite pins as a round-trip invariant for both engines.
+        """
+        return "\n".join(
+            json.dumps(record, sort_keys=True)
+            for record in self.to_records()
+        )
+
+    @classmethod
+    def from_records(
+        cls, records: List[Dict[str, object]]
+    ) -> "SimTrace":
+        trace = cls()
+        for record in records:
+            trace.entries.append(ScheduledNode.from_record(record))
+        return trace
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "SimTrace":
+        """Inverse of :meth:`to_jsonl` (blank lines are skipped)."""
+        records = []
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    raise SimulationError(
+                        f"malformed trace line: {line[:80]!r} ({exc})"
+                    ) from exc
+        return cls.from_records(records)

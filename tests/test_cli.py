@@ -200,3 +200,78 @@ class TestSynthesizeTech:
         out = capsys.readouterr().out
         assert "technology comparison" in out
         assert "sram-pim" in out
+
+
+class TestSimulateCommand:
+    def test_windowed_smoke(self, capsys):
+        assert main([
+            "simulate", "--model", "lenet5", "--power", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "windowed simulation" in out
+        assert "img/s" in out
+
+    def test_cycle_smoke_cross_validates(self, capsys):
+        assert main([
+            "simulate", "--model", "lenet5", "--power", "2", "--cycle",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cycle simulation" in out
+        assert "cross-validation vs analytical model" in out
+        assert "agreement         OK" in out
+
+    def test_cycle_trace_and_report_artifacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        report_path = tmp_path / "report.json"
+        assert main([
+            "simulate", "--model", "lenet5", "--power", "2", "--cycle",
+            "--trace-out", str(trace_path),
+            "--report-out", str(report_path),
+        ]) == 0
+        capsys.readouterr()
+        from repro.sim.trace import SimTrace
+
+        trace = SimTrace.from_jsonl(trace_path.read_text())
+        assert len(trace) > 0
+        payload = json.loads(report_path.read_text())
+        assert payload["engine"] == "cycle"
+        assert payload["steady"]["throughput"] > 0
+
+    def test_windowed_trace_artifact(self, tmp_path, capsys):
+        trace_path = tmp_path / "windowed.jsonl"
+        assert main([
+            "simulate", "--model", "lenet5", "--power", "2",
+            "--trace-out", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        from repro.sim.trace import SimTrace
+
+        assert len(SimTrace.from_jsonl(trace_path.read_text())) > 0
+
+    def test_tolerance_exceeded_fails_actionably(self, capsys):
+        # alexnet's DAG omits the pooling/ReLU vector ops the analytical
+        # ALU term carries, so its deviation is small but nonzero — a
+        # vanishing tolerance must trip the failure path.
+        assert main([
+            "simulate", "--model", "alexnet", "--cycle",
+            "--tol", "1e-12",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "deviates from the analytical model" in err
+        assert "--tol" in err
+
+    def test_fault_rate_requires_cycle(self, capsys):
+        assert main([
+            "simulate", "--model", "lenet5", "--power", "2",
+            "--fault-rate", "0.01",
+        ]) == 2
+        assert "--fault-rate requires --cycle" in capsys.readouterr().err
+
+    def test_fault_injection_skips_validation(self, capsys):
+        assert main([
+            "simulate", "--model", "lenet5", "--power", "2", "--cycle",
+            "--fault-rate", "0.01", "--fault-seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cross-validation skipped" in out
+        assert "faults" in out

@@ -1,0 +1,51 @@
+"""Zoo-wide cycle-simulator cross-validation tier.
+
+Every zoo model is synthesized at its feasibility floor (x2 margin,
+fast config), replayed through the integer-cycle pipelined simulator,
+and the steady-state throughput/energy must agree with the analytical
+evaluator within :data:`repro.sim.cycle.DEFAULT_TOLERANCE`. This is
+the executable form of the paper's claim that the closed-form §IV-B
+algebra and the behavior-level simulation describe the same machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Pimsyn, SynthesisConfig
+from repro.core.design_space import DesignSpace
+from repro.nn import zoo
+from repro.sim.cycle import DEFAULT_TOLERANCE, cross_validate
+
+
+def _synthesize(name):
+    model = zoo.by_name(name)
+    probe = SynthesisConfig.fast()
+    power = DesignSpace(model, probe).minimum_feasible_power(margin=2.0)
+    config = SynthesisConfig.fast(total_power=power, seed=7)
+    return Pimsyn(model, config).synthesize()
+
+
+class TestZooCrossValidation:
+    """Analytical vs cycle-level agreement, pinned per zoo model."""
+
+    @pytest.mark.parametrize("name", zoo.available_models())
+    def test_cycle_sim_matches_analytical(self, name):
+        solution = _synthesize(name)
+        report = cross_validate(solution, tol=DEFAULT_TOLERANCE)
+        report.ensure()  # raises SimulationError past the tolerance
+        assert report.ok
+        assert report.max_deviation <= DEFAULT_TOLERANCE
+        # The cycle run must be a real execution, not a degenerate one.
+        cyc = report.cycle_report
+        assert cyc.total_cycles > 0
+        assert cyc.micro_ops > 0
+        assert cyc.steady_throughput > 0
+        assert cyc.steady_energy_per_image > 0
+        assert cyc.faults_injected == 0
+
+    def test_solution_replay_hook_matches_free_function(self):
+        solution = _synthesize("lenet5")
+        via_hook = solution.cross_validate()
+        via_function = cross_validate(solution)
+        assert via_hook.to_payload() == via_function.to_payload()
