@@ -17,6 +17,9 @@ applications to PIM architectures"; the CLI is that click:
   service (job queue + content-addressed result store + JSON API);
 - ``python -m repro batch --manifest sweep.yaml --store DIR`` — run a
   (model x power x config) manifest through the shared store;
+- ``python -m repro store stats|gc|migrate --store DIR`` — inspect a
+  result store, compact it (stale claims, dead memos), or move a
+  legacy flat-layout store into the sharded layout;
 - ``python -m repro tech list|show|export|compare`` — the device-
   technology registry: inspect profiles, export/load the JSON format,
   synthesize one model under every technology. ``--tech NAME`` on
@@ -352,22 +355,29 @@ def cmd_serve(args) -> int:
 
     from repro.serve import JobScheduler, ResultStore, make_server
 
-    store = ResultStore(args.store)
+    store = ResultStore(args.store, shards=args.shards)
     scheduler = JobScheduler(
         store, workers=args.workers, synth_jobs=args.jobs,
         name="serve", default_tech=_tech(args),
+        max_queue_depth=args.max_queue,
     )
     server = make_server(
-        args.host, args.port, scheduler, store, verbose=args.verbose
+        args.host, args.port, scheduler, store,
+        verbose=args.verbose, kind=args.server, quota=args.quota,
+        reuse_port=args.reuse_port,
     )
     host, port = server.server_address[:2]
-    print(f"synthesis service on http://{host}:{port}")
+    print(f"synthesis service on http://{host}:{port} "
+          f"({args.server} front end)")
     print(f"  store: {store.root}  "
-          f"({store.stats(include_models=False).results} results)")
+          f"({store.stats(include_models=False).results} results in "
+          f"{store.num_shards} shards)")
     print(f"  workers: {args.workers}  DSE jobs/worker: {args.jobs}  "
           f"default tech: {scheduler.default_tech}")
+    print(f"  queue bound: {args.max_queue or 'unbounded'}  "
+          f"client quota: {args.quota or 'unbounded'}")
     print("  POST /jobs   GET /jobs/<id>   GET /results/<key>   "
-          "GET /store/stats")
+          "GET /store/stats   GET /scheduler/stats   POST /store/gc")
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     try:
@@ -401,6 +411,31 @@ def cmd_batch(args) -> int:
             json.dump(report.to_payload(), handle, indent=2)
         print(f"\nbatch report written to {args.out}")
     return 1 if report.failures else 0
+
+
+def cmd_store(args) -> int:
+    import json
+
+    from repro.serve import ResultStore
+
+    store = ResultStore(args.store)
+    if args.store_command == "stats":
+        stats = store.stats(include_models=True)
+        print(json.dumps(stats.to_payload(), indent=2))
+        return 0
+    if args.store_command == "gc":
+        report = store.gc(
+            stale_claims_after=args.stale_after,
+            drop_completed_memos=not args.keep_memos,
+        )
+        print(json.dumps(report.to_payload(), indent=2))
+        return 0
+    if args.store_command == "migrate":
+        report = store.migrate()
+        print(json.dumps(report.to_payload(), indent=2))
+        print(f"store now sharded x{store.num_shards} at {store.root}")
+        return 0
+    raise PimsynError(f"unknown store command {args.store_command!r}")
 
 
 def cmd_tech(args) -> int:
@@ -673,6 +708,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--tech", default=None,
                        help="default technology for requests that do "
                             "not specify one (default: reram)")
+    serve.add_argument("--server", default="async",
+                       choices=("async", "threaded"),
+                       help="HTTP front end: single-event-loop "
+                            "asyncio (default) or the legacy "
+                            "thread-per-connection baseline")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="shard count when creating a new store "
+                            "(an existing store keeps its own)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="bound the job queue; submissions past "
+                            "it get 429 + Retry-After (default: "
+                            "unbounded)")
+    serve.add_argument("--quota", type=int, default=None,
+                       help="max concurrently active jobs per client "
+                            "(X-Client-Id header / peer address)")
+    serve.add_argument("--reuse-port", action="store_true",
+                       help="set SO_REUSEPORT so several serve "
+                            "processes can share the port (async "
+                            "front end only)")
     serve.add_argument("--verbose", action="store_true",
                        help="log every HTTP request")
 
@@ -690,6 +744,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="DSE worker processes per job")
     batch.add_argument("--out", help="write the JSON batch report here")
     batch.add_argument("--verbose", action="store_true")
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain a result store"
+    )
+    store_dir = argparse.ArgumentParser(add_help=False)
+    store_dir.add_argument("--store", default=".pimsyn-store",
+                           help="result-store directory")
+    store_sub = store.add_subparsers(
+        dest="store_command", required=True
+    )
+    store_sub.add_parser(
+        "stats", help="store counters + per-model inventory",
+        parents=[store_dir],
+    )
+    gc = store_sub.add_parser(
+        "gc", help="compact: drop stale claims, completed-job memos, "
+                   "leaked temp files",
+        parents=[store_dir],
+    )
+    gc.add_argument("--stale-after", type=float, default=600.0,
+                    help="claims older than this many seconds are "
+                         "presumed orphaned")
+    gc.add_argument("--keep-memos", action="store_true",
+                    help="keep memo snapshots even when their result "
+                         "exists")
+    store_sub.add_parser(
+        "migrate", help="move a legacy flat-layout store into the "
+                        "sharded layout (byte-identical documents)",
+        parents=[store_dir],
+    )
 
     tech = sub.add_parser(
         "tech", help="inspect and compare device-technology profiles"
@@ -747,6 +831,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "serve": cmd_serve,
     "batch": cmd_batch,
+    "store": cmd_store,
     "tech": cmd_tech,
     "backends": cmd_backends,
 }

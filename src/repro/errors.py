@@ -47,6 +47,21 @@ class SynthesisInterrupted(PimsynError):
         self.partial_memo = list(partial_memo) if partial_memo else []
 
 
+class SchedulerBusyError(PimsynError):
+    """The serve scheduler's bounded queue is full (backpressure).
+
+    Raised by :meth:`repro.serve.scheduler.JobScheduler.submit` when
+    ``max_queue_depth`` is set and reached, instead of letting the
+    backlog grow without bound. ``retry_after`` is the suggested wait
+    in seconds (an estimate from queue depth and recent job wall
+    times); the HTTP layer maps it to ``429`` + ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
 class SimulationError(PimsynError):
     """The behavior-level simulator hit an inconsistent state."""
 

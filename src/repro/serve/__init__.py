@@ -16,14 +16,22 @@ workloads through one cached engine needs:
   with crash-isolated workers and graceful shutdown;
 - :mod:`repro.serve.batch` — YAML/JSON manifests of
   (model x power x config) grids, deduplicated through the store;
-- :mod:`repro.serve.api` — ``http.server`` JSON API
-  (``POST /jobs``, ``GET /jobs/<id>``, ``GET /results/<key>``,
-  ``GET /store/stats``).
+- :mod:`repro.serve.api` — JSON API (``POST /jobs``,
+  ``GET /jobs/<id>``, ``GET /results/<key>``, ``GET /store/stats``,
+  ``GET /scheduler/stats``, ``POST /store/gc``) behind two front
+  ends: the default single-event-loop asyncio server and the legacy
+  thread-per-connection baseline, with per-client quotas and
+  bounded-queue backpressure (429 + ``Retry-After``).
 
 Entry points: ``python -m repro serve`` and ``python -m repro batch``.
 """
 
-from repro.serve.api import SynthesisServer, make_server
+from repro.serve.api import (
+    AsyncSynthesisServer,
+    ClientQuotas,
+    SynthesisServer,
+    make_server,
+)
 from repro.serve.batch import (
     BatchReport,
     BatchRow,
@@ -40,9 +48,17 @@ from repro.serve.job import (
     result_payload,
 )
 from repro.serve.scheduler import JobScheduler
-from repro.serve.store import ResultStore, StoreStats
+from repro.serve.store import (
+    GCReport,
+    MigrationReport,
+    ResultStore,
+    StoreStats,
+    shard_of,
+)
 
 __all__ = [
+    "AsyncSynthesisServer",
+    "ClientQuotas",
     "SynthesisServer",
     "make_server",
     "BatchReport",
@@ -57,6 +73,9 @@ __all__ = [
     "job_content_key",
     "result_payload",
     "JobScheduler",
+    "GCReport",
+    "MigrationReport",
     "ResultStore",
     "StoreStats",
+    "shard_of",
 ]

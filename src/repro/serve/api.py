@@ -1,8 +1,19 @@
-"""Stdlib JSON API over the scheduler and result store.
+"""JSON API over the scheduler and result store — async by default.
 
-Built on ``http.server`` (no third-party web stack in the container),
-with one thread per connection so a long ``?wait=1`` poll never blocks
-other clients. Endpoints:
+Two interchangeable front ends share one router:
+
+- :class:`AsyncSynthesisServer` (default) — an ``asyncio`` HTTP/1.1
+  server: one event loop multiplexes every connection, keep-alive is
+  honored, and a long ``?wait=1`` costs a coroutine polling the job
+  record, not an OS thread. Blocking work (submission, store walks)
+  runs on the loop's thread pool. ``reuse_port=True`` sets
+  ``SO_REUSEPORT`` so N processes can share one listening port for
+  multi-core scale-out.
+- :class:`SynthesisServer` — the original ``http.server``
+  thread-per-connection implementation, kept as the measured baseline
+  for ``benchmarks/bench_serve_load.py`` (and as a fallback).
+
+Both speak the same endpoints:
 
 ====== ======================= =========================================
 Method Path                    Meaning
@@ -10,41 +21,242 @@ Method Path                    Meaning
 POST   ``/jobs``               Submit a job (body: ``{"model": ...,
                                "power": ..., "config": {...}}``).
                                ``?wait=1`` blocks until terminal.
+                               429 + ``Retry-After`` when the bounded
+                               queue is full or the client is over its
+                               active-job quota.
 GET    ``/jobs``               All job records, oldest first.
-GET    ``/jobs/<id>``          One job record.
+GET    ``/jobs/<id>``          One job record (404 unknown, 410 when
+                               evicted from the bounded history).
 GET    ``/results/<key>``      Stored result document — served
                                verbatim from disk, so repeated GETs
                                are byte-identical.
 GET    ``/store/stats``        Store counters; ``?models=1`` adds the
                                per-model inventory (O(store size)).
+GET    ``/scheduler/stats``    Queue depth, running jobs, traffic
+                               counters (what the load harness polls).
+POST   ``/store/gc``           Compact the store (stale claims,
+                               completed-job memos, leaked temp
+                               files); returns the GC report.
 GET    ``/models``             Machine-readable model zoo.
 GET    ``/healthz``            Liveness probe.
 ====== ======================= =========================================
 
 Error mapping: malformed requests and unknown models are 400 with a
-JSON body (``PimsynError`` text), unknown ids/keys are 404, anything
-else is a 500 without a traceback leak.
+JSON body (``PimsynError`` text), unknown ids/keys are 404, evicted
+job ids are 410, backpressure/quota rejections are 429 with
+``Retry-After``, anything else is a 500 without a traceback leak.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
+import socket
+import threading
+import time
+from http.client import responses as _REASONS
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import PimsynError
+from repro.errors import PimsynError, SchedulerBusyError
 from repro.nn.zoo import model_catalog
-from repro.serve.job import JobRequest
+from repro.serve.job import JobRecord, JobRequest
 from repro.serve.scheduler import JobScheduler
 from repro.serve.store import ResultStore
 
 MAX_BODY_BYTES = 4 * 1024 * 1024  # inline model documents stay small
 DEFAULT_WAIT_SECONDS = 300.0
+KEEPALIVE_IDLE_SECONDS = 60.0
+
+#: (status, body bytes, extra headers) — the router's wire-agnostic
+#: response shape, rendered by each front end.
+Response = Tuple[int, bytes, Dict[str, str]]
 
 
+def _json_bytes(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, indent=2).encode("utf-8")
+
+
+def _error(status: int, message: str,
+           headers: Optional[Dict[str, str]] = None) -> Response:
+    return status, _json_bytes({"error": message}), headers or {}
+
+
+class ClientQuotas:
+    """Per-client cap on concurrently *active* (non-terminal) jobs.
+
+    A client is its ``X-Client-Id`` header, falling back to the peer
+    address — good enough to stop one runaway producer from occupying
+    the whole queue. ``limit=None`` disables the check. Terminal
+    records are pruned lazily on each admission test, so the registry
+    stays bounded by live work, not by traffic history.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 1:
+            raise PimsynError("client quota must be positive (or None)")
+        self.limit = limit
+        self._active: Dict[str, List[JobRecord]] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, client: str) -> bool:
+        if self.limit is None:
+            return True
+        with self._lock:
+            live = [
+                r for r in self._active.get(client, ()) if not r.done
+            ]
+            if live:
+                self._active[client] = live
+            else:
+                self._active.pop(client, None)
+            return len(live) < self.limit
+
+    def track(self, client: str, record: JobRecord) -> None:
+        if self.limit is None or record.done:
+            return
+        with self._lock:
+            self._active.setdefault(client, []).append(record)
+
+
+class _Router:
+    """Wire-agnostic request handling shared by both front ends."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        store: ResultStore,
+        quotas: Optional[ClientQuotas] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.store = store
+        self.quotas = quotas or ClientQuotas(None)
+
+    # -- GET ------------------------------------------------------------
+    def route_get(self, path: str, query: Dict[str, List[str]]
+                  ) -> Response:
+        parts = [p for p in path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                return 200, _json_bytes({"ok": True}), {}
+            if parts == ["models"]:
+                return 200, _json_bytes(
+                    {"models": model_catalog()}
+                ), {}
+            if parts == ["store", "stats"]:
+                # Counters are O(1)-ish; the per-model inventory reads
+                # every result document, so it is opt-in (?models=1)
+                # to keep the endpoint cheap for polling monitors.
+                with_models = query.get("models", ["0"])[0] not in (
+                    "0", "", "false"
+                )
+                return 200, _json_bytes(self.store.stats(
+                    include_models=with_models
+                ).to_payload()), {}
+            if parts == ["scheduler", "stats"]:
+                return 200, _json_bytes(self.scheduler.stats()), {}
+            if parts == ["jobs"]:
+                return 200, _json_bytes({"jobs": [
+                    r.to_payload() for r in self.scheduler.jobs()
+                ]}), {}
+            if len(parts) == 2 and parts[0] == "jobs":
+                record = self.scheduler.job(parts[1])
+                if record is not None:
+                    return 200, _json_bytes(record.to_payload()), {}
+                if self.scheduler.was_evicted(parts[1]):
+                    return _error(
+                        410,
+                        f"job {parts[1]!r} finished and was evicted "
+                        "from the bounded history; its result is "
+                        "still addressable via GET /results/<key>",
+                    )
+                return _error(404, f"unknown job {parts[1]!r}")
+            if len(parts) == 2 and parts[0] == "results":
+                try:
+                    data = self.store.get_bytes(parts[1])
+                except PimsynError as exc:
+                    return _error(400, str(exc))
+                if data is None:
+                    return _error(
+                        404, f"no result for key {parts[1]!r}"
+                    )
+                return 200, data, {}
+            return _error(404, f"unknown path {path!r}")
+        except Exception as exc:  # never leak a traceback to the wire
+            return _error(500, f"internal error: {type(exc).__name__}")
+
+    # -- POST -----------------------------------------------------------
+    def submit(
+        self, payload: Dict[str, Any], client: str
+    ) -> Tuple[Optional[JobRecord], Optional[Response]]:
+        """Admit + submit one job; (record, None) or (None, error)."""
+        if not self.quotas.admit(client):
+            return None, _error(
+                429,
+                f"client {client!r} is at its active-job quota "
+                f"({self.quotas.limit}); wait for a job to finish",
+                {"Retry-After": "5"},
+            )
+        try:
+            request = JobRequest.from_payload(payload)
+            record = self.scheduler.submit(request)
+        except SchedulerBusyError as exc:
+            return None, _error(
+                429, str(exc),
+                {"Retry-After": str(max(1, round(exc.retry_after)))},
+            )
+        except PimsynError as exc:
+            return None, _error(400, str(exc))
+        except Exception as exc:
+            return None, _error(
+                500, f"internal error: {type(exc).__name__}"
+            )
+        self.quotas.track(client, record)
+        return record, None
+
+    def route_post_gc(self, query: Dict[str, List[str]]) -> Response:
+        try:
+            stale_after = float(query.get("stale", ["600"])[0])
+        except ValueError:
+            return _error(400, "stale must be a number of seconds")
+        try:
+            report = self.store.gc(stale_claims_after=stale_after)
+        except Exception as exc:
+            return _error(500, f"internal error: {type(exc).__name__}")
+        return 200, _json_bytes(report.to_payload()), {}
+
+    @staticmethod
+    def parse_wait(query: Dict[str, List[str]]
+                   ) -> Tuple[bool, float, Optional[Response]]:
+        """(wait?, timeout, error) from a POST /jobs query string."""
+        wait = query.get("wait", ["0"])[0] not in ("0", "", "false")
+        try:
+            timeout = float(
+                query.get("timeout", [DEFAULT_WAIT_SECONDS])[0]
+            )
+        except ValueError:
+            return False, 0.0, _error(400, "timeout must be a number")
+        return wait, timeout, None
+
+    @staticmethod
+    def record_response(record: JobRecord) -> Response:
+        return (
+            200 if record.done else 202,
+            _json_bytes(record.to_payload()),
+            {},
+        )
+
+
+# ----------------------------------------------------------------------
+# Threaded front end (http.server) — the measured baseline
+# ----------------------------------------------------------------------
 class SynthesisServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that carries the service state."""
+    """Thread-per-connection server carrying the service state.
+
+    Superseded by :class:`AsyncSynthesisServer` as the default front
+    end; kept as the load-test baseline and as a fallback.
+    """
 
     daemon_threads = True
 
@@ -54,11 +266,13 @@ class SynthesisServer(ThreadingHTTPServer):
         scheduler: JobScheduler,
         store: ResultStore,
         verbose: bool = False,
+        quota: Optional[int] = None,
     ) -> None:
         super().__init__(address, _Handler)
         self.scheduler = scheduler
         self.store = store
         self.verbose = verbose
+        self.router = _Router(scheduler, store, ClientQuotas(quota))
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -71,121 +285,327 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(format, *args)
 
-    def _send_json(
-        self, status: int, payload: Dict[str, Any]
-    ) -> None:
-        body = json.dumps(payload, indent=2).encode("utf-8")
-        self._send_bytes(status, body)
-
-    def _send_bytes(self, status: int, body: bytes) -> None:
+    def _send(self, response: Response) -> None:
+        status, body, headers = response
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-
-    def _error(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
 
     def _read_body(self) -> Optional[Dict[str, Any]]:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0:
-            self._error(400, "request body required")
+            self._send(_error(400, "request body required"))
             return None
         if length > MAX_BODY_BYTES:
-            self._error(413, "request body too large")
+            self._send(_error(413, "request body too large"))
             return None
         raw = self.rfile.read(length)
         try:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            self._error(400, f"invalid JSON body: {exc}")
+            self._send(_error(400, f"invalid JSON body: {exc}"))
             return None
         if not isinstance(payload, dict):
-            self._error(400, "body must be a JSON object")
+            self._send(_error(400, "body must be a JSON object"))
             return None
         return payload
+
+    def _client_id(self) -> str:
+        return self.headers.get(
+            "X-Client-Id", self.client_address[0]
+        )
 
     # ------------------------------------------------------------------
     # Routes
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
         parsed = urlparse(self.path)
-        parts = [p for p in parsed.path.split("/") if p]
-        try:
-            if parts == ["healthz"]:
-                self._send_json(200, {"ok": True})
-            elif parts == ["models"]:
-                self._send_json(200, {"models": model_catalog()})
-            elif parts == ["store", "stats"]:
-                # Counters are O(1)-ish; the per-model inventory reads
-                # every result document, so it is opt-in (?models=1)
-                # to keep the endpoint cheap for polling monitors.
-                query = parse_qs(parsed.query)
-                with_models = query.get("models", ["0"])[0] not in (
-                    "0", "", "false"
-                )
-                self._send_json(200, self.server.store.stats(
-                    include_models=with_models
-                ).to_payload())
-            elif parts == ["jobs"]:
-                self._send_json(200, {"jobs": [
-                    r.to_payload() for r in self.server.scheduler.jobs()
-                ]})
-            elif len(parts) == 2 and parts[0] == "jobs":
-                record = self.server.scheduler.job(parts[1])
-                if record is None:
-                    self._error(404, f"unknown job {parts[1]!r}")
-                else:
-                    self._send_json(200, record.to_payload())
-            elif len(parts) == 2 and parts[0] == "results":
-                try:
-                    data = self.server.store.get_bytes(parts[1])
-                except PimsynError as exc:
-                    self._error(400, str(exc))
-                    return
-                if data is None:
-                    self._error(404, f"no result for key {parts[1]!r}")
-                else:
-                    self._send_bytes(200, data)
-            else:
-                self._error(404, f"unknown path {parsed.path!r}")
-        except Exception as exc:  # never leak a traceback to the wire
-            self._error(500, f"internal error: {type(exc).__name__}")
+        self._send(self.server.router.route_get(
+            parsed.path, parse_qs(parsed.query)
+        ))
 
     def do_POST(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
         parts = [p for p in parsed.path.split("/") if p]
+        query = parse_qs(parsed.query)
+        router = self.server.router
+        if parts == ["store", "gc"]:
+            self._send(router.route_post_gc(query))
+            return
         if parts != ["jobs"]:
-            self._error(404, f"unknown path {parsed.path!r}")
+            self._send(_error(404, f"unknown path {parsed.path!r}"))
             return
         payload = self._read_body()
         if payload is None:
             return
-        try:
-            request = JobRequest.from_payload(payload)
-            record = self.server.scheduler.submit(request)
-        except PimsynError as exc:
-            self._error(400, str(exc))
+        wait, timeout, error = router.parse_wait(query)
+        if error is not None:
+            self._send(error)
             return
-        except Exception as exc:
-            self._error(500, f"internal error: {type(exc).__name__}")
+        record, error = router.submit(payload, self._client_id())
+        if error is not None:
+            self._send(error)
             return
-        query = parse_qs(parsed.query)
-        if query.get("wait", ["0"])[0] not in ("0", "", "false"):
-            try:
-                timeout = float(
-                    query.get("timeout", [DEFAULT_WAIT_SECONDS])[0]
-                )
-            except ValueError:
-                self._error(400, "timeout must be a number")
-                return
-            record = self.server.scheduler.wait(
-                record.id, timeout=timeout
+        if wait:
+            # wait on the record object itself: immune to the history
+            # evicting this id mid-wait (wait-by-id returns None then).
+            record = self.server.scheduler.wait_record(
+                record, timeout=timeout
             )
-        self._send_json(
-            200 if record.done else 202, record.to_payload()
+        self._send(router.record_response(record))
+
+
+# ----------------------------------------------------------------------
+# Async front end (asyncio) — the default
+# ----------------------------------------------------------------------
+class AsyncSynthesisServer:
+    """Single-event-loop HTTP/1.1 front end.
+
+    Interface-compatible with the threaded server where it matters:
+    ``server_address``, blocking ``serve_forever()`` (run it in a
+    thread), thread-safe ``shutdown()``. The listening socket is bound
+    at construction, so ``port=0`` resolves to a real port before the
+    loop starts — exactly like ``http.server``.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        scheduler: JobScheduler,
+        store: ResultStore,
+        verbose: bool = False,
+        quota: Optional[int] = None,
+        reuse_port: bool = False,
+    ) -> None:
+        self.scheduler = scheduler
+        self.store = store
+        self.verbose = verbose
+        self.router = _Router(scheduler, store, ClientQuotas(quota))
+        self._sock = socket.create_server(
+            address, reuse_port=reuse_port, backlog=128
         )
+        self._sock.setblocking(False)
+        self.server_address = self._sock.getsockname()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._finished = threading.Event()
+        self._serving = False
+        self._shutdown_requested = False
+
+    # -- lifecycle ------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Run the event loop in the calling thread until shutdown()."""
+        self._serving = True
+        try:
+            asyncio.run(self._serve())
+        finally:
+            self._finished.set()
+
+    async def _serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if self._shutdown_requested:  # shutdown() raced serve_forever()
+            # The socket may already be closed; don't serve on it.
+            self._started.set()
+            return
+        server = await asyncio.start_server(
+            self._handle_connection, sock=self._sock
+        )
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+        # asyncio.run() cancels the remaining per-connection tasks.
+
+    def shutdown(self) -> None:
+        """Stop the loop from any thread; idempotent."""
+        self._shutdown_requested = True
+        if not self._serving:
+            # serve_forever() was never entered (bound but not run):
+            # just close the pre-bound socket; a late serve_forever()
+            # sees _shutdown_requested and returns without serving.
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            return
+        if not self._started.wait(timeout=5.0):
+            # Loop never came up; close the pre-bound socket ourselves.
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            return
+        loop, stop = self._loop, self._stop
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._finished.wait(timeout=5.0)
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        peer = writer.get_extra_info("peername") or ("?", 0)
+        try:
+            while True:
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(),
+                        timeout=KEEPALIVE_IDLE_SECONDS,
+                    )
+                except (asyncio.TimeoutError, ValueError):
+                    break
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, target, version = (
+                        request_line.decode("latin-1").split()
+                    )
+                except ValueError:
+                    await self._write(
+                        writer, _error(400, "malformed request line"),
+                        keep_alive=False,
+                    )
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = (
+                        line.decode("latin-1").partition(":")
+                    )
+                    headers[name.strip().lower()] = value.strip()
+                keep_alive = (
+                    version.upper() == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                length = int(headers.get("content-length", 0) or 0)
+                if length > MAX_BODY_BYTES:
+                    await self._write(
+                        writer, _error(413, "request body too large"),
+                        keep_alive=False,
+                    )
+                    break
+                body = (
+                    await reader.readexactly(length) if length else b""
+                )
+                response = await self._dispatch(
+                    method.upper(), target, headers, body, peer
+                )
+                await self._write(writer, response, keep_alive)
+                if self.verbose:
+                    print(
+                        f"{peer[0]} {method} {target} "
+                        f"-> {response[0]}"
+                    )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionError, asyncio.IncompleteReadError, OSError
+        ):
+            pass
+        except asyncio.CancelledError:
+            pass  # event loop torn down mid-request (shutdown)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter,
+        response: Response,
+        keep_alive: bool,
+    ) -> None:
+        status, body, extra = response
+        reason = _REASONS.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            "Connection: " + ("keep-alive" if keep_alive else "close"),
+        ]
+        headers.extend(f"{k}: {v}" for k, v in extra.items())
+        writer.write(
+            ("\r\n".join(headers) + "\r\n\r\n").encode("latin-1")
+            + body
+        )
+        await writer.drain()
+
+    async def _dispatch(
+        self,
+        method: str,
+        target: str,
+        headers: Dict[str, str],
+        body: bytes,
+        peer: Tuple[str, int],
+    ) -> Response:
+        parsed = urlparse(target)
+        query = parse_qs(parsed.query)
+        loop = asyncio.get_running_loop()
+        if method == "GET":
+            # Store walks and document reads touch disk: keep them off
+            # the event loop.
+            return await loop.run_in_executor(
+                None, self.router.route_get, parsed.path, query
+            )
+        if method != "POST":
+            return _error(405, f"unsupported method {method!r}")
+        parts = [p for p in parsed.path.split("/") if p]
+        if parts == ["store", "gc"]:
+            return await loop.run_in_executor(
+                None, self.router.route_post_gc, query
+            )
+        if parts != ["jobs"]:
+            return _error(404, f"unknown path {parsed.path!r}")
+        if not body:
+            return _error(400, "request body required")
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _error(400, f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            return _error(400, "body must be a JSON object")
+        wait, timeout, error = self.router.parse_wait(query)
+        if error is not None:
+            return error
+        client = headers.get("x-client-id", peer[0])
+        record, error = await loop.run_in_executor(
+            None, self.router.submit, payload, client
+        )
+        if error is not None:
+            return error
+        assert record is not None
+        if wait and not record.done:
+            await self._await_record(record, timeout)
+        return self.router.record_response(record)
+
+    @staticmethod
+    async def _await_record(
+        record: JobRecord, timeout: float
+    ) -> None:
+        """Poll the record to a terminal state — a coroutine per
+        waiting client instead of a blocked thread per client."""
+        deadline = time.monotonic() + timeout
+        delay = 0.002
+        while not record.done and time.monotonic() < deadline:
+            await asyncio.sleep(delay)
+            delay = min(delay * 1.5, 0.05)
+
+
+ServerKind = Union[SynthesisServer, AsyncSynthesisServer]
 
 
 def make_server(
@@ -194,6 +614,32 @@ def make_server(
     scheduler: JobScheduler,
     store: ResultStore,
     verbose: bool = False,
-) -> SynthesisServer:
-    """Bind the API server (``port=0`` picks a free port)."""
-    return SynthesisServer((host, port), scheduler, store, verbose)
+    kind: str = "async",
+    quota: Optional[int] = None,
+    reuse_port: bool = False,
+) -> ServerKind:
+    """Bind an API server (``port=0`` picks a free port).
+
+    ``kind`` selects the front end: ``"async"`` (default, asyncio) or
+    ``"threaded"`` (the legacy thread-per-connection baseline).
+    ``quota`` caps each client's concurrently active jobs;
+    ``reuse_port`` (async only) sets ``SO_REUSEPORT`` so multiple
+    server processes can share the port.
+    """
+    if kind == "async":
+        return AsyncSynthesisServer(
+            (host, port), scheduler, store,
+            verbose=verbose, quota=quota, reuse_port=reuse_port,
+        )
+    if kind == "threaded":
+        if reuse_port:
+            raise PimsynError(
+                "reuse_port is only supported by the async front end"
+            )
+        return SynthesisServer(
+            (host, port), scheduler, store,
+            verbose=verbose, quota=quota,
+        )
+    raise PimsynError(
+        f"unknown server kind {kind!r}; choose 'async' or 'threaded'"
+    )

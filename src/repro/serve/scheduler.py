@@ -13,10 +13,20 @@ The scheduler is store-first at every step:
    an in-flight request onto the same record;
 2. a worker re-checks the store, then *claims* the key so a second
    scheduler sharing the store directory waits for our result instead
-   of double-running it;
+   of double-running it — and re-checks once more *after* acquiring
+   the claim, because a peer may have finished inside the claim-break
+   window;
 3. computed results are persisted together with the run's evaluation
    memo, so even non-identical future jobs on the same key resume a
    warm landscape.
+
+Backpressure: with ``max_queue_depth`` set, ``submit()`` raises
+:class:`repro.errors.SchedulerBusyError` (with a ``retry_after``
+estimate) once that many jobs are queued — store hits and coalesced
+duplicates are always admitted, since they cost no queue slot. This is
+what lets many schedulers share one store under real traffic: each
+node bounds its own backlog and sheds load explicitly (HTTP 429)
+instead of building an unbounded latency queue.
 
 Workers are crash-isolated: any :class:`Exception` marks that job
 ``failed`` and the worker moves on. If a job surfaces
@@ -34,10 +44,15 @@ from __future__ import annotations
 import itertools
 import queue
 import threading
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional
 
 from repro.core.synthesizer import Pimsyn
-from repro.errors import PimsynError, SynthesisInterrupted
+from repro.errors import (
+    PimsynError,
+    SchedulerBusyError,
+    SynthesisInterrupted,
+)
 from repro.hardware.tech import get_technology
 from repro.serve.job import (
     JobRecord,
@@ -46,6 +61,9 @@ from repro.serve.job import (
     result_payload,
 )
 from repro.serve.store import ResultStore
+
+#: Evicted-id memory: bounds the "410 Gone vs 404 Not Found" ledger.
+_EVICTED_IDS_KEPT = 10_000
 
 
 class JobScheduler:
@@ -82,7 +100,13 @@ class JobScheduler:
         Terminal job records kept in memory for ``GET /jobs/<id>``.
         Oldest finished records are evicted past this bound so a
         long-lived service does not grow without limit; results
-        themselves live in the store, not the history.
+        themselves live in the store, not the history. Evicted ids are
+        remembered (bounded) so the API can answer 410 instead of 404.
+    max_queue_depth:
+        Backpressure bound: queued-but-not-running jobs beyond this
+        raise :class:`SchedulerBusyError` at submission. ``None``
+        (default) keeps the historical unbounded behavior (batch runs
+        submit their whole manifest up front).
     """
 
     def __init__(
@@ -95,9 +119,14 @@ class JobScheduler:
         autostart: bool = True,
         max_history: int = 10_000,
         default_tech: Optional[str] = None,
+        max_queue_depth: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise PimsynError("scheduler needs at least one worker")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise PimsynError(
+                "max_queue_depth must be positive (or None)"
+            )
         if default_tech is not None:
             get_technology(default_tech)  # fail at startup, not submit
         self.store = store
@@ -107,17 +136,23 @@ class JobScheduler:
         self.name = name
         self.stale_claim_timeout = stale_claim_timeout
         self.max_history = max_history
+        self.max_queue_depth = max_queue_depth
         self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
         self._records: Dict[str, JobRecord] = {}
         self._inflight: Dict[str, JobRecord] = {}
+        self._evicted: "OrderedDict[str, None]" = OrderedDict()
         self._seq = itertools.count()
         self._lock = threading.Lock()
         self._done = threading.Condition(self._lock)
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
+        self._queued = 0       # jobs enqueued but not yet picked up
+        self._running = 0      # jobs a worker is currently executing
+        self._job_seconds_ema = 0.0
         self.executed = 0      # synthesis runs actually performed
         self.store_hits = 0    # jobs answered from the store
         self.failures = 0
+        self.rejected = 0      # submissions shed by backpressure
         if autostart:
             self.start()
 
@@ -160,8 +195,10 @@ class JobScheduler:
             except queue.Empty:
                 return
             if job_id is not None:
-                record = self._records[job_id]
-                if not record.done:
+                with self._lock:
+                    self._queued -= 1
+                    record = self._records.get(job_id)
+                if record is not None and not record.done:
                     self._fail(record, "scheduler shut down")
 
     def __enter__(self) -> "JobScheduler":
@@ -179,7 +216,10 @@ class JobScheduler:
 
         Raises :class:`repro.errors.PimsynError` subclasses for a bad
         request (unknown model, malformed config) — submission-time
-        validation, not worker-time.
+        validation, not worker-time — and
+        :class:`repro.errors.SchedulerBusyError` when the bounded
+        queue is full. Store hits and coalesced duplicates are never
+        rejected: they cost no queue slot.
         """
         if self.default_tech is not None:
             # Stamp the service default (and drop any pre-stamp cached
@@ -202,14 +242,47 @@ class JobScheduler:
         if payload is not None:
             self._finish_from_store(record, payload, source="store")
             return record
+        with self._lock:
+            if (
+                self.max_queue_depth is not None
+                and self._queued >= self.max_queue_depth
+            ):
+                # Shed the load *before* enqueueing: drop the record we
+                # optimistically registered and tell the client when to
+                # come back.
+                self.rejected += 1
+                self._records.pop(record.id, None)
+                self._inflight.pop(key, None)
+                retry_after = self._retry_after_locked()
+                raise SchedulerBusyError(
+                    f"queue full ({self._queued} jobs waiting, bound "
+                    f"{self.max_queue_depth}); retry in "
+                    f"{retry_after:.0f}s",
+                    retry_after=retry_after,
+                )
+            self._queued += 1
         self._queue.put(
             (-request.priority, next(self._seq), record.id)
         )
         return record
 
+    def _retry_after_locked(self) -> float:
+        """Suggested client backoff: roughly one queue-drain interval
+        under the recent per-job wall-time average."""
+        per_job = self._job_seconds_ema or 1.0
+        return max(
+            1.0, self._queued * per_job / max(self.workers, 1)
+        )
+
     def job(self, job_id: str) -> Optional[JobRecord]:
         with self._lock:
             return self._records.get(job_id)
+
+    def was_evicted(self, job_id: str) -> bool:
+        """True if ``job_id`` finished and fell out of the bounded
+        history — lets the API answer 410 Gone instead of 404."""
+        with self._lock:
+            return job_id in self._evicted
 
     def jobs(self) -> List[JobRecord]:
         with self._lock:
@@ -219,10 +292,27 @@ class JobScheduler:
 
     def wait(
         self, job_id: str, timeout: Optional[float] = None
-    ) -> JobRecord:
-        """Block until the job reaches a terminal state."""
+    ) -> Optional[JobRecord]:
+        """Block until the job reaches a terminal state.
+
+        Returns ``None`` for an unknown or history-evicted job id —
+        the record is gone, there is nothing to wait on. (This used to
+        raise ``KeyError``, which escaped the API's ``?wait=1`` path
+        uncaught and hung the client connection.)
+        """
         with self._done:
-            record = self._records[job_id]
+            record = self._records.get(job_id)
+            if record is None:
+                return None
+            self._done.wait_for(lambda: record.done, timeout=timeout)
+            return record
+
+    def wait_record(
+        self, record: JobRecord, timeout: Optional[float] = None
+    ) -> JobRecord:
+        """Like :meth:`wait`, but on a record already in hand — immune
+        to history eviction racing the wait."""
+        with self._done:
             self._done.wait_for(lambda: record.done, timeout=timeout)
             return record
 
@@ -234,6 +324,24 @@ class JobScheduler:
                 timeout=timeout,
             )
 
+    def stats(self) -> Dict[str, Any]:
+        """Queue/traffic counters (the ``GET /scheduler/stats``
+        payload, and what the load harness samples)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "workers": self.workers,
+                "queued": self._queued,
+                "running": self._running,
+                "records": len(self._records),
+                "executed": self.executed,
+                "store_hits": self.store_hits,
+                "failures": self.failures,
+                "rejected": self.rejected,
+                "max_queue_depth": self.max_queue_depth,
+                "job_seconds_ema": self._job_seconds_ema,
+            }
+
     # ------------------------------------------------------------------
     # Worker internals
     # ------------------------------------------------------------------
@@ -242,10 +350,14 @@ class JobScheduler:
             _prio, _seq, job_id = self._queue.get()
             if job_id is None:  # shutdown sentinel
                 break
-            if self._stop.is_set():
-                self._fail(self._records[job_id], "scheduler shut down")
+            with self._lock:
+                self._queued -= 1
+                record = self._records.get(job_id)
+            if record is None:  # defensive: queued ids are not evicted
                 continue
-            record = self._records[job_id]
+            if self._stop.is_set():
+                self._fail(record, "scheduler shut down")
+                continue
             try:
                 self._run_job(record)
             except SynthesisInterrupted as exc:
@@ -263,14 +375,22 @@ class JobScheduler:
         with self._lock:
             record.state = JobState.RUNNING
             record.started_at = _time.time()
+            self._running += 1
+        try:
+            self._run_job_inner(record)
+        finally:
+            with self._lock:
+                self._running -= 1
 
-        # contains() keeps this re-check (the same logical lookup
-        # submit() already counted) out of the hit/miss stats.
-        if self.store.contains(record.key):
-            payload = self.store.get(record.key)
-            if payload is not None:
-                self._finish_from_store(record, payload, source="store")
-                return
+    def _run_job_inner(self, record: JobRecord) -> None:
+        import time as _time
+
+        # peek(): this re-check is the same logical lookup submit()
+        # already counted, so it stays out of the hit/miss stats.
+        payload = self.store.peek(record.key)
+        if payload is not None:
+            self._finish_from_store(record, payload, source="store")
+            return
 
         while not self.store.claim(
             record.key, owner=self.name,
@@ -286,6 +406,15 @@ class JobScheduler:
             if payload is not None:
                 self._finish_from_store(record, payload, source="peer")
                 return
+
+        # Claim acquired — but a peer that finished inside the
+        # claim-break window may have already published this key.
+        # Without this re-check the job is recomputed for nothing.
+        payload = self.store.peek(record.key)
+        if payload is not None:
+            self.store.release(record.key)
+            self._finish_from_store(record, payload, source="peer")
+            return
 
         heartbeat_stop = threading.Event()
         heartbeat = threading.Thread(
@@ -329,6 +458,11 @@ class JobScheduler:
             record.source = "computed"
             record.metrics = dict(payload["solution"]["metrics"])
             record.report = dict(payload["report"])
+            wall = record.wall_seconds or 0.0
+            self._job_seconds_ema = (
+                wall if self._job_seconds_ema == 0.0
+                else 0.8 * self._job_seconds_ema + 0.2 * wall
+            )
             self._inflight.pop(record.key, None)
             self._trim_history_locked()
             self._done.notify_all()
@@ -375,7 +509,8 @@ class JobScheduler:
 
     def _trim_history_locked(self) -> None:
         """Evict the oldest *terminal* records past ``max_history``
-        (dict order is insertion order = submission order)."""
+        (dict order is insertion order = submission order). Evicted
+        ids go to a bounded ledger so lookups can say 410, not 404."""
         if len(self._records) <= self.max_history:
             return
         for job_id in list(self._records):
@@ -383,3 +518,6 @@ class JobScheduler:
                 break
             if self._records[job_id].done:
                 del self._records[job_id]
+                self._evicted[job_id] = None
+        while len(self._evicted) > _EVICTED_IDS_KEPT:
+            self._evicted.popitem(last=False)
