@@ -22,6 +22,12 @@ task-grid walk (plus the O(1) tiling summary it rides on) against a
 faithful reconstruction of the PR 5 per-task walk, asserting identical
 solutions and publishing the cold-synthesis speedup into the bench
 JSON.
+
+``test_batched_backend_speedup`` scores the same population through
+every *available* array backend (numpy / python / numba / cupy /
+torch) and publishes per-backend EA-scoring throughput (genes/sec)
+into the bench JSON, so CI artifacts track each engine — including
+freshly installed JIT/GPU stacks — over time.
 """
 
 from __future__ import annotations
@@ -198,6 +204,104 @@ def test_batched_vs_scalar_eval_speedup(benchmark):
     ))
     # Generous floor so a loaded CI box cannot flake; typically >= 20x.
     assert population_speedup >= 2.0
+
+
+def test_batched_backend_speedup(benchmark):
+    """Per-backend EA-scoring throughput on one VGG13 population.
+
+    Every backend the box can run (numpy always; python as the oracle
+    floor; numba / cupy / torch when installed) scores the same
+    256-gene population through ``BatchPerformanceEvaluator``; each
+    engine's wall time and genes/sec land in ``extra_info`` keyed by
+    backend name, plus the engine list actually exercised — so the CI
+    bench artifact records exactly which accelerators were measured.
+    Exact backends must agree with numpy bit-for-bit while they're at
+    it (the cheap end-to-end cross-check; the conformance suite is the
+    real gate)."""
+    import numpy as np
+
+    from repro.core.backend import backend_status, get_backend
+    from repro.core.batch_eval import BatchPerformanceEvaluator
+
+    model = zoo.vgg13()
+    config = SynthesisConfig(total_power=120.0)
+    n = model.num_weighted_layers
+    spec = make_spec(
+        model, [2] * n, xb_size=128, res_rram=2, res_dac=1,
+        params=config.params,
+        max_blocks_per_layer=config.max_blocks_per_layer,
+    )
+    budget = PowerBudget(
+        total_power=120.0, ratio_rram=0.3, xb_size=128, res_rram=2,
+        num_crossbars=4096,
+    )
+    explorer = MacroPartitionExplorer(
+        spec=spec, budget=budget, res_dac=1, config=config,
+        rng=random.Random(5),
+    )
+    rng = random.Random(1)
+    genes = explorer.initial_population(16)
+    while len(genes) < 256:
+        parent = rng.choice(genes)
+        operator = rng.choice(
+            [explorer.mutate_num, explorer.mutate_share]
+        )
+        genes.append(operator(parent, rng))
+
+    available = [name for name, ok, _ in backend_status() if ok]
+    evaluators = {
+        name: BatchPerformanceEvaluator(
+            spec, budget, 1, backend=name,
+        )
+        for name in available
+    }
+    # Warm every engine once (JIT compilation, device init) so the
+    # measured pass is steady-state throughput.
+    baseline = {
+        name: ev.evaluate_population(genes)
+        for name, ev in evaluators.items()
+    }
+
+    def measure(name):
+        started = time.perf_counter()
+        evaluators[name].evaluate_population(genes)
+        return time.perf_counter() - started
+
+    # The default backend under pytest-benchmark's real loop; the rest
+    # on a single steady-state pass each.
+    benchmark(evaluators["numpy"].evaluate_population, genes)
+    seconds = {"numpy": benchmark.stats.stats.min}
+    for name in available:
+        if name != "numpy":
+            seconds[name] = min(measure(name) for _ in range(3))
+
+    rows = []
+    benchmark.extra_info["population_size"] = len(genes)
+    benchmark.extra_info["backends_measured"] = sorted(seconds)
+    for name, spent in sorted(seconds.items(), key=lambda kv: kv[1]):
+        genes_per_sec = len(genes) / spent
+        benchmark.extra_info[f"{name}_seconds"] = round(spent, 6)
+        benchmark.extra_info[f"{name}_genes_per_sec"] = round(
+            genes_per_sec, 1
+        )
+        rows.append((
+            name, round(spent, 5), f"{genes_per_sec:,.0f}",
+            "exact" if get_backend(name).exact else "1e-9 rel",
+        ))
+    print()
+    print(format_table(
+        ["backend", "seconds", "genes/sec", "contract"],
+        rows,
+        title="per-backend population scoring (VGG13, 256 genes)",
+    ))
+
+    for name in available:
+        if get_backend(name).exact and name != "numpy":
+            assert np.array_equal(
+                np.asarray(baseline[name].fitness),
+                np.asarray(baseline["numpy"].fitness),
+            ), name
+    assert "numpy" in seconds and seconds["numpy"] > 0
 
 
 def test_grid_walk_vs_per_task_speedup(benchmark):

@@ -541,9 +541,93 @@ def cmd_backends(args) -> int:
         rows, title="registered array backends (execution-only)",
     ))
     if getattr(args, "check", None):
-        get_backend(args.check)  # raises ConfigurationError if not usable
+        backend = get_backend(args.check)  # raises if not usable
         print(f"backend {args.check!r} is available")
+        _backend_probe(backend)
     return 0
+
+
+def _backend_probe(backend) -> None:
+    """Score a real population on ``backend`` and hold it to its
+    declared contract against the pure-python oracle: ``==`` for exact
+    engines, the documented relative tolerance for GPU ones. Raises
+    PimsynError on divergence — `repro backends --check NAME` is the
+    one-command way to validate a box's accelerator stack."""
+    import random as _random
+
+    from repro.core.backend import get_backend, numpy_available
+    from repro.core.batch_eval import BatchPerformanceEvaluator
+    from repro.core.dataflow import make_spec
+    from repro.core.macro_partition import MacroPartitionExplorer
+    from repro.hardware.power import PowerBudget
+    from repro.nn import lenet5
+
+    if not numpy_available():
+        print("conformance probe skipped: numpy unavailable")
+        return
+    import numpy as np
+
+    model = lenet5()
+    config = SynthesisConfig.fast(total_power=2.0)
+    n = model.num_weighted_layers
+    spec = make_spec(
+        model, [1] * n, xb_size=128, res_rram=2, res_dac=1,
+        params=config.params,
+        max_blocks_per_layer=config.max_blocks_per_layer,
+    )
+    budget = PowerBudget(
+        total_power=2.0, ratio_rram=0.3, xb_size=128, res_rram=2,
+        num_crossbars=4096,
+    )
+    explorer = MacroPartitionExplorer(
+        spec=spec, budget=budget, res_dac=1, config=config,
+        rng=_random.Random(3),
+    )
+    genes = explorer.initial_population(16)
+    candidate = BatchPerformanceEvaluator(
+        spec, budget, 1, backend=backend,
+    ).evaluate_population(genes)
+    oracle = BatchPerformanceEvaluator(
+        spec, budget, 1, backend="python",
+    ).evaluate_population(genes)
+    exact_fields = ("feasible", "bottleneck_layer", "num_macros")
+    float_fields = (
+        "fitness", "period", "latency", "throughput", "tops",
+        "power", "tops_per_watt", "energy_per_image", "edp",
+    )
+    for field in exact_fields:
+        if not np.array_equal(
+            np.asarray(getattr(candidate, field)),
+            np.asarray(getattr(oracle, field)),
+        ):
+            raise PimsynError(
+                f"backend {backend.name!r} failed the batch-eval "
+                f"conformance probe: {field} diverges from the "
+                f"python oracle"
+            )
+    for field in float_fields:
+        got = np.asarray(getattr(candidate, field), dtype=np.float64)
+        want = np.asarray(getattr(oracle, field), dtype=np.float64)
+        if backend.exact:
+            ok = bool(np.array_equal(got, want))
+        else:
+            denom = np.maximum(np.abs(want), 1.0)
+            ok = bool(np.all(
+                np.abs(got - want) <= backend.float_tolerance * denom
+            ))
+        if not ok:
+            raise PimsynError(
+                f"backend {backend.name!r} failed the batch-eval "
+                f"conformance probe: {field} outside the "
+                f"{'exact' if backend.exact else 'tolerance'} contract"
+            )
+    contract = "bit-identical" if backend.exact else (
+        f"within {backend.float_tolerance:g} relative"
+    )
+    print(
+        f"conformance probe passed: {len(genes)}-gene population "
+        f"scored {contract} vs the python oracle"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -1,4 +1,4 @@
-"""Numpy-batched population evaluator for the DSE hot path.
+"""Backend-batched population evaluator for the DSE hot path.
 
 The EA of :mod:`repro.optim.evolution` and the DSE executor score one
 gene at a time through :meth:`repro.core.macro_partition.
@@ -11,10 +11,14 @@ elementwise array formulas.
 :class:`BatchPerformanceEvaluator` evaluates a whole population of
 macro-partition genes in one pass: geometries, workloads and every
 other gene-independent quantity are precomputed once per (spec, budget,
-ResDAC) context, and the per-gene work — group sizing, fixed overhead,
-the Eq. 6 balanced delay, the ADC-sharing post-pass, stage times, the
-fine-grained pipeline latency and the power account — becomes a few
-vector operations over ``(population, layers)`` arrays.
+ResDAC) context into a :class:`repro.core.backend.PopulationContext`,
+and the per-gene work — group sizing, fixed overhead, the Eq. 6
+balanced delay, the ADC-sharing post-pass, stage times, the
+fine-grained pipeline latency and the power account — runs as one fused
+:meth:`repro.core.backend.ArrayBackend.score_population` kernel on the
+configured array backend (``SynthesisConfig.backend``): vectorized
+numpy by default, pure-Python loops as the oracle, the same loops
+numba-JIT'd, or a GPU engine (cupy / torch) when available.
 
 Exactness contract
 ------------------
@@ -23,10 +27,16 @@ approximation: every formula is evaluated with the *same operation
 order* as the scalar code (`allocate_components` /
 ``PerformanceEvaluator.evaluate``), and IEEE-754 float64 arithmetic is
 deterministic, so batched metrics are bit-identical to the scalar ones
-wherever the scalar path is defined. Cross-layer reductions that the
-scalar code performs as ordered Python sums are likewise accumulated in
-layer order here. ``tests/test_batch_eval_differential.py`` pins this
-contract across the entire model zoo, and full synthesis selects the
+wherever the scalar path is defined — on every *exact* backend
+(numpy / python / numba). Cross-layer reductions that the scalar code
+performs as ordered Python sums are likewise accumulated in layer
+order. GPU backends are held to the documented 1e-9 relative tolerance
+on float kernels (integer outputs stay exact), and full synthesis still
+reports bit-identical solutions because the explorer re-scores the
+winning gene through the scalar oracle.
+``tests/test_batch_eval_differential.py`` pins the scalar contract
+across the entire model zoo, ``tests/test_batch_eval_backend_
+differential.py`` pins it per backend, and full synthesis selects the
 identical solution with ``SynthesisConfig.batch_eval`` on or off.
 
 Genes that the scalar path rejects with :class:`InfeasibleError`
@@ -39,14 +49,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 # The numpy gate is shared with every tensorized path (grid_eval, the
 # array backends) through repro.core.backend — one switch to stub or
 # monkeypatch, not three. Call sites bind `np = numpy_module()` live
 # (never a module-level snapshot) so patching the gate reaches every
-# method uniformly.
-from repro.core.backend import numpy_module
+# method uniformly. This module never imports numpy directly (an AST
+# guard in tests/test_backend_conformance.py enforces that).
+from repro.core.backend import (
+    DEFAULT_BACKEND,
+    PopulationContext,
+    get_backend,
+    numpy_module,
+)
 
 from repro.core.component_alloc import (
     fixed_overhead_power,
@@ -113,6 +129,11 @@ class BatchPerformanceEvaluator:
     identical_macros:
         Use the §V-C2 identical-macro allocation (the scalar
         ``identical_macros=not config.specialized_macros``).
+    backend:
+        Array-execution engine name (or instance) from
+        :mod:`repro.core.backend` — governs *how* populations are
+        scored, never what they score (execution-only, like
+        ``SynthesisConfig.backend`` it is threaded from).
     """
 
     def __init__(
@@ -123,6 +144,7 @@ class BatchPerformanceEvaluator:
         enable_macro_sharing: bool = True,
         identical_macros: bool = False,
         overlap_window: int = 4,
+        backend: "object" = DEFAULT_BACKEND,
     ) -> None:
         if numpy_module() is None:  # pragma: no cover - defensive gate
             raise ConfigurationError(
@@ -136,11 +158,19 @@ class BatchPerformanceEvaluator:
         self.enable_macro_sharing = enable_macro_sharing
         self.identical_macros = identical_macros
         self.overlap_window = overlap_window
+        self.backend = get_backend(backend)
         self._precompute()
 
     # ------------------------------------------------------------------
     # Gene-independent context (computed once per evaluator)
     # ------------------------------------------------------------------
+    @property
+    def context(self) -> PopulationContext:
+        """The gene-independent scoring context handed to the backend
+        (one per evaluator; the conformance tier scores it through
+        every registered backend)."""
+        return self._ctx
+
     def _precompute(self) -> None:
         np = numpy_module()
         spec = self.spec
@@ -154,37 +184,37 @@ class BatchPerformanceEvaluator:
         # so a model change propagates here automatically.
         oracle = PerformanceEvaluator(spec, budget)
         act_bytes = oracle._bytes_per_activation()
-        self._mvm = np.array(
+        mvm = np.array(
             [oracle._mvm_time(geo) for geo in geos], dtype=np.float64
         )
         # load/store numerators exactly as _memory_times composes them:
         # ((total_blocks * inputs_per_block) * act_bytes) / bandwidth.
-        self._load_num = np.array(
+        load_num = np.array(
             [geo.total_blocks * geo.inputs_per_block * act_bytes
              for geo in geos],
             dtype=np.float64,
         )
-        self._store_num = np.array(
+        store_num = np.array(
             [geo.total_blocks * geo.outputs_per_block * act_bytes
              for geo in geos],
             dtype=np.float64,
         )
-        self._total_blocks = np.array(
+        total_blocks = np.array(
             [geo.total_blocks for geo in geos], dtype=np.int64
         )
-        self._row_tiles = np.array(
+        row_tiles = np.array(
             [geo.row_tiles for geo in geos], dtype=np.int64
         )
-        self._merge_rounds = np.array(
+        merge_rounds = np.array(
             [math.ceil(math.log2(geo.row_tiles)) if geo.row_tiles > 1
              else 0 for geo in geos],
             dtype=np.int64,
         )
-        self._per_round_num = np.array(
+        per_round_num = np.array(
             [geo.outputs_per_block * act_bytes for geo in geos],
             dtype=np.float64,
         )
-        self._out_bytes = np.array(
+        out_bytes = np.array(
             [geo.out_positions * geo.cols * act_bytes for geo in geos],
             dtype=np.float64,
         )
@@ -192,11 +222,9 @@ class BatchPerformanceEvaluator:
         # Eq. 5 workloads and the Eq. 6 denominator (all gene-free).
         bits = spec.bits
         adc_wl, alu_wl = layer_workloads(geos, spec.model, bits)
-        self._adc_wl = np.array(adc_wl, dtype=np.float64)
-        self._alu_wl = np.array(alu_wl, dtype=np.float64)
         xb_size = budget.xb_size
         adc_lo, adc_hi = params.adc_resolution_range
-        self._adc_resolutions = [
+        adc_resolutions = [
             required_adc_resolution(
                 min(xb_size, geo.rows), budget.res_rram, self.res_dac,
                 min_resolution=adc_lo, max_resolution=adc_hi,
@@ -204,17 +232,15 @@ class BatchPerformanceEvaluator:
             for geo in geos
         ]
         adc_powers = [
-            params.adc_power_of(r) for r in self._adc_resolutions
+            params.adc_power_of(r) for r in adc_resolutions
         ]
-        self._adc_powers = np.array(adc_powers, dtype=np.float64)
-        self._adc_rate = params.adc_sample_rate
-        self._alu_rate = params.alu_frequency
-        self._alu_power = params.alu_power
+        adc_rate = params.adc_sample_rate
+        alu_rate = params.alu_frequency
         # Ordered Python sums, identical to allocate_components.
-        self._denom = sum(
-            p * wl / self._adc_rate for p, wl in zip(adc_powers, adc_wl)
+        denom = sum(
+            p * wl / adc_rate for p, wl in zip(adc_powers, adc_wl)
         ) + sum(
-            params.alu_power * wl / self._alu_rate for wl in alu_wl
+            params.alu_power * wl / alu_rate for wl in alu_wl
         )
 
         # Fixed-overhead constants, composed exactly as
@@ -222,7 +248,7 @@ class BatchPerformanceEvaluator:
         # + total_crossbars * per_crossbar. The differential suite pins
         # this against the real function, so a power-model change there
         # cannot silently diverge from the batched copy.
-        self._per_macro_fixed = (
+        per_macro_fixed = (
             params.edram_power + params.noc_power
             + params.register_power_per_macro
         )
@@ -230,50 +256,96 @@ class BatchPerformanceEvaluator:
             params.dac_power_of(self.res_dac) + params.sample_hold_power
         )
         total_crossbars = sum(geo.crossbars for geo in geos)
-        self._crossbar_fixed = total_crossbars * per_crossbar
+        crossbar_fixed = total_crossbars * per_crossbar
         assert fixed_overhead_power(
             geos, [[0]] * n, params, xb_size, self.res_dac
-        ) == 1 * self._per_macro_fixed + self._crossbar_fixed
-        self._peripheral_power = budget.peripheral_power
+        ) == 1 * per_macro_fixed + crossbar_fixed
 
         # Identical-macro constants (§V-C2).
-        self._max_resolution = max(self._adc_resolutions)
-        self._adc_power_unit = params.adc_power_of(self._max_resolution)
+        max_resolution = max(adc_resolutions)
+        adc_power_unit = params.adc_power_of(max_resolution)
 
-        # Communication / pipeline structure.
-        self._edram_bandwidth = params.edram_bandwidth
-        self._noc_port_bandwidth = params.noc_port_bandwidth
-        self._noc_hop_latency = params.noc_hop_latency
-        self._consumer_lists: Dict[int, List[int]] = {}
-        producer_of: Dict[int, List[int]] = {}
+        # Communication / pipeline structure, flattened to the CSR
+        # walks the backend kernels consume. Producer-major order for
+        # transfers (the §IV-B accumulation order), consumer-major for
+        # the latency forward pass — both preserve the exact iteration
+        # order of spec.model.interlayer_edges().
+        consumer_lists = {}
+        producer_of = {}
         for producer, consumer in spec.model.interlayer_edges():
-            self._consumer_lists.setdefault(producer, []).append(consumer)
+            consumer_lists.setdefault(producer, []).append(consumer)
             producer_of.setdefault(consumer, []).append(producer)
-        self._producer_of = producer_of
         builder = DataflowBuilder(spec)
-        self._fraction: Dict[Tuple[int, int], float] = {}
+        fraction = {}
         for consumer, producers in producer_of.items():
             for producer in producers:
                 first_needed = builder.producer_block_for(
                     geos[producer], geos[consumer], 0
                 )
-                self._fraction[(producer, consumer)] = (
+                fraction[(producer, consumer)] = (
                     (first_needed + 1) / geos[producer].total_blocks
                 )
+        comm_offsets = np.zeros(n + 1, dtype=np.int64)
+        comm_consumer: List[int] = []
+        for producer in range(n):
+            comm_consumer.extend(consumer_lists.get(producer, []))
+            comm_offsets[producer + 1] = len(comm_consumer)
+        lat_offsets = np.zeros(n + 1, dtype=np.int64)
+        lat_producer: List[int] = []
+        lat_fraction: List[float] = []
+        for idx in range(n):
+            for producer in producer_of.get(idx, []):
+                lat_producer.append(producer)
+                lat_fraction.append(fraction[(producer, idx)])
+            lat_offsets[idx + 1] = len(lat_producer)
 
         # Power account scalars.
         used_crossbars = sum(g.crossbars for g in geos)
-        self._rram_power = used_crossbars * params.crossbar_power_of(
-            xb_size
+        rram_power = used_crossbars * params.crossbar_power_of(xb_size)
+        macs2 = 2.0 * model_macs(spec.model)
+
+        self._ctx = PopulationContext(
+            mvm=mvm,
+            load_num=load_num,
+            store_num=store_num,
+            total_blocks=total_blocks,
+            row_tiles=row_tiles,
+            merge_rounds=merge_rounds,
+            per_round_num=per_round_num,
+            out_bytes=out_bytes,
+            adc_wl=np.array(adc_wl, dtype=np.float64),
+            alu_wl=np.array(alu_wl, dtype=np.float64),
+            adc_powers=np.array(adc_powers, dtype=np.float64),
+            comm_offsets=comm_offsets,
+            comm_consumer=np.asarray(comm_consumer, dtype=np.int64),
+            lat_offsets=lat_offsets,
+            lat_producer=np.asarray(lat_producer, dtype=np.int64),
+            lat_fraction=np.asarray(lat_fraction, dtype=np.float64),
+            denom=denom,
+            per_macro_fixed=per_macro_fixed,
+            crossbar_fixed=crossbar_fixed,
+            peripheral_power=budget.peripheral_power,
+            adc_rate=adc_rate,
+            alu_rate=alu_rate,
+            alu_power=params.alu_power,
+            adc_power_unit=adc_power_unit,
+            edram_bandwidth=params.edram_bandwidth,
+            noc_port_bandwidth=params.noc_port_bandwidth,
+            noc_hop_latency=params.noc_hop_latency,
+            rram_power=rram_power,
+            macs2=macs2,
+            overlap_window=self.overlap_window,
+            enable_macro_sharing=self.enable_macro_sharing,
+            identical_macros=self.identical_macros,
         )
-        self._macs2 = 2.0 * model_macs(spec.model)
 
     # ------------------------------------------------------------------
-    # Gene decoding and macro-group assignment
+    # Gene validation (host-side; the kernels assume well-formed genes)
     # ------------------------------------------------------------------
-    def _decode(self, genes_arr):
-        """(owners, counts) plus derived group arrays; validates like
-        ``decode_gene`` / ``MacroPartition.from_gene``."""
+    def _validate_population(self, genes_arr) -> None:
+        """Validates like ``decode_gene`` / ``MacroPartition.
+        from_gene``; raises :class:`ConfigurationError` so malformed
+        genes fail identically on every backend."""
         np = numpy_module()
         owners, counts = np.divmod(genes_arr, _ENCODING_BASE)
         layer_idx = np.arange(self.num_layers, dtype=np.int64)
@@ -287,289 +359,6 @@ class BatchPerformanceEvaluator:
             raise ConfigurationError(
                 "batch decode: layer shares with a non-owner"
             )
-        is_owner = owners == layer_idx[None, :]
-        sizes = np.where(is_owner, counts, 0)
-        # Owner groups are contiguous id ranges in layer order, exactly
-        # as MacroPartition.from_gene assigns them.
-        group_starts_by_owner = np.cumsum(sizes, axis=1) - sizes
-        total_macros = sizes.sum(axis=1)
-        group_start = np.take_along_axis(
-            group_starts_by_owner, owners, axis=1
-        )
-        group_len = np.take_along_axis(counts, owners, axis=1)
-        return owners, is_owner, total_macros, group_start, group_len
-
-    @staticmethod
-    def _hops(a, b, cols):
-        """Vectorized MeshNoC.hops: Manhattan distance on the row-major
-        near-square mesh (per-gene column count)."""
-        np = numpy_module()
-        return np.abs(a // cols - b // cols) + np.abs(
-            a % cols - b % cols
-        )
-
-    # ------------------------------------------------------------------
-    # Eq. 5/6 component allocation, vectorized
-    # ------------------------------------------------------------------
-    def _allocate(self, owners, is_owner, total_macros, group_len):
-        """Per-gene allocation arrays: (feasible, fixed, adc_alu_power,
-        adc_delay, alu_delay)."""
-        np = numpy_module()
-        pop, n = owners.shape
-        fixed = (
-            total_macros.astype(np.float64) * self._per_macro_fixed
-            + self._crossbar_fixed
-        )
-        available = self._peripheral_power - fixed
-        feasible = available > 0.0
-
-        if self.identical_macros:
-            return self._allocate_identical(
-                feasible, fixed, available, group_len, total_macros
-            )
-        if self._denom <= 0:
-            # Gene-independent: the scalar path raises for every gene.
-            feasible = np.zeros(pop, dtype=bool)
-
-        with np.errstate(all="ignore"):
-            balanced_delay = self._denom / available
-            adc_alloc = self._adc_wl[None, :] / (
-                self._adc_rate * balanced_delay
-            )[:, None]
-            alu_alloc = self._alu_wl[None, :] / (
-                self._alu_rate * balanced_delay
-            )[:, None]
-
-            # Sharing post-pass (rule b): per sharer layer i, in
-            # ascending i order — the exact pair order the scalar code
-            # receives from MacroPartition.from_gene.
-            savings = np.zeros(pop, dtype=np.float64)
-            partner = np.full((pop, n), -1, dtype=np.int64)
-            if self.enable_macro_sharing:
-                rows = np.arange(pop)
-                for i in range(n):
-                    sharer = ~is_owner[:, i]
-                    if not sharer.any():
-                        continue
-                    j = owners[:, i]
-                    a_i = adc_alloc[:, i]
-                    a_j = adc_alloc[rows, j]
-                    p_i = self._adc_powers[i]
-                    p_j = self._adc_powers[j]
-                    bank = np.maximum(a_j, a_i)
-                    unit = np.maximum(p_j, p_i)
-                    separate = p_j * a_j + p_i * a_i
-                    merged = unit * bank
-                    include = sharer & (merged < separate)
-                    savings = np.where(
-                        include, savings + (separate - merged), savings
-                    )
-                    partner[:, i] = np.where(include, j, partner[:, i])
-                    prev = partner[rows, j]
-                    partner[rows, j] = np.where(include, i, prev)
-
-            apply_scale = (savings > 0.0) & (savings < available)
-            scale = np.where(
-                apply_scale,
-                available / np.where(
-                    apply_scale, available - savings, 1.0
-                ),
-                1.0,
-            )
-
-            has_partner = partner >= 0
-            partner_idx = np.where(has_partner, partner, 0)
-            partner_alloc = np.take_along_axis(
-                adc_alloc, partner_idx, axis=1
-            )
-            bank = np.maximum(adc_alloc, partner_alloc) * scale[:, None]
-            layer_idx = np.arange(n, dtype=np.int64)
-            distance = np.abs(layer_idx[None, :] - partner_idx)
-            overlap = np.maximum(
-                0.0, 1.0 - distance / max(1, self.overlap_window)
-            )
-            effective_adc = np.where(
-                has_partner,
-                bank / (1.0 + overlap),
-                adc_alloc * scale[:, None],
-            )
-            effective_alu = alu_alloc * scale[:, None]
-            adc_delay = self._adc_wl[None, :] / (
-                self._adc_rate * effective_adc
-            )
-            alu_delay = self._alu_wl[None, :] / (
-                self._alu_rate * effective_alu
-            )
-
-            # Power drawn: shared banks counted once, at the pair's
-            # first (owner-side) index; ordered accumulation matches the
-            # scalar loop.
-            adc_power_used = np.zeros(pop, dtype=np.float64)
-            rows = np.arange(pop)
-            for l in range(n):
-                hp = has_partner[:, l]
-                pidx = partner_idx[:, l]
-                term_solo = (
-                    self._adc_powers[l] * adc_alloc[:, l]
-                ) * scale
-                bank_l = np.maximum(
-                    adc_alloc[:, l], adc_alloc[rows, pidx]
-                ) * scale
-                term_pair = np.maximum(
-                    self._adc_powers[l], self._adc_powers[pidx]
-                ) * bank_l
-                count_here = ~hp | (l < pidx)
-                term = np.where(hp, term_pair, term_solo)
-                adc_power_used = np.where(
-                    count_here, adc_power_used + term, adc_power_used
-                )
-            alu_power_used = np.zeros(pop, dtype=np.float64)
-            for l in range(n):
-                alu_power_used = alu_power_used + (
-                    self._alu_power * alu_alloc[:, l]
-                ) * scale
-            adc_alu_power = adc_power_used + alu_power_used
-        return feasible, fixed, adc_alu_power, adc_delay, alu_delay
-
-    def _allocate_identical(
-        self, feasible, fixed, available, group_len, total_macros
-    ):
-        """Vectorized ``_allocate_identical`` (§V-C2 baseline)."""
-        np = numpy_module()
-        with np.errstate(all="ignore"):
-            macro_count = group_len  # every group has >= 1 macro
-            adc_demand = np.max(
-                self._adc_wl[None, :] / macro_count, axis=1
-            )
-            alu_demand = np.max(
-                self._alu_wl[None, :] / macro_count, axis=1
-            )
-            adc_share_weight = (
-                self._adc_power_unit * adc_demand / self._adc_rate
-            )
-            alu_share_weight = (
-                self._alu_power * alu_demand / self._alu_rate
-            )
-            weight_sum = adc_share_weight + alu_share_weight
-            feasible = feasible & (weight_sum > 0.0)
-            adc_power_total = available * adc_share_weight / weight_sum
-            alu_power_total = available * alu_share_weight / weight_sum
-            per_macro_adc = adc_power_total / (
-                total_macros * self._adc_power_unit
-            )
-            per_macro_alu = alu_power_total / (
-                total_macros * self._alu_power
-            )
-            feasible = feasible & (per_macro_adc > 0.0) & (
-                per_macro_alu > 0.0
-            )
-            bank = per_macro_adc[:, None] * macro_count
-            lanes = per_macro_alu[:, None] * macro_count
-            adc_delay = self._adc_wl[None, :] / (self._adc_rate * bank)
-            alu_delay = self._alu_wl[None, :] / (self._alu_rate * lanes)
-            adc_alu_power = adc_power_total + alu_power_total
-        return feasible, fixed, adc_alu_power, adc_delay, alu_delay
-
-    # ------------------------------------------------------------------
-    # §IV-B timing model, vectorized
-    # ------------------------------------------------------------------
-    def _stage_times(
-        self, owners, total_macros, group_start, group_len,
-        adc_delay, alu_delay,
-    ):
-        """(P, L) per-layer pipelined stage maxima (LayerTiming.total)."""
-        np = numpy_module()
-        pop, n = owners.shape
-        with np.errstate(all="ignore"):
-            bandwidth = self._edram_bandwidth * group_len
-            load = self._load_num[None, :] / bandwidth
-            store = self._store_num[None, :] / bandwidth
-
-            comm = np.zeros((pop, n), dtype=np.float64)
-            cols = np.maximum(
-                1,
-                np.ceil(np.sqrt(np.maximum(1, total_macros))).astype(
-                    np.int64
-                ),
-            )
-            # Partial-sum merge for row-tiled layers spanning macros.
-            for l in range(n):
-                if self._row_tiles[l] <= 1:
-                    continue
-                multi = group_len[:, l] > 1
-                if not multi.any():
-                    continue
-                start = group_start[:, l]
-                neighbor = self._hops(start, start + 1, cols)
-                per_round_bytes = self._per_round_num[l] / group_len[:, l]
-                per_block = self._merge_rounds[l] * (
-                    per_round_bytes / self._noc_port_bandwidth
-                    + np.maximum(1, neighbor) * self._noc_hop_latency
-                )
-                merge_time = self._total_blocks[l] * per_block
-                comm[:, l] = np.where(
-                    multi, comm[:, l] + merge_time, comm[:, l]
-                )
-            # Activation transfers, per inter-layer edge in model order.
-            for producer in range(n):
-                for consumer in self._consumer_lists.get(producer, []):
-                    same = owners[:, producer] == owners[:, consumer]
-                    s0 = group_start[:, producer]
-                    s1 = s0 + group_len[:, producer] - 1
-                    d0 = group_start[:, consumer]
-                    d1 = d0 + group_len[:, consumer] - 1
-                    hops = np.minimum(
-                        np.minimum(
-                            self._hops(s0, d0, cols),
-                            self._hops(s1, d0, cols),
-                        ),
-                        np.minimum(
-                            self._hops(s0, d1, cols),
-                            self._hops(s1, d1, cols),
-                        ),
-                    )
-                    ports = np.minimum(
-                        group_len[:, producer], group_len[:, consumer]
-                    )
-                    serialization = self._out_bytes[producer] / (
-                        self._noc_port_bandwidth * ports
-                    )
-                    head = (
-                        self._total_blocks[producer] * hops
-                    ) * self._noc_hop_latency
-                    comm[:, producer] = np.where(
-                        same,
-                        comm[:, producer],
-                        comm[:, producer] + (serialization + head),
-                    )
-
-            stage_total = np.maximum(
-                self._mvm[None, :], adc_delay
-            )
-            stage_total = np.maximum(stage_total, alu_delay)
-            stage_total = np.maximum(stage_total, load)
-            stage_total = np.maximum(stage_total, store)
-            stage_total = np.maximum(stage_total, comm)
-        return stage_total
-
-    def _latency(self, stage_total):
-        """Fine-grained pipeline latency (vectorized forward pass)."""
-        np = numpy_module()
-        pop, n = stage_total.shape
-        starts = np.zeros((pop, n), dtype=np.float64)
-        ends = np.zeros((pop, n), dtype=np.float64)
-        for idx in range(n):
-            start = np.zeros(pop, dtype=np.float64)
-            for producer in self._producer_of.get(idx, []):
-                fraction = self._fraction[(producer, idx)]
-                start = np.maximum(
-                    start,
-                    starts[:, producer]
-                    + stage_total[:, producer] * fraction,
-                )
-            starts[:, idx] = start
-            ends[:, idx] = start + stage_total[:, idx]
-        return ends.max(axis=1) if n else np.zeros(pop)
 
     # ------------------------------------------------------------------
     # Public API
@@ -595,43 +384,21 @@ class BatchPerformanceEvaluator:
                 f"population shape {genes_arr.shape} does not match "
                 f"{self.num_layers} layers"
             )
-        owners, is_owner, total_macros, group_start, group_len = (
-            self._decode(genes_arr)
-        )
-        feasible, fixed, adc_alu_power, adc_delay, alu_delay = (
-            self._allocate(owners, is_owner, total_macros, group_len)
-        )
-        with np.errstate(all="ignore"):
-            stage_total = self._stage_times(
-                owners, total_macros, group_start, group_len,
-                adc_delay, alu_delay,
-            )
-            period = stage_total.max(axis=1)
-            bottleneck = np.argmax(stage_total, axis=1)
-            latency = self._latency(stage_total)
-            power = self._rram_power + (fixed + adc_alu_power)
-            throughput = 1.0 / period
-            tops = self._macs2 / period / 1e12
-            tops_per_watt = np.where(power > 0, tops / power, 0.0)
-            energy = power * latency
-            edp = energy * latency
-
-        def _mask(values):
-            return np.where(feasible, values, 0.0)
-
+        self._validate_population(genes_arr)
+        scores = self.backend.score_population(self._ctx, genes_arr)
         return BatchEvaluation(
-            feasible=feasible,
-            fitness=_mask(throughput),
-            period=_mask(period),
-            latency=_mask(latency),
-            throughput=_mask(throughput),
-            tops=_mask(tops),
-            power=_mask(power),
-            tops_per_watt=_mask(tops_per_watt),
-            energy_per_image=_mask(energy),
-            edp=_mask(edp),
-            bottleneck_layer=np.where(feasible, bottleneck, -1),
-            num_macros=np.where(feasible, total_macros, 0),
+            feasible=scores.feasible,
+            fitness=scores.fitness,
+            period=scores.period,
+            latency=scores.latency,
+            throughput=scores.throughput,
+            tops=scores.tops,
+            power=scores.power,
+            tops_per_watt=scores.tops_per_watt,
+            energy_per_image=scores.energy_per_image,
+            edp=scores.edp,
+            bottleneck_layer=scores.bottleneck_layer,
+            num_macros=scores.num_macros,
         )
 
     def fitness_of(self, genes: Sequence[Gene]) -> List[float]:

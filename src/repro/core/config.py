@@ -154,13 +154,18 @@ class SynthesisConfig:
         ``False`` (or a numpy-less interpreter) falls back to the
         per-task scalar walk.
     backend:
-        Name of the array-execution backend the tensorized paths run
-        on (see :mod:`repro.core.backend`): ``"numpy"`` (default),
-        ``"python"`` (loop reference), ``"numba"`` (JIT, when numba
-        is installed), or any registered third-party engine. Every
-        backend is bit-identical by contract, so the choice is
-        execution-only and excluded from content keys. Unknown or
-        unavailable names fail at construction.
+        Name of the array-execution backend every tensorized path
+        runs on — the outer task-grid walk *and* the batched EA/NSGA/
+        SA population scoring (see :mod:`repro.core.backend`):
+        ``"numpy"`` (default), ``"python"`` (loop reference),
+        ``"numba"`` (JIT), ``"cupy"`` / ``"torch"`` (GPU, when their
+        stacks import), or any registered third-party engine. Exact
+        backends are bit-identical by contract; GPU backends keep
+        integer outputs exact and float kernels within 1e-9 relative,
+        with winning genes re-scored on the scalar oracle — so the
+        choice is execution-only and excluded from content keys
+        either way. Unknown or unavailable names fail at
+        construction.
     seed:
         Master seed for all stochastic stages.
     """

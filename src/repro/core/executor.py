@@ -132,7 +132,11 @@ def params_fingerprint(params: HardwareParams) -> str:
 #: outer walk and every registered array backend are bit-identical to
 #: the per-task scalar walk by contract (pinned by the grid-eval
 #: differential and backend conformance suites), so neither can change
-#: a result — only how fast it is computed.
+#: a result — only how fast it is computed. PR 9 extends ``backend``'s
+#: reach to the batched population scoring (EA/NSGA/SA hot path)
+#: under the same contract: exact engines are ``==``-identical, GPU
+#: engines are tolerance-bounded with winners re-scored on the scalar
+#: oracle, so the stored result still cannot move.
 #: ``sa_proposal_batch`` is deliberately *not* here: rounds larger than
 #: one change the SA walk (see :class:`repro.optim.annealing.
 #: SimulatedAnnealer`), so it is result content.

@@ -285,7 +285,9 @@ class MacroPartitionExplorer:
 
     @property
     def batch_evaluator(self) -> BatchPerformanceEvaluator:
-        """The lazily built numpy engine for this (spec, budget, DAC)."""
+        """The lazily built batched engine for this (spec, budget, DAC),
+        running on ``config.backend`` (execution-only, like
+        ``config.batch_eval`` itself)."""
         if self._batch_evaluator is None:
             self._batch_evaluator = BatchPerformanceEvaluator(
                 self.spec,
@@ -293,6 +295,7 @@ class MacroPartitionExplorer:
                 self.res_dac,
                 enable_macro_sharing=self.config.enable_macro_sharing,
                 identical_macros=not self.config.specialized_macros,
+                backend=self.config.backend,
             )
         return self._batch_evaluator
 

@@ -126,18 +126,27 @@ class WeightDuplicationFilter:
         )
         return [float(e) for e in energies]
 
-    @staticmethod
-    def _batch_stdev(values):
-        """Population stdev over the layer axis, ordered like ``stdev``."""
+    def _batch_stdev(self, values):
+        """Population stdev over the layer axis, ordered like ``stdev``.
+
+        The two cross-layer reductions run through the configured
+        backend's ``ordered_sum`` primitive — left-to-right layer
+        order, so every engine reproduces :func:`repro.utils.
+        mathutils.stdev` bit-for-bit (the conformance suite pins the
+        primitive itself)."""
+        from repro.core.backend import get_backend
+
         np = numpy_module()
+        backend = get_backend(self.config.backend)
         count = values.shape[1]
-        acc = np.zeros(values.shape[0], dtype=np.float64)
-        for layer in range(count):
-            acc = acc + values[:, layer]
+        acc = np.asarray(
+            backend.ordered_sum(values), dtype=np.float64
+        )
         mu = acc / count
-        spread = np.zeros(values.shape[0], dtype=np.float64)
-        for layer in range(count):
-            spread = spread + (values[:, layer] - mu) ** 2
+        spread = np.asarray(
+            backend.ordered_sum((values - mu[:, None]) ** 2),
+            dtype=np.float64,
+        )
         return np.sqrt(spread / count)
 
     # ------------------------------------------------------------------

@@ -87,8 +87,10 @@ class SimulatedAnnealer(Generic[State]):
     batch_energy:
         Optional population-level energy: maps a state sequence to the
         values ``energy`` would return state by state (the WtDup filter
-        supplies a numpy-vectorized Eq. 4 here). Used to score each
-        round's neighbor proposals in one call.
+        supplies a vectorized Eq. 4 whose cross-layer reductions run
+        through the configured :mod:`repro.core.backend` engine's
+        ``ordered_sum``). Used to score each round's neighbor
+        proposals in one call.
     proposal_batch:
         Neighbor proposals drawn and scored per round. ``1`` (default)
         reproduces the classic chain exactly — one proposal, one

@@ -75,8 +75,10 @@ class EvolutionEngine(Generic[Gene]):
         Optional population-level fitness: maps a gene sequence to the
         same values ``fitness`` would return gene by gene. When set,
         whole generations (the initial population and each
-        generation's offspring) are scored in one call — the numpy
-        engine of :mod:`repro.core.batch_eval` plugs in here. The memo
+        generation's offspring) are scored in one call — the batched
+        engine of :mod:`repro.core.batch_eval` plugs in here, running
+        its fused kernel on whichever :mod:`repro.core.backend` engine
+        ``SynthesisConfig.backend`` names (numpy / numba / GPU). The memo
         is consulted first, so cached genes are never re-evaluated and
         hit/miss accounting matches the scalar path exactly. Because
         evaluation consumes no randomness, batched and scalar runs walk

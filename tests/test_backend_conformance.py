@@ -1,22 +1,34 @@
 """Per-backend conformance for the array-execution registry.
 
 Every registered :class:`~repro.core.backend.ArrayBackend` must return
-bit-identical values for the op-level primitives and the fused bound
-kernel — the ``python`` loop engine is the reference, since it executes
-the scalar oracle's operation order literally. The suite parametrizes
-over the registry, so a third-party backend registered before the run
-is held to the same contract, and a backend whose optional dependency
-is absent (``numba`` without numba installed) is *skipped with its own
-stated reason* rather than silently ignored.
+bit-identical values for the op-level primitives and the fused kernels
+(task-grid bounds *and* population scoring) — the ``python`` loop
+engine is the reference, since it executes the scalar oracle's
+operation order literally. The suite parametrizes over the registry, so
+a third-party backend registered before the run is held to the same
+contract, and a backend whose optional dependency is absent (``numba``
+without numba installed, ``cupy``/``torch`` without a GPU stack) is
+*skipped with its own stated reason* rather than silently ignored.
+
+Exact backends (``exact = True``: numpy / python / numba) are compared
+with ``==`` on every output. GPU backends (``exact = False``) are held
+to the documented tolerance contract: integer / geometry outputs
+(decode, hops, feasibility, bottleneck, macro counts) stay ``==``-
+exact, float kernel outputs may diverge by at most ``float_tolerance``
+relative error.
 
 The registry's validation behavior (tech.py's pattern) is pinned too:
 unknown names, rebinding built-ins, duplicate registration, and
 selecting an unavailable engine all raise ConfigurationError with
-actionable messages.
+actionable messages. An AST guard keeps ``batch_eval.py`` and
+``grid_eval.py`` free of direct numpy imports — all array access goes
+through ``core.backend``.
 """
 
 from __future__ import annotations
 
+import ast
+import pathlib
 import random
 
 import pytest
@@ -25,8 +37,10 @@ from repro.core.backend import (
     BUILTIN_BACKENDS,
     DEFAULT_BACKEND,
     ArrayBackend,
+    CupyBackend,
     NumbaBackend,
     PythonBackend,
+    TorchBackend,
     available_backends,
     backend_status,
     get_backend,
@@ -163,6 +177,238 @@ class TestKernelConformance:
         ]
         assert [float(v) for v in backend.compute_bounds(grid)] == \
             reference
+
+
+@pytest.fixture(scope="module")
+def lenet_population():
+    """A real PopulationContext + rule-valid gene population (lenet5)
+    plus the python-oracle scores, for fused-kernel conformance."""
+    import numpy as np
+
+    from repro.core.batch_eval import BatchPerformanceEvaluator
+    from repro.core.dataflow import make_spec
+    from repro.core.macro_partition import MacroPartitionExplorer
+    from repro.hardware.power import PowerBudget
+    from repro.nn import zoo
+
+    model = zoo.by_name("lenet5")
+    config = SynthesisConfig.fast(total_power=2.0)
+    n = model.num_weighted_layers
+    spec = make_spec(
+        model, [1] * n, xb_size=128, res_rram=2, res_dac=1,
+        params=config.params,
+        max_blocks_per_layer=config.max_blocks_per_layer,
+    )
+    budget = PowerBudget(
+        total_power=2.0, ratio_rram=0.3, xb_size=128, res_rram=2,
+        num_crossbars=4096,
+    )
+    explorer = MacroPartitionExplorer(
+        spec=spec, budget=budget, res_dac=1, config=config,
+        rng=random.Random(11),
+    )
+    genes = explorer.initial_population(8)
+    rng = random.Random(13)
+    while len(genes) < 32:
+        parent = rng.choice(genes)
+        operator = rng.choice(
+            [explorer.mutate_num, explorer.mutate_share]
+        )
+        genes.append(operator(parent, rng))
+    evaluator = BatchPerformanceEvaluator(
+        spec, budget, 1, backend="python"
+    )
+    genes_arr = np.asarray(genes, dtype=np.int64)
+    oracle = get_backend("python").score_population(
+        evaluator.context, genes_arr
+    )
+    return evaluator.context, genes_arr, oracle
+
+
+#: PopulationScores fields that stay ``==``-exact on every backend,
+#: GPU included (the integer/geometry half of the tolerance contract).
+EXACT_SCORE_FIELDS = ("feasible", "bottleneck_layer", "num_macros")
+#: Float kernel outputs — exact backends ``==``, GPU ≤ float_tolerance.
+FLOAT_SCORE_FIELDS = (
+    "fitness", "period", "latency", "throughput", "tops", "power",
+    "tops_per_watt", "energy_per_image", "edp",
+)
+
+
+class TestBatchEvalPrimitiveConformance:
+    """decode_population / mesh_hops: integer-exact on every backend
+    (``==`` even for GPU engines — the geometry half of the contract)."""
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_decode_population_matches_reference(
+        self, name, lenet_population
+    ):
+        import numpy as np
+
+        backend = _backend_or_skip(name)
+        _, genes_arr, _ = lenet_population
+        got = backend.decode_population(genes_arr)
+        want = _reference().decode_population(genes_arr)
+        assert len(got) == len(want) == 5
+        for g, w in zip(got, want):
+            assert np.array_equal(np.asarray(g), np.asarray(w))
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_mesh_hops_matches_reference(self, name):
+        import numpy as np
+
+        backend = _backend_or_skip(name)
+        rng = random.Random(5)
+        a = np.asarray(
+            [rng.randrange(0, 64) for _ in range(128)], dtype=np.int64
+        )
+        b = np.asarray(
+            [rng.randrange(0, 64) for _ in range(128)], dtype=np.int64
+        )
+        for cols in (1, 3, 8):
+            got = np.asarray(backend.mesh_hops(a, b, cols))
+            want = np.asarray(_reference().mesh_hops(a, b, cols))
+            assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_mesh_hops_is_manhattan(self, name):
+        """Pinned against the closed form, not just the reference."""
+        import numpy as np
+
+        backend = _backend_or_skip(name)
+        a = np.asarray([0, 5, 7, 7], dtype=np.int64)
+        b = np.asarray([7, 5, 0, 6], dtype=np.int64)
+        got = [int(v) for v in np.asarray(backend.mesh_hops(a, b, 3))]
+        assert got == [3, 0, 3, 1]
+
+
+class TestScorePopulationConformance:
+    """The fused batch-eval kernel, per backend, against the python
+    oracle: ``==`` for exact engines, ≤ float_tolerance for GPU."""
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_exact_fields_bit_identical(self, name, lenet_population):
+        import numpy as np
+
+        backend = _backend_or_skip(name)
+        ctx, genes_arr, oracle = lenet_population
+        scores = backend.score_population(ctx, genes_arr)
+        for field in EXACT_SCORE_FIELDS:
+            assert np.array_equal(
+                np.asarray(getattr(scores, field)),
+                np.asarray(getattr(oracle, field)),
+            ), field
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_float_fields_within_contract(self, name, lenet_population):
+        import numpy as np
+
+        backend = _backend_or_skip(name)
+        ctx, genes_arr, oracle = lenet_population
+        scores = backend.score_population(ctx, genes_arr)
+        for field in FLOAT_SCORE_FIELDS:
+            got = np.asarray(getattr(scores, field), dtype=np.float64)
+            want = np.asarray(getattr(oracle, field), dtype=np.float64)
+            if backend.exact:
+                assert np.array_equal(got, want), field
+            else:
+                tol = backend.float_tolerance
+                denom = np.maximum(np.abs(want), 1.0)
+                assert np.all(
+                    np.abs(got - want) <= tol * denom
+                ), field
+
+    @pytest.mark.parametrize("name", available_backends())
+    def test_population_has_feasible_and_infeasible_lanes(
+        self, name, lenet_population
+    ):
+        """The fixture exercises both kernel paths; infeasible lanes
+        must come back fully masked on every backend."""
+        import numpy as np
+
+        backend = _backend_or_skip(name)
+        ctx, genes_arr, _ = lenet_population
+        scores = backend.score_population(ctx, genes_arr)
+        feasible = np.asarray(scores.feasible)
+        assert feasible.any()
+        masked = ~feasible
+        if masked.any():
+            for field in FLOAT_SCORE_FIELDS:
+                vals = np.asarray(getattr(scores, field))
+                assert np.all(vals[masked] == 0.0), field
+            assert np.all(
+                np.asarray(scores.bottleneck_layer)[masked] == -1
+            )
+            assert np.all(np.asarray(scores.num_macros)[masked] == 0)
+
+
+class TestGpuRegistry:
+    """GPU backends registered like technologies: always listed,
+    selectable only when their stack imports, tolerance documented."""
+
+    @pytest.mark.parametrize("name", ("cupy", "torch"))
+    def test_gpu_backends_always_listed(self, name):
+        assert name in available_backends()
+        status = {n: ok for n, ok, _ in backend_status()}
+        cls = {"cupy": CupyBackend, "torch": TorchBackend}[name]
+        assert status[name] is cls.available()
+
+    @pytest.mark.parametrize("cls", (CupyBackend, TorchBackend))
+    def test_gpu_tolerance_contract_documented(self, cls):
+        assert cls.exact is False
+        assert cls.float_tolerance == 1e-9
+
+    @pytest.mark.parametrize("name", ("cupy", "torch"))
+    def test_unavailable_gpu_selection_raises(self, name):
+        cls = {"cupy": CupyBackend, "torch": TorchBackend}[name]
+        if cls.available():
+            pytest.skip(f"{name} stack present; selection succeeds")
+        reason = cls.unavailable_reason()
+        assert reason  # listed rows must explain themselves
+        with pytest.raises(ConfigurationError, match="unavailable"):
+            get_backend(name)
+
+    def test_exact_backends_declare_exactness(self):
+        for name in ("numpy", "python", "numba"):
+            status = {n: ok for n, ok, _ in backend_status()}
+            if not status[name]:
+                continue
+            backend = get_backend(name)
+            assert backend.exact is True
+            assert backend.float_tolerance == 0.0
+
+
+class TestNoDirectNumpyImport:
+    """AST guard: the tensorized hot paths must reach numpy only
+    through ``core.backend`` (``numpy_module()`` / the backend object),
+    so one gate controls stubbing, monkeypatching, and availability
+    (the bare-``HardwareParams()`` guard pattern from test_tech.py)."""
+
+    GUARDED = ("core/batch_eval.py", "core/grid_eval.py")
+
+    @pytest.mark.parametrize("relpath", GUARDED)
+    def test_no_direct_numpy_import(self, relpath):
+        src_root = (
+            pathlib.Path(__file__).resolve().parent.parent
+            / "src" / "repro"
+        )
+        path = src_root / relpath
+        tree = ast.parse(path.read_text(), filename=str(path))
+        offenders = []
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in ("numpy", "cupy", "torch", "numba"):
+                        offenders.append((node.lineno, alias.name))
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if root in ("numpy", "cupy", "torch", "numba"):
+                    offenders.append((node.lineno, node.module))
+        assert not offenders, (
+            f"{relpath} imports an array module directly "
+            f"(go through repro.core.backend): {offenders}"
+        )
 
 
 class TestRegistry:

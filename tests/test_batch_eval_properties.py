@@ -1,6 +1,6 @@
 """Hypothesis invariants of the batched population evaluator.
 
-Four algebraic properties the numpy engine must satisfy for *any*
+Algebraic properties the batched engines must satisfy for *any*
 rule-valid gene population (not just the ones the differential suite
 samples):
 
@@ -9,15 +9,25 @@ samples):
 - duplicated genes receive identical fitness;
 - genes already in the evaluation memo are never re-evaluated by the
   EA's batched path.
+
+The per-backend classes hold every *available* registered backend to
+the same properties through the new primitives (``decode_population``,
+``score_population``): permutation invariance, batch-of-one vs the
+scalar oracle (``==`` for exact backends, the documented tolerance for
+GPU engines), and memo hit/miss identity — the EA's cache interaction
+is byte-for-byte the same whichever backend scores the misses.
 """
 
 from __future__ import annotations
 
 import random
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import SynthesisConfig
+from repro.core.backend import backend_status, get_backend
+from repro.core.batch_eval import BatchPerformanceEvaluator
 from repro.core.dataflow import make_spec
 from repro.core.macro_partition import (
     MacroPartitionExplorer,
@@ -50,6 +60,36 @@ def _make_explorer(sharing=True):
 
 EXPLORER = _make_explorer()
 CAPS = list(EXPLORER.caps)
+
+#: Backends that can execute here; unavailable ones are covered by the
+#: conformance suite's skip/raise tests.
+AVAILABLE_BACKENDS = tuple(
+    name for name, ok, _ in backend_status() if ok
+)
+
+_EVALUATORS = {}
+
+
+def _backend_evaluator(name):
+    """One batched evaluator per backend over EXPLORER's context."""
+    if name not in _EVALUATORS:
+        _EVALUATORS[name] = BatchPerformanceEvaluator(
+            EXPLORER.spec, EXPLORER.budget, EXPLORER.res_dac,
+            enable_macro_sharing=EXPLORER.config.enable_macro_sharing,
+            identical_macros=not EXPLORER.config.specialized_macros,
+            backend=name,
+        )
+    return _EVALUATORS[name]
+
+
+def _fitness_matches(backend_name, got, want):
+    """``==`` for exact backends, relative tolerance for GPU ones."""
+    backend = get_backend(backend_name)
+    if backend.exact:
+        return got == want
+    return abs(got - want) <= backend.float_tolerance * max(
+        abs(want), 1.0
+    )
 
 
 @st.composite
@@ -158,6 +198,120 @@ class TestBatchInvariants:
         # Cached entries kept their sentinel values: no re-evaluation.
         for gene, sentinel in sentinels.items():
             assert cache[gene] == sentinel
+
+
+class TestBackendPrimitiveProperties:
+    """The new ArrayBackend primitives, per available backend."""
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    @given(genes=populations(), seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_decode_population_permutation_invariance(
+        self, backend, genes, seed
+    ):
+        """Decoding a permuted population permutes every per-gene row
+        of the decode — lanes are independent."""
+        import numpy as np
+
+        engine = get_backend(backend)
+        genes_arr = np.asarray(genes, dtype=np.int64)
+        order = list(range(len(genes)))
+        random.Random(seed).shuffle(order)
+        base = engine.decode_population(genes_arr)
+        permuted = engine.decode_population(genes_arr[order])
+        for b, p in zip(base, permuted):
+            assert np.array_equal(
+                np.asarray(b)[order], np.asarray(p)
+            )
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    @given(genes=populations(), seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_score_population_permutation_invariance(
+        self, backend, genes, seed
+    ):
+        import numpy as np
+
+        evaluator = _backend_evaluator(backend)
+        order = list(range(len(genes)))
+        random.Random(seed).shuffle(order)
+        base = evaluator.evaluate_population(genes)
+        permuted = evaluator.evaluate_population(
+            [genes[i] for i in order]
+        )
+        assert np.array_equal(
+            np.asarray(base.feasible)[order],
+            np.asarray(permuted.feasible),
+        )
+        assert np.array_equal(
+            np.asarray(base.fitness)[order],
+            np.asarray(permuted.fitness),
+        )
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    @given(gene=valid_genes())
+    @settings(max_examples=10, deadline=None)
+    def test_batch_of_one_equals_scalar_oracle(self, backend, gene):
+        """Single-gene batches reproduce the scalar ``score()`` on
+        every backend (tolerance contract for non-exact engines)."""
+        batch = _backend_evaluator(backend).evaluate_population([gene])
+        fitness, allocation, result = EXPLORER.score(gene)
+        assert bool(batch.feasible[0]) == (allocation is not None)
+        assert _fitness_matches(
+            backend, float(batch.fitness[0]), fitness
+        )
+        if result is not None:
+            assert _fitness_matches(
+                backend, float(batch.period[0]), result.period
+            )
+            assert _fitness_matches(
+                backend, float(batch.power[0]), result.power
+            )
+
+    @pytest.mark.parametrize("backend", AVAILABLE_BACKENDS)
+    @given(genes=populations())
+    @settings(max_examples=10, deadline=None)
+    def test_memo_interaction_identical_across_backends(
+        self, backend, genes
+    ):
+        """The EA's memo sees the same hits, misses, and (for exact
+        backends) the same stored values whichever engine scores the
+        misses — backend choice cannot perturb cache state."""
+        results = {}
+        for name in ("numpy", backend):
+            cached = genes[: len(genes) // 2]
+            cache = {}
+            for i, g in enumerate(cached):
+                cache.setdefault(g, float(i))
+            evaluator = _backend_evaluator(name)
+            evaluated = []
+
+            def batch_fitness(batch, _ev=evaluator, _log=evaluated):
+                _log.extend(batch)
+                return _ev.fitness_of(list(batch))
+
+            engine = EvolutionEngine(
+                fitness=lambda g: EXPLORER.score(g)[0],
+                mutations=[EXPLORER.mutate_num],
+                gene_key=lambda g: g,
+                rng=random.Random(0),
+                cache=cache,
+                batch_fitness=batch_fitness,
+            )
+            values = engine._evaluate_batch(list(genes))
+            results[name] = (tuple(evaluated), dict(cache), values)
+        base_eval, base_cache, base_values = results["numpy"]
+        got_eval, got_cache, got_values = results[backend]
+        assert got_eval == base_eval  # identical miss sets, in order
+        assert set(got_cache) == set(base_cache)
+        if get_backend(backend).exact:
+            assert got_cache == base_cache
+            assert got_values == base_values
+        else:
+            for g in base_cache:
+                assert _fitness_matches(
+                    backend, got_cache[g], base_cache[g]
+                )
 
 
 class TestEngineEquivalence:
