@@ -83,6 +83,8 @@ def _config(args, power: float) -> SynthesisConfig:
         extras["grid_eval"] = False
     if getattr(args, "backend", None):
         extras["backend"] = args.backend
+    if getattr(args, "engine", None):
+        extras["sim_engine"] = args.engine
     if getattr(args, "pareto", False):
         extras["pareto"] = True
     if getattr(args, "objectives", None):
@@ -218,6 +220,11 @@ def cmd_simulate(args) -> int:
             print("error: --fault-rate requires --cycle (the windowed "
                   "engine has no fault model)", file=sys.stderr)
             return 2
+        if args.engine:
+            print("error: --engine requires --cycle (the windowed "
+                  "engine has no event wheel to select)",
+                  file=sys.stderr)
+            return 2
         engine = solution.simulation_engine()
         trace = engine.run(solution.build_dag())
         from repro.sim.metrics import extrapolate
@@ -235,9 +242,14 @@ def cmd_simulate(args) -> int:
                   f"({len(trace)} scheduled IRs)")
         return 0
 
+    from repro.sim.cycle import resolve_engine_name
+
     simulator = solution.cycle_simulator(
-        fault_rate=args.fault_rate, fault_seed=args.fault_seed
+        fault_rate=args.fault_rate, fault_seed=args.fault_seed,
+        engine=config.sim_engine,
     )
+    print(f"cycle engine: {resolve_engine_name(config.sim_engine)}"
+          + (" (auto)" if config.sim_engine == "auto" else ""))
     result = simulator.run()
     print(result.report.summary())
     if args.trace_out:
@@ -252,7 +264,9 @@ def cmd_simulate(args) -> int:
             json.dump(result.report.to_payload(), handle, indent=2)
         print(f"cycle report written to {args.report_out}")
     if args.fault_rate == 0.0:
-        validation = solution.cross_validate(tol=args.tol)
+        validation = solution.cross_validate(
+            tol=args.tol, engine=config.sim_engine
+        )
         print()
         print(f"cross-validation vs analytical model "
               f"(tol {validation.tolerance:.3f}):")
@@ -733,6 +747,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "timelines, NoC link contention) and "
                                "cross-validate against the analytical "
                                "model")
+    from repro.sim.cycle import engine_status
+
+    engine_help = "; ".join(
+        f"{name}: {'available' if ok else 'UNAVAILABLE'}"
+        for name, ok, _ in engine_status()
+    )
+    simulate.add_argument("--engine", default=None,
+                          help="cycle event-wheel engine (requires "
+                               "--cycle; default auto = fastest "
+                               "available; all engines are ==-exact, "
+                               "the choice only moves wall time). "
+                               "Registered: " + engine_help)
     simulate.add_argument("--fault-rate", type=float, default=0.0,
                           help="per-attempt fault probability for "
                                "crossbar reads and NoC traffic "

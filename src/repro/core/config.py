@@ -166,6 +166,16 @@ class SynthesisConfig:
         choice is execution-only and excluded from content keys
         either way. Unknown or unavailable names fail at
         construction.
+    sim_engine:
+        Name of the cycle-simulator event-wheel engine every replay of
+        this config's solutions runs on (see
+        :mod:`repro.sim.cycle.engine`): ``"auto"`` (default — fastest
+        available), ``"python"`` (object oracle), ``"numpy"``
+        (structure-of-arrays flat wheel) or ``"numba"`` (its JIT, when
+        numba imports). All engines are ``==``-exact against the
+        oracle, so — like ``backend`` — the choice is execution-only
+        and excluded from content keys. Unknown or unavailable names
+        fail at construction.
     seed:
         Master seed for all stochastic stages.
     """
@@ -204,6 +214,7 @@ class SynthesisConfig:
     tech: str = DEFAULT_TECHNOLOGY
     grid_eval: bool = True
     backend: str = DEFAULT_BACKEND
+    sim_engine: str = "auto"
 
     @property
     def resolved_jobs(self) -> int:
@@ -292,6 +303,16 @@ class SynthesisConfig:
                 f"backend must be a registry name, got {self.backend!r}"
             )
         get_backend(self.backend)
+        if not isinstance(self.sim_engine, str):
+            raise ConfigurationError(
+                f"sim_engine must be a registry name, got "
+                f"{self.sim_engine!r}"
+            )
+        # Local import: repro.sim imports the hardware layer, which
+        # would cycle back through repro.core at module import time.
+        from repro.sim.cycle.engine import get_engine
+
+        get_engine(self.sim_engine)
         if (
             not isinstance(self.sa_proposal_batch, int)
             or isinstance(self.sa_proposal_batch, bool)

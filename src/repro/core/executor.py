@@ -142,7 +142,7 @@ def params_fingerprint(params: HardwareParams) -> str:
 #: SimulatedAnnealer`), so it is result content.
 EXECUTION_ONLY_FIELDS = frozenset(
     {"jobs", "prune_dominated", "share_eval_cache", "batch_eval",
-     "grid_eval", "backend"}
+     "grid_eval", "backend", "sim_engine"}
 )
 
 

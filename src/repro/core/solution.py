@@ -134,8 +134,10 @@ class SynthesisSolution:
         """The integer-cycle pipelined simulator for this design.
 
         Keyword arguments (``fault_rate``, ``fault_seed``,
-        ``cycle_time``, ``resolution``) forward to
-        :class:`repro.sim.cycle.CycleSimulator`.
+        ``cycle_time``, ``resolution``, ``engine``) forward to
+        :class:`repro.sim.cycle.CycleSimulator`. Simulators of the
+        same solution share one lowering cache, so fault sweeps and
+        engine comparisons lower once and replay many.
         """
         from repro.sim.cycle import CycleSimulator
 

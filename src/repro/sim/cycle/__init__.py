@@ -31,14 +31,42 @@ Outputs:
   analytical model cannot express.
 
 Everything is integer-cycle arithmetic after quantization, so a run is
-byte-deterministic for a fixed ``(solution, fault_rate, fault_seed)``.
+byte-deterministic for a fixed ``(solution, fault_rate, fault_seed)``
+— on *every* engine: the wheel runs on a registered
+:mod:`~repro.sim.cycle.engine` (object oracle, structure-of-arrays
+flat loop, or its numba JIT), all ``==``-exact by contract.
 """
 
 from repro.sim.cycle.clock import CycleClock
+from repro.sim.cycle.engine import (
+    BUILTIN_ENGINES,
+    DEFAULT_ENGINE,
+    CycleEngine,
+    PreparedProgram,
+    available_engines,
+    engine_status,
+    get_engine,
+    register_engine,
+    resolve_engine_name,
+    unregister_engine,
+)
+from repro.sim.cycle.kernel import (
+    LoweredProgram,
+    draw_attempts,
+    lower_arrays,
+    program_to_arrays,
+)
 from repro.sim.cycle.machine import CycleMachine, MachineResult
 from repro.sim.cycle.report import CycleSimReport
 from repro.sim.cycle.simulator import CycleSimResult, CycleSimulator
-from repro.sim.cycle.uops import MicroOp, MicroProgram, Stage, lower_dag
+from repro.sim.cycle.uops import (
+    MicroOp,
+    MicroProgram,
+    Stage,
+    clear_route_cache,
+    lower_dag,
+    route_cache_stats,
+)
 from repro.sim.cycle.validate import (
     DEFAULT_TOLERANCE,
     CrossValidationReport,
@@ -56,7 +84,23 @@ __all__ = [
     "MicroProgram",
     "Stage",
     "lower_dag",
+    "clear_route_cache",
+    "route_cache_stats",
     "DEFAULT_TOLERANCE",
     "CrossValidationReport",
     "cross_validate",
+    "BUILTIN_ENGINES",
+    "DEFAULT_ENGINE",
+    "CycleEngine",
+    "PreparedProgram",
+    "available_engines",
+    "engine_status",
+    "get_engine",
+    "register_engine",
+    "resolve_engine_name",
+    "unregister_engine",
+    "LoweredProgram",
+    "draw_attempts",
+    "lower_arrays",
+    "program_to_arrays",
 ]

@@ -62,7 +62,15 @@ def fault_draw(seed: int, uid: int, attempt: int) -> float:
 
 @dataclass
 class MachineResult:
-    """Raw outcome of one event-wheel run (cycles, not seconds)."""
+    """Raw outcome of one event-wheel run (cycles, not seconds).
+
+    Every engine in :mod:`repro.sim.cycle.engine` returns this exact
+    structure, ``==``-identical to the oracle's field for field —
+    including ``retire_order`` (commit order of uids, the observable
+    determinism contract) and the per-kind busy/slot aggregates the
+    utilization report divides (instantiated units only, in
+    first-touch order, mirroring the object pool's bookkeeping).
+    """
 
     start: List[int]
     finish: List[int]
@@ -72,6 +80,9 @@ class MachineResult:
     busy_by_layer_class: Dict[Tuple[int, str], int]
     faults_injected: int
     attempts: List[int] = field(default_factory=list)
+    retire_order: List[int] = field(default_factory=list)
+    busy_by_kind: Dict[str, int] = field(default_factory=dict)
+    slots_by_kind: Dict[str, int] = field(default_factory=dict)
 
 
 class CycleMachine:
@@ -124,6 +135,7 @@ class CycleMachine:
         executed = 0
         makespan = 0
         attempts_of = [1] * n
+        retire_order: List[int] = []
 
         while heap:
             estimate, uid = heapq.heappop(heap)
@@ -148,6 +160,7 @@ class CycleMachine:
             start[uid] = begin
             finish[uid] = end
             attempts_of[uid] = attempts
+            retire_order.append(uid)
             executed += 1
             makespan = max(makespan, end)
 
@@ -203,4 +216,7 @@ class CycleMachine:
             busy_by_layer_class=busy,
             faults_injected=faults,
             attempts=attempts_of,
+            retire_order=retire_order,
+            busy_by_kind=self.pool.busy_by_kind(),
+            slots_by_kind=self.pool.count_by_kind(),
         )

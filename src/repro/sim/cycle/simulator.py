@@ -5,8 +5,15 @@
 ``(spec, allocation, macro_groups)`` triple or replay a finished
 :class:`~repro.core.solution.SynthesisSolution`, and it builds the same
 windowed IR DAG, lowers it to stage-pipelined micro-ops, runs the
-integer event wheel, and assembles a
+integer event wheel on the configured engine, and assembles a
 :class:`~repro.sim.cycle.report.CycleSimReport`.
+
+The wheel itself runs on one of the registered engines
+(:mod:`repro.sim.cycle.engine`): the pure-Python object machine (the
+oracle), the structure-of-arrays flat loop, or its numba JIT — all
+``==``-exact, so engine choice only moves wall time. The DAG and both
+lowerings are cached on the simulator (:meth:`prepare`), so a
+fault-rate sweep lowers once and replays many (:meth:`replay`).
 
 Two extrapolations leave the window:
 
@@ -20,7 +27,7 @@ Two extrapolations leave the window:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.component_alloc import ComponentAllocation
@@ -36,9 +43,14 @@ from repro.sim.cycle.energy import (
     busy_idle_energy,
     component_power,
 )
-from repro.sim.cycle.machine import CycleMachine, MachineResult
+from repro.sim.cycle.engine import (
+    DEFAULT_ENGINE,
+    PreparedProgram,
+    get_engine,
+)
+from repro.sim.cycle.machine import MachineResult
 from repro.sim.cycle.report import CycleSimReport
-from repro.sim.cycle.uops import MicroProgram, lower_dag
+from repro.sim.cycle.uops import MicroProgram
 from repro.sim.latency import IRLatencyModel
 from repro.sim.metrics import extrapolate
 from repro.sim.trace import SimTrace
@@ -56,7 +68,13 @@ class CycleSimResult:
     report: CycleSimReport
     trace: SimTrace  # IR-level intervals in seconds (JSONL-able)
     machine: MachineResult
-    program: MicroProgram
+    prepared: PreparedProgram
+
+    @property
+    def program(self) -> MicroProgram:
+        """The object micro-program (materialized on demand — the
+        compiled engines run on the array lowering instead)."""
+        return self.prepared.program
 
 
 @dataclass
@@ -70,6 +88,7 @@ class CycleSimulator:
     fault_seed: int = 2024
     cycle_time: Optional[float] = None
     resolution: int = DEFAULT_RESOLUTION
+    engine: str = DEFAULT_ENGINE
 
     def __post_init__(self) -> None:
         total_macros = len(
@@ -84,18 +103,39 @@ class CycleSimulator:
             macro_groups=self.macro_groups,
             noc=self.noc,
         )
+        # Fail fast on unknown/unavailable engines, mirroring
+        # SynthesisConfig's backend validation.
+        get_engine(self.engine)
+        self._prepared: Optional[PreparedProgram] = None
+        self._prepared_host: Optional[Dict] = None
 
     @classmethod
     def for_solution(
         cls, solution, **kwargs
     ) -> "CycleSimulator":
-        """Replay a finished :class:`SynthesisSolution`."""
-        return cls(
+        """Replay a finished :class:`SynthesisSolution`.
+
+        Simulators of the same solution share one lowering cache
+        (attached to the solution object, keyed by ``(cycle_time,
+        resolution)``): the windowed DAG and its lowerings are pure
+        functions of the solution, so replaying it under different
+        engines, fault rates or seeds — the serve tier's and
+        ``cross_validate``'s pattern — builds them once.
+        """
+        simulator = cls(
             spec=solution.spec,
             allocation=solution.allocation,
             macro_groups=solution.partition.macro_groups,
             **kwargs,
         )
+        try:
+            host = solution.__dict__.setdefault(
+                "_cycle_prepared_cache", {}
+            )
+        except AttributeError:  # pragma: no cover - exotic solution
+            host = None
+        simulator._prepared_host = host
+        return simulator
 
     def build_dag(self) -> IRDag:
         """The same windowed DAG the float engine simulates."""
@@ -107,54 +147,83 @@ class CycleSimulator:
         }
         return DataflowBuilder(self.spec).build(macro_alloc=macro_alloc)
 
-    def lower(self, dag: Optional[IRDag] = None) -> MicroProgram:
-        if dag is None:
-            dag = self.build_dag()
+    def prepare(self, dag: Optional[IRDag] = None) -> PreparedProgram:
+        """The cached lowering context (build the DAG at most once).
+
+        Passing an explicit ``dag`` returns a fresh uncached context
+        for it; the default path builds and lowers the simulator's own
+        DAG once and reuses it across every subsequent run — the
+        lower-once / replay-many contract fault sweeps rely on.
+        """
         clock = (
             CycleClock(self.cycle_time)
             if self.cycle_time is not None
             else None
         )
-        return lower_dag(
-            dag,
-            self.latency_model,
-            clock=clock,
-            resolution=self.resolution,
-        )
+        if dag is not None:
+            return PreparedProgram(
+                dag, self.latency_model, clock, self.resolution
+            )
+        if self._prepared is None:
+            key = (self.cycle_time, self.resolution)
+            host = self._prepared_host
+            if host is not None and key in host:
+                self._prepared = host[key]
+            else:
+                self._prepared = PreparedProgram(
+                    self.build_dag(),
+                    self.latency_model,
+                    clock,
+                    self.resolution,
+                )
+                if host is not None:
+                    host[key] = self._prepared
+        return self._prepared
 
-    def run(self, dag: Optional[IRDag] = None) -> CycleSimResult:
-        """Lower, execute, extrapolate, and price one window."""
-        program = self.lower(dag)
-        machine = CycleMachine(
-            program,
-            fault_rate=self.fault_rate,
-            fault_seed=self.fault_seed,
-        )
-        result = machine.run()
-        clock = program.clock
+    def lower(self, dag: Optional[IRDag] = None) -> MicroProgram:
+        return self.prepare(dag).program
+
+    def run(
+        self,
+        dag: Optional[IRDag] = None,
+        fault_rate: Optional[float] = None,
+        fault_seed: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> CycleSimResult:
+        """Lower (or reuse), execute, extrapolate, and price one window.
+
+        ``fault_rate`` / ``fault_seed`` / ``engine`` default to the
+        simulator's own fields; passing them per call replays the
+        cached lowering under different fault draws or engines.
+        """
+        rate = self.fault_rate if fault_rate is None else fault_rate
+        seed = self.fault_seed if fault_seed is None else fault_seed
+        wheel = get_engine(self.engine if engine is None else engine)
+        prepared = self.prepare(dag)
+        result = wheel.run(prepared, fault_rate=rate, fault_seed=seed)
+        clock = prepared.clock
+        nodes = prepared.nodes
 
         # IR-level trace in seconds: node interval = read start to
-        # register write-back, appended in node_id order (deterministic).
+        # register write-back, appended in node_id order (node ``i``
+        # owns uids ``3i``..``3i + 2`` — the shared lowering layout).
         trace = SimTrace()
-        for node in program.nodes:
-            read_uid, _exec_uid, write_uid = program.node_uops[
-                node.node_id
-            ]
+        for index, node in enumerate(nodes):
             trace.record(
                 node,
-                clock.seconds(result.start[read_uid]),
-                clock.seconds(result.finish[write_uid]),
+                clock.seconds(result.start[3 * index]),
+                clock.seconds(result.finish[3 * index + 2]),
             )
         measured = extrapolate(trace, self.spec)
 
         steady_periods, bottleneck, steady_period = (
-            self._steady_extrapolate(result, clock, program)
+            self._steady_extrapolate(result, clock, prepared)
         )
 
         inventory = component_power(
             self.spec, self.allocation, self.macro_groups
         )
-        utilization = self._utilization(machine, result)
+        utilization = self._utilization(result)
         window_seconds = clock.seconds(result.makespan)
         energy_by_class = busy_idle_energy(
             inventory, utilization, window_seconds
@@ -165,7 +234,7 @@ class CycleSimulator:
             model_name=getattr(self.spec.model, "name", "model"),
             cycle_time=clock.cycle_time,
             total_cycles=result.makespan,
-            micro_ops=len(program),
+            micro_ops=len(prepared),
             window_makespan=window_seconds,
             steady_image_period=steady_period,
             steady_throughput=1.0 / steady_period,
@@ -183,13 +252,30 @@ class CycleSimulator:
             utilization=utilization,
             stall_cycles=dict(result.stall_cycles),
             faults_injected=result.faults_injected,
-            fault_rate=self.fault_rate,
-            fault_seed=self.fault_seed,
+            fault_rate=rate,
+            fault_seed=seed,
             layer_block_periods=steady_periods,
             bottleneck_layer=bottleneck,
         )
         return CycleSimResult(
-            report=report, trace=trace, machine=result, program=program
+            report=report, trace=trace, machine=result,
+            prepared=prepared,
+        )
+
+    def replay(
+        self,
+        fault_rate: float,
+        fault_seed: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> CycleSimResult:
+        """Re-run the cached lowering under different fault draws.
+
+        The DAG build and both lowerings are shared across replays —
+        only the (vectorized) fault pre-draws and the wheel itself run
+        per call, which is what makes fault-rate sweeps cheap.
+        """
+        return self.run(
+            fault_rate=fault_rate, fault_seed=fault_seed, engine=engine
         )
 
     def simulate(self, dag: Optional[IRDag] = None) -> CycleSimReport:
@@ -203,7 +289,7 @@ class CycleSimulator:
         self,
         result: MachineResult,
         clock: CycleClock,
-        program: MicroProgram,
+        prepared: PreparedProgram,
     ) -> Tuple[Dict[int, float], int, float]:
         """Occupancy roofline: per-layer per-image time from unit busy.
 
@@ -217,12 +303,12 @@ class CycleSimulator:
         spec = self.spec
         transfer_raw: Dict[int, int] = {}
         transfer_image: Dict[int, float] = {}
-        for node in program.nodes:
+        for index, node in enumerate(prepared.nodes):
             if node.op is not IROp.TRANSFER:
                 continue
-            exec_uid = program.node_uops[node.node_id][1]
+            exec_uid = 3 * index + 1
             cycles = (
-                program.ops[exec_uid].cycles
+                prepared.exec_cycles(index)
                 * result.attempts[exec_uid]
             )
             scale_idx = (
@@ -269,20 +355,16 @@ class CycleSimulator:
         bottleneck = max(layer_times, key=lambda i: layer_times[i])
         return periods, bottleneck, layer_times[bottleneck]
 
-    def _utilization(
-        self, machine: CycleMachine, result: MachineResult
-    ) -> Dict[str, float]:
+    def _utilization(self, result: MachineResult) -> Dict[str, float]:
         """Busy fraction per power class over the simulated window."""
         if result.makespan <= 0:
             return {}
-        busy = machine.pool.busy_by_kind()
-        counts = machine.pool.count_by_kind()
         by_class_busy: Dict[str, int] = {}
         by_class_slots: Dict[str, int] = {}
-        for kind, total in busy.items():
+        for kind, total in result.busy_by_kind.items():
             klass = KIND_TO_CLASS[kind]
             by_class_busy[klass] = by_class_busy.get(klass, 0) + total
-        for kind, count in counts.items():
+        for kind, count in result.slots_by_kind.items():
             klass = KIND_TO_CLASS[kind]
             by_class_slots[klass] = (
                 by_class_slots.get(klass, 0) + count

@@ -20,19 +20,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.cycle.uops import REGISTER_PORTS, UnitKey
+from repro.sim.cycle.uops import _CAPACITY_OF_KIND, UnitKey
 
-#: Slot counts per unit kind (first element of the unit key).
-_CAPACITY = {
-    "crossbar": 1,
-    "adc": 1,
-    "alu": 1,
-    "load": 1,
-    "store": 1,
-    "link": 1,
-    "reg_read": REGISTER_PORTS,
-    "reg_write": REGISTER_PORTS,
-}
+#: Slot counts per unit kind (first element of the unit key) — the
+#: single definition lives next to the lowering so the object pool and
+#: the SoA slot tables can never disagree.
+_CAPACITY = _CAPACITY_OF_KIND
 
 
 @dataclass

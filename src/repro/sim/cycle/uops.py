@@ -45,6 +45,20 @@ REGISTER_PORTS = 4
 #: A unit key: ("crossbar", layer), ("link", from_node, to_node), ...
 UnitKey = Tuple
 
+#: Slot counts per unit kind (first element of the unit key) — shared
+#: by the object pool (:mod:`repro.sim.cycle.units`) and the SoA slot
+#: tables (:mod:`repro.sim.cycle.kernel`).
+_CAPACITY_OF_KIND = {
+    "crossbar": 1,
+    "adc": 1,
+    "alu": 1,
+    "load": 1,
+    "store": 1,
+    "link": 1,
+    "reg_read": REGISTER_PORTS,
+    "reg_write": REGISTER_PORTS,
+}
+
 
 class Stage(enum.Enum):
     """Pipeline stage of a micro-op."""
@@ -117,6 +131,46 @@ class MicroProgram:
         return self.ops[read], self.ops[execute], self.ops[write]
 
 
+# ----------------------------------------------------------------------
+# Memoized mesh routes
+# ----------------------------------------------------------------------
+# XY routes are pure functions of the mesh shape and the (src, dst)
+# pair — MeshNoC.cols depends only on num_macros, and hardware params
+# never enter the path — so every lowering of every window re-deriving
+# the same hop lists is pure waste. One process-wide cache keyed by
+# (num_macros, src, dst) serves all topologies; hit/miss counters back
+# the cache-effectiveness assertion test.
+_ROUTE_CACHE: Dict[Tuple[int, int, int], Tuple[Tuple[int, int], ...]] = {}
+_ROUTE_STATS = {"hits": 0, "misses": 0}
+
+
+def mesh_route(
+    noc: MeshNoC, src: int, dst: int
+) -> Tuple[Tuple[int, int], ...]:
+    """Memoized :meth:`MeshNoC.xy_route` (same directed link tuples)."""
+    key = (noc.num_macros, src, dst)
+    hops = _ROUTE_CACHE.get(key)
+    if hops is None:
+        _ROUTE_STATS["misses"] += 1
+        hops = noc.xy_route(src, dst)
+        _ROUTE_CACHE[key] = hops
+    else:
+        _ROUTE_STATS["hits"] += 1
+    return hops
+
+
+def route_cache_stats() -> Dict[str, int]:
+    """Copy of the route cache hit/miss counters (for tests/benches)."""
+    return dict(_ROUTE_STATS)
+
+
+def clear_route_cache() -> None:
+    """Drop cached routes and reset the counters."""
+    _ROUTE_CACHE.clear()
+    _ROUTE_STATS["hits"] = 0
+    _ROUTE_STATS["misses"] = 0
+
+
 def _merge_links(
     noc: MeshNoC, group: Sequence[int]
 ) -> Tuple[UnitKey, ...]:
@@ -125,14 +179,14 @@ def _merge_links(
     links: List[UnitKey] = []
     seen = set()
     for macro in group[1:]:
-        for hop in noc.xy_route(macro, root):
+        for hop in mesh_route(noc, macro, root):
             if hop not in seen:
                 seen.add(hop)
                 links.append(("link",) + hop)
     return tuple(links)
 
 
-def _exec_units(
+def exec_unit_table(
     node: IRNode,
     noc: MeshNoC,
     macro_groups: Sequence[Sequence[int]],
@@ -161,9 +215,15 @@ def _exec_units(
         if node.src == node.dst:
             return ()
         return tuple(
-            ("link",) + hop for hop in noc.xy_route(node.src, node.dst)
+            ("link",) + hop
+            for hop in mesh_route(noc, node.src, node.dst)
         )
     raise SimulationError(f"no unit mapping for {node.op}")
+
+
+#: Backwards-compatible alias (the helper predates the SoA lowering,
+#: which shares it and needed a public name).
+_exec_units = exec_unit_table
 
 
 def lower_dag(

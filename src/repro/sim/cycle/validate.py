@@ -113,13 +113,17 @@ def cross_validate(
     tol: float = DEFAULT_TOLERANCE,
     cycle_time: Optional[float] = None,
     resolution: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> CrossValidationReport:
     """Replay ``solution`` cycle-accurately and compare both models.
 
     ``solution`` is a :class:`~repro.core.solution.SynthesisSolution`.
     Returns the comparison report; call
     :meth:`CrossValidationReport.ensure` to turn disagreement into a
-    :class:`~repro.errors.SimulationError`.
+    :class:`~repro.errors.SimulationError`. ``engine`` names a
+    registered cycle engine (default ``auto``: fastest available) —
+    every engine is ``==``-exact against the python oracle, so the
+    choice only moves wall time.
     """
     if tol <= 0:
         raise SimulationError(f"tolerance must be positive, got {tol}")
@@ -128,6 +132,8 @@ def cross_validate(
         kwargs["cycle_time"] = cycle_time
     if resolution is not None:
         kwargs["resolution"] = resolution
+    if engine is not None:
+        kwargs["engine"] = engine
     simulator = CycleSimulator.for_solution(solution, **kwargs)
     if simulator.fault_rate != 0.0:
         raise SimulationError(

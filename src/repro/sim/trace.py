@@ -82,12 +82,39 @@ class ScheduledNode:
 
 @dataclass
 class SimTrace:
-    """Append-only record of a simulation run."""
+    """Append-only record of a simulation run.
+
+    Per-layer queries (store times, first starts, makespan) are served
+    from a lazily built one-pass index instead of one linear scan per
+    layer — :func:`repro.sim.metrics.extrapolate` asks for every
+    layer, which used to cost ``O(layers x entries)``. The index is
+    invalidated on :meth:`record`, and the answers are float-identical
+    to the scans they replace (same values, same sort).
+    """
 
     entries: List[ScheduledNode] = field(default_factory=list)
+    _index: object = field(default=None, repr=False, compare=False)
 
     def record(self, node: IRNode, start: float, finish: float) -> None:
         self.entries.append(ScheduledNode(node, start, finish))
+        self._index = None
+
+    def _layer_index(self):
+        if self._index is None:
+            stores: Dict[int, List[float]] = {}
+            starts: Dict[int, float] = {}
+            makespan = 0.0
+            for e in self.entries:
+                layer = e.node.layer
+                if e.finish > makespan:
+                    makespan = e.finish
+                held = starts.get(layer)
+                if held is None or e.start < held:
+                    starts[layer] = e.start
+                if e.node.op.value == "store":
+                    stores.setdefault(layer, []).append(e.finish)
+            self._index = (stores, starts, makespan)
+        return self._index
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -98,7 +125,7 @@ class SimTrace:
     @property
     def makespan(self) -> float:
         """Completion time of the last IR."""
-        return max((e.finish for e in self.entries), default=0.0)
+        return self._layer_index()[2]
 
     def finish_of(self, node_id: int) -> float:
         """Finish time of a node id (linear scan; test helper)."""
@@ -121,19 +148,14 @@ class SimTrace:
 
     def store_times_of_layer(self, layer: int) -> List[float]:
         """Sorted store-IR finish times of one layer (period extraction)."""
-        times = [
-            e.finish
-            for e in self.entries
-            if e.node.layer == layer and e.node.op.value == "store"
-        ]
-        return sorted(times)
+        return sorted(self._layer_index()[0].get(layer, ()))
 
     def first_start_of_layer(self, layer: int) -> float:
         """Earliest start time among one layer's IRs."""
-        starts = [e.start for e in self.entries if e.node.layer == layer]
-        if not starts:
+        starts = self._layer_index()[1]
+        if layer not in starts:
             raise KeyError(f"layer {layer} not in trace")
-        return min(starts)
+        return starts[layer]
 
     def busy_time(self, kind: ResourceKind, layer: int) -> float:
         """Total occupied seconds of one bank (utilization metrics)."""
